@@ -1,0 +1,69 @@
+// Shared output helpers for the figure-reproduction benchmarks: aligned tables with a
+// header naming the paper figure being regenerated.
+#ifndef ICG_BENCH_BENCH_UTIL_H_
+#define ICG_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace icg::bench {
+
+inline void PrintHeader(const std::string& figure, const std::string& description) {
+  std::printf("\n=== %s ===\n%s\n\n", figure.c_str(), description.c_str());
+}
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns) : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print() const {
+    std::vector<size_t> widths(columns_.size());
+    for (size_t i = 0; i < columns_.size(); ++i) {
+      widths[i] = columns_[i].size();
+    }
+    for (const auto& row : rows_) {
+      for (size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+        widths[i] = std::max(widths[i], row[i].size());
+      }
+    }
+    PrintRow(columns_, widths);
+    std::string rule;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      rule += std::string(widths[i], '-') + (i + 1 < widths.size() ? "-+-" : "");
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const auto& row : rows_) {
+      PrintRow(row, widths);
+    }
+    std::printf("\n");
+  }
+
+ private:
+  static void PrintRow(const std::vector<std::string>& cells, const std::vector<size_t>& widths) {
+    std::string line;
+    for (size_t i = 0; i < widths.size(); ++i) {
+      const std::string& cell = i < cells.size() ? cells[i] : std::string();
+      line += cell + std::string(widths[i] - cell.size(), ' ');
+      if (i + 1 < widths.size()) {
+        line += " | ";
+      }
+    }
+    std::printf("%s\n", line.c_str());
+  }
+
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double value, int decimals = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+  return buf;
+}
+
+}  // namespace icg::bench
+
+#endif  // ICG_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,92 @@
+// Figure 5: single-request read latencies in Cassandra for different quorum
+// configurations. "A bigger latency gap means a larger time window available for
+// speculation."
+//
+// Setup (§6.1/§6.2.1): replicas in FRK/IRL/VRG, client in IRL contacting the FRK
+// coordinator, read-only microbenchmark on 100 B objects. Compared systems: baseline C
+// with R=1/2/3 and Correctable Cassandra CC2 (R={1,2}) / CC3 (R={1,3}), reporting the
+// preliminary and final views separately (average and 99th percentile).
+#include <memory>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "src/common/histogram.h"
+#include "src/harness/deployment.h"
+
+namespace icg {
+namespace {
+
+constexpr int kReads = 2000;
+constexpr int kObjectBytes = 100;
+
+struct LatencyPair {
+  LatencySummary preliminary;
+  LatencySummary final_view;
+};
+
+// Sequential single-request reads (closed loop of one), as in a microbenchmark.
+LatencyPair MeasureReads(SimWorld& world, CorrectableClient& client, bool icg) {
+  LatencyRecorder preliminary;
+  LatencyRecorder final_view;
+  for (int i = 0; i < kReads; ++i) {
+    const std::string key = "obj" + std::to_string(i % 1000);
+    const SimTime start = world.loop().Now();
+    auto c = icg ? client.Invoke(Operation::Get(key))
+                 : client.InvokeStrong(Operation::Get(key));
+    c.SetCallbacks(
+        [&](const View<OpResult>& v) {
+          if (!v.is_final) {
+            preliminary.Record(v.delivered_at - start);
+          }
+        },
+        [&](const View<OpResult>& v) { final_view.Record(v.delivered_at - start); });
+    world.loop().Run();
+  }
+  return {preliminary.Summarize(), final_view.Summarize()};
+}
+
+void RunConfig(bench::Table& table, const std::string& label, int strong_quorum, bool icg,
+               uint64_t seed) {
+  SimWorld world(seed);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = strong_quorum;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding);
+  const std::string object(kObjectBytes, 'o');
+  for (int i = 0; i < 1000; ++i) {
+    stack.cluster->Preload("obj" + std::to_string(i), object);
+  }
+
+  const LatencyPair result = MeasureReads(world, *stack.client, icg);
+  if (icg) {
+    table.AddRow({label + " preliminary", bench::Fmt(result.preliminary.mean_ms()),
+                  bench::Fmt(result.preliminary.p99_ms())});
+    table.AddRow({label + " final", bench::Fmt(result.final_view.mean_ms()),
+                  bench::Fmt(result.final_view.p99_ms())});
+    const double gap = result.final_view.mean_ms() - result.preliminary.mean_ms();
+    table.AddRow({label + " (gap)", bench::Fmt(gap), "-"});
+  } else {
+    table.AddRow({label, bench::Fmt(result.final_view.mean_ms()),
+                  bench::Fmt(result.final_view.p99_ms())});
+  }
+}
+
+}  // namespace
+}  // namespace icg
+
+int main() {
+  using namespace icg;
+  bench::PrintHeader(
+      "Figure 5: single-request read latency (Cassandra vs Correctable Cassandra)",
+      "Client IRL -> coordinator FRK; replicas FRK/IRL/VRG; 100 B objects.\n"
+      "Paper's shape: preliminary ~= C1 (~20 ms); CC2 final ~= C2 (~40 ms, gap ~20 ms);\n"
+      "CC3 final ~= C3 (~110 ms, p99 gap up to ~140 ms).");
+
+  bench::Table table({"config", "avg (ms)", "p99 (ms)"});
+  RunConfig(table, "C1 (R=1)", /*strong_quorum=*/1, /*icg=*/false, /*seed=*/11);
+  RunConfig(table, "C2 (R=2)", 2, false, 12);
+  RunConfig(table, "C3 (R=3)", 3, false, 13);
+  RunConfig(table, "CC2 (R={1,2})", 2, true, 14);
+  RunConfig(table, "CC3 (R={1,3})", 3, true, 15);
+  table.Print();
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Figure 6: performance of Correctable Cassandra (CC) compared to baseline Cassandra (C)
+// under YCSB load: average latency as a function of throughput for workloads A
+// (50:50), B (95:5), and C (read-only).
+//
+// Setup (§6.2.1): "we deploy 3 clients, one per region, with each client connecting to a
+// remote replica. For brevity, we only report on the results for the client in IRL and
+// R = {1,2}." Systems: C1, C2, and CC2 (whose preliminary and final views share one
+// throughput but have different latencies). Expected shape: CC2 preliminary tracks C1,
+// CC2 final tracks C2, and CC saturates slightly earlier (the preliminary-flushing cost).
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/harness/deployment.h"
+#include "src/harness/executors.h"
+
+namespace icg {
+namespace {
+
+constexpr int64_t kRecords = 10000;
+
+struct SweepPoint {
+  double throughput = 0;
+  double prelim_ms = 0;
+  double final_ms = 0;
+};
+
+// One trial: three clients (IRL->FRK, FRK->VRG, VRG->IRL), report the IRL client.
+SweepPoint RunTrial(const WorkloadConfig& workload_config, KvMode mode, int threads_per_client,
+                    uint64_t seed) {
+  SimWorld world(seed);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding, Region::kIreland,
+                                  Region::kFrankfurt);
+  auto frk_client = AddCassandraClient(world, stack, binding, Region::kFrankfurt,
+                                       Region::kVirginia);
+  auto vrg_client = AddCassandraClient(world, stack, binding, Region::kVirginia,
+                                       Region::kIreland);
+  PreloadYcsbDataset(stack.cluster.get(), workload_config);
+
+  RunnerConfig runner_config;
+  runner_config.threads = threads_per_client;
+  runner_config.duration = Seconds(60);
+  runner_config.warmup = Seconds(15);
+  runner_config.cooldown = Seconds(15);
+
+  CoreWorkload w_irl(workload_config, seed * 3 + 1);
+  CoreWorkload w_frk(workload_config, seed * 3 + 2);
+  CoreWorkload w_vrg(workload_config, seed * 3 + 3);
+  LoadRunner irl(&world.loop(), &w_irl, MakeKvExecutor(stack.client.get(), mode),
+                 runner_config);
+  LoadRunner frk(&world.loop(), &w_frk, MakeKvExecutor(frk_client.client.get(), mode),
+                 runner_config);
+  LoadRunner vrg(&world.loop(), &w_vrg, MakeKvExecutor(vrg_client.client.get(), mode),
+                 runner_config);
+  irl.Begin();
+  frk.Begin();
+  vrg.Begin();
+  world.loop().RunUntil(world.loop().Now() + runner_config.duration + Seconds(5));
+
+  const RunnerResult result = irl.Collect();
+  SweepPoint point;
+  point.throughput = result.throughput_ops;
+  point.final_ms = result.final_view.mean_ms();
+  point.prelim_ms = result.preliminary.count > 0 ? result.preliminary.mean_ms() : 0;
+  return point;
+}
+
+void RunWorkload(const std::string& name, const WorkloadConfig& config) {
+  const std::vector<int> thread_sweep = {2, 4, 8, 16, 24, 32, 48, 64};
+  bench::Table table({"threads/client", "system", "throughput (ops/s)", "avg latency (ms)",
+                      "preliminary (ms)"});
+  for (const int threads : thread_sweep) {
+    const SweepPoint c1 = RunTrial(config, KvMode::kWeakOnly, threads, 101);
+    const SweepPoint c2 = RunTrial(config, KvMode::kStrongOnly, threads, 102);
+    const SweepPoint cc2 = RunTrial(config, KvMode::kIcg, threads, 103);
+    table.AddRow({std::to_string(threads), "C1 (R=1)", bench::Fmt(c1.throughput, 0),
+                  bench::Fmt(c1.final_ms), "-"});
+    table.AddRow({std::to_string(threads), "C2 (R=2)", bench::Fmt(c2.throughput, 0),
+                  bench::Fmt(c2.final_ms), "-"});
+    table.AddRow({std::to_string(threads), "CC2 (R={1,2})", bench::Fmt(cc2.throughput, 0),
+                  bench::Fmt(cc2.final_ms), bench::Fmt(cc2.prelim_ms)});
+  }
+  std::printf("--- Workload %s ---\n", name.c_str());
+  table.Print();
+}
+
+}  // namespace
+}  // namespace icg
+
+int main() {
+  using namespace icg;
+  bench::PrintHeader(
+      "Figure 6: latency vs. throughput under YCSB load (CC vs baseline Cassandra)",
+      "3 clients (one per region), each using a remote coordinator; IRL client reported.\n"
+      "Paper's shape: CC2 preliminary tracks C1 (~20 ms), CC2 final tracks C2 (~40 ms);\n"
+      "CC trades in some throughput (saturates slightly before the baselines).");
+
+  RunWorkload("A (50:50 read/write)",
+              WorkloadConfig::YcsbA(RequestDistribution::kZipfian, kRecords));
+  RunWorkload("B (95:5 read/write)",
+              WorkloadConfig::YcsbB(RequestDistribution::kZipfian, kRecords));
+  RunWorkload("C (read-only)", WorkloadConfig::YcsbC(RequestDistribution::kZipfian, kRecords));
+  return 0;
+}

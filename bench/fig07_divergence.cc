@@ -1,0 +1,112 @@
+// Figure 7: divergence of preliminary from final (correct) views in Correctable
+// Cassandra with various YCSB configurations.
+//
+// Setup (§6.2.1): small dataset of 1K objects, "conditions of a highly-loaded system
+// where clients are mostly interested in a small (popular) part of the dataset";
+// workloads A and B under the Latest and Zipfian request distributions, sweeping the
+// total number of client threads from 30 to 300 (spread over the 3 regional clients).
+//
+// Paper's shape: divergence grows with load; A-Latest is the worst (up to ~25%), then
+// A-Zipfian, then B-Latest, then B-Zipfian.
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/harness/deployment.h"
+#include "src/harness/executors.h"
+
+namespace icg {
+namespace {
+
+constexpr int64_t kRecords = 1000;  // "a small 1K objects dataset"
+
+double MeasureDivergence(const WorkloadConfig& workload_config, int total_threads,
+                         uint64_t seed) {
+  SimWorld world(seed);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding, Region::kIreland,
+                                  Region::kFrankfurt);
+  auto frk_client =
+      AddCassandraClient(world, stack, binding, Region::kFrankfurt, Region::kVirginia);
+  auto vrg_client =
+      AddCassandraClient(world, stack, binding, Region::kVirginia, Region::kIreland);
+  PreloadYcsbDataset(stack.cluster.get(), workload_config);
+
+  RunnerConfig runner_config;
+  runner_config.threads = total_threads / 3;
+  runner_config.duration = Seconds(60);
+  runner_config.warmup = Seconds(15);
+  runner_config.cooldown = Seconds(15);
+
+  CoreWorkload w_irl(workload_config, seed * 3 + 1);
+  CoreWorkload w_frk(workload_config, seed * 3 + 2);
+  CoreWorkload w_vrg(workload_config, seed * 3 + 3);
+  LoadRunner irl(&world.loop(), &w_irl, MakeKvExecutor(stack.client.get(), KvMode::kIcg),
+                 runner_config);
+  LoadRunner frk(&world.loop(), &w_frk, MakeKvExecutor(frk_client.client.get(), KvMode::kIcg),
+                 runner_config);
+  LoadRunner vrg(&world.loop(), &w_vrg, MakeKvExecutor(vrg_client.client.get(), KvMode::kIcg),
+                 runner_config);
+  irl.Begin();
+  frk.Begin();
+  vrg.Begin();
+  world.loop().RunUntil(world.loop().Now() + runner_config.duration + Seconds(5));
+
+  // Divergence measured across all clients' reads.
+  const RunnerResult a = irl.Collect();
+  const RunnerResult b = frk.Collect();
+  const RunnerResult c = vrg.Collect();
+  const int64_t with_prelim =
+      a.ops_with_preliminary + b.ops_with_preliminary + c.ops_with_preliminary;
+  const int64_t diverged = a.divergences + b.divergences + c.divergences;
+  return with_prelim == 0 ? 0.0
+                          : 100.0 * static_cast<double>(diverged) /
+                                static_cast<double>(with_prelim);
+}
+
+}  // namespace
+}  // namespace icg
+
+int main() {
+  using namespace icg;
+  bench::PrintHeader(
+      "Figure 7: divergence of preliminary from final views (Correctable Cassandra)",
+      "1K objects, YCSB A/B x Latest/Zipfian, total threads 30..300 over 3 clients.\n"
+      "Paper's shape: divergence rises with load; A-Latest up to ~25%;\n"
+      "ordering A-Latest > A-Zipfian > B-Latest > B-Zipfian.");
+
+  struct Config {
+    const char* label;
+    WorkloadConfig workload;
+  };
+  // YCSB default records: 10 fields x 100 B.
+  auto with_fields = [](WorkloadConfig c) {
+    c.field_count = 10;
+    c.field_length = 100;
+    return c;
+  };
+  const std::vector<Config> configs = {
+      {"A-Latest", with_fields(WorkloadConfig::YcsbA(RequestDistribution::kLatest, kRecords))},
+      {"A-Zipfian", with_fields(WorkloadConfig::YcsbA(RequestDistribution::kZipfian, kRecords))},
+      {"B-Latest", with_fields(WorkloadConfig::YcsbB(RequestDistribution::kLatest, kRecords))},
+      {"B-Zipfian", with_fields(WorkloadConfig::YcsbB(RequestDistribution::kZipfian, kRecords))},
+  };
+
+  std::vector<std::string> columns = {"workload"};
+  const std::vector<int> thread_sweep = {30, 60, 120, 180, 240, 300};
+  for (const int t : thread_sweep) {
+    columns.push_back(std::to_string(t) + " thr");
+  }
+  bench::Table table(columns);
+  uint64_t seed = 700;
+  for (const auto& config : configs) {
+    std::vector<std::string> row = {config.label};
+    for (const int threads : thread_sweep) {
+      row.push_back(bench::Fmt(MeasureDivergence(config.workload, threads, seed++), 1) + "%");
+    }
+    table.AddRow(row);
+  }
+  table.Print();
+  return 0;
+}

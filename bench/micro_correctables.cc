@@ -1,0 +1,118 @@
+// Microbenchmarks of the Correctable machinery itself (google-benchmark): object
+// creation, view delivery, callback dispatch, combinator chains. These quantify the
+// client-side cost of the abstraction, which the paper argues is negligible relative to
+// network latencies.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "src/correctables/correctable.h"
+
+namespace icg {
+namespace {
+
+void BM_SourceCreateAndClose(benchmark::State& state) {
+  for (auto _ : state) {
+    CorrectableSource<int> src;
+    src.Close(42, ConsistencyLevel::kStrong);
+    benchmark::DoNotOptimize(src.GetCorrectable().Final());
+  }
+}
+BENCHMARK(BM_SourceCreateAndClose);
+
+void BM_UpdateThenClose(benchmark::State& state) {
+  for (auto _ : state) {
+    CorrectableSource<int> src;
+    src.Update(1, ConsistencyLevel::kWeak);
+    src.Close(2, ConsistencyLevel::kStrong);
+    benchmark::DoNotOptimize(src.GetCorrectable().Final());
+  }
+}
+BENCHMARK(BM_UpdateThenClose);
+
+void BM_CallbackDispatch(benchmark::State& state) {
+  const int callbacks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    CorrectableSource<int> src;
+    auto c = src.GetCorrectable();
+    int sink = 0;
+    for (int i = 0; i < callbacks; ++i) {
+      c.OnFinal([&sink](const View<int>& v) { sink += v.value; });
+    }
+    src.Close(1, ConsistencyLevel::kStrong);
+    benchmark::DoNotOptimize(sink);
+  }
+}
+BENCHMARK(BM_CallbackDispatch)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_SpeculateHit(benchmark::State& state) {
+  for (auto _ : state) {
+    CorrectableSource<int> src;
+    auto result = src.GetCorrectable().Speculate([](const int& x) { return x * 2; });
+    src.Update(3, ConsistencyLevel::kWeak);
+    src.Close(3, ConsistencyLevel::kStrong);
+    benchmark::DoNotOptimize(result.Final());
+  }
+}
+BENCHMARK(BM_SpeculateHit);
+
+void BM_SpeculateMiss(benchmark::State& state) {
+  for (auto _ : state) {
+    CorrectableSource<int> src;
+    auto result = src.GetCorrectable().Speculate([](const int& x) { return x * 2; },
+                                                 [](const int&) {});
+    src.Update(3, ConsistencyLevel::kWeak);
+    src.Close(4, ConsistencyLevel::kStrong);
+    benchmark::DoNotOptimize(result.Final());
+  }
+}
+BENCHMARK(BM_SpeculateMiss);
+
+void BM_MapChain(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    CorrectableSource<int> src;
+    auto c = src.GetCorrectable();
+    for (int i = 0; i < depth; ++i) {
+      c = c.Map([](const int& x) { return x + 1; });
+    }
+    src.Close(0, ConsistencyLevel::kStrong);
+    benchmark::DoNotOptimize(c.Final());
+  }
+}
+BENCHMARK(BM_MapChain)->Arg(1)->Arg(4)->Arg(16);
+
+void BM_WhenAll(benchmark::State& state) {
+  const int parts = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    std::vector<CorrectableSource<int>> sources(static_cast<size_t>(parts));
+    std::vector<Correctable<int>> handles;
+    handles.reserve(sources.size());
+    for (auto& s : sources) {
+      handles.push_back(s.GetCorrectable());
+    }
+    auto all = WhenAll(handles);
+    for (auto& s : sources) {
+      s.Close(1, ConsistencyLevel::kStrong);
+    }
+    benchmark::DoNotOptimize(all.Final());
+  }
+}
+BENCHMARK(BM_WhenAll)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_StringViews(benchmark::State& state) {
+  const std::string payload(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    CorrectableSource<std::string> src;
+    src.Update(payload, ConsistencyLevel::kWeak);
+    src.CloseConfirmed(ConsistencyLevel::kStrong);
+    benchmark::DoNotOptimize(src.GetCorrectable().Final());
+  }
+}
+BENCHMARK(BM_StringViews)->Arg(100)->Arg(1000)->Arg(10000);
+
+}  // namespace
+}  // namespace icg
+
+BENCHMARK_MAIN();

@@ -1,0 +1,36 @@
+// Twissandra's get_timeline (§6.3.1): fetch the timeline (tweet IDs) with ICG, then
+// speculatively prefetch the tweets from the preliminary timeline.
+#include <cstdio>
+
+#include "src/apps/twissandra.h"
+#include "src/harness/deployment.h"
+
+using namespace icg;
+
+int main() {
+  SimWorld world(5);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  // The paper's Twissandra deployment: replicas in Virginia, N. California, and Oregon;
+  // the client stays in Ireland (higher latencies than the ads deployment).
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding, Region::kIreland,
+                                  Region::kVirginia,
+                                  {Region::kVirginia, Region::kCalifornia, Region::kOregon});
+
+  TwissandraConfig config;
+  config.num_users = 2200;  // scaled-down corpus for the example
+  config.num_tweets = 6500;
+  Twissandra twissandra(stack.client.get(), config);
+  twissandra.Preload(stack.cluster.get());
+
+  for (const bool icg : {false, true}) {
+    std::printf("--- get_timeline(%s) ---\n", icg ? "with ICG speculation" : "baseline");
+    twissandra.GetTimeline(1234, icg, [](RefFetchOutcome outcome) {
+      std::printf("timeline with %zu tweets in %.1f ms%s\n", outcome.objects,
+                  ToMillis(outcome.latency),
+                  outcome.speculated ? " (prefetched speculatively)" : "");
+    });
+    world.loop().Run();
+  }
+  return 0;
+}

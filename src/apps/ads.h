@@ -1,0 +1,63 @@
+// Ad serving system (§4.2, Listing 4; evaluated in §6.3.1 / Figure 11).
+//
+// Profiles reference 1-40 personalized ads; fetchAdsByUserId reads the reference list
+// with ICG and speculatively prefetches the ads from the preliminary list.
+#ifndef ICG_APPS_ADS_H_
+#define ICG_APPS_ADS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/apps/ref_fetch.h"
+#include "src/correctables/client.h"
+#include "src/kvstore/cluster.h"
+
+namespace icg {
+
+struct AdsConfig {
+  // Paper dataset: "100k user-profiles and 230k ads, where each profile references
+  // between 1 and 40 random ads".
+  int64_t num_profiles = 100000;
+  int64_t num_ads = 230000;
+  int min_refs = 1;
+  int max_refs = 40;
+  int64_t ad_bytes = 120;
+  uint64_t seed = 42;
+};
+
+class AdsSystem {
+ public:
+  AdsSystem(CorrectableClient* client, AdsConfig config);
+
+  static std::string ProfileKey(int64_t uid) { return "profile:" + std::to_string(uid); }
+  static std::string AdKey(int64_t ad) { return "ad:" + std::to_string(ad); }
+
+  // Deterministic dataset: the ads referenced by `uid` at content-version `version`
+  // (version 0 is the preloaded state; updates bump it).
+  std::vector<int64_t> RefsFor(int64_t uid, int64_t version) const;
+  std::string ProfileValue(int64_t uid, int64_t version) const;
+  std::string AdValue(int64_t ad) const;
+
+  // Installs the full dataset on every replica.
+  void Preload(KvCluster* cluster) const;
+
+  // Listing 4: invoke(getPersonalizedAdsRefs(uid)).speculate(getAds).setCallbacks(...).
+  void FetchAdsByUserId(int64_t uid, bool use_icg, std::function<void(RefFetchOutcome)> done);
+
+  // An interest update: rewrites the profile's reference list (the workload's write op).
+  void UpdateProfile(int64_t uid, int64_t version, std::function<void(bool ok)> done);
+
+  const AdsConfig& config() const { return config_; }
+  EventLoop* ClientLoop() const { return client_->loop(); }
+
+ private:
+  CorrectableClient* client_;
+  AdsConfig config_;
+  RefFetcher fetcher_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_APPS_ADS_H_

@@ -1,0 +1,71 @@
+#include "src/apps/news_reader.h"
+
+#include <memory>
+#include <utility>
+
+namespace icg {
+
+NewsReader::NewsReader(CorrectableClient* client) : client_(client) {}
+
+std::vector<std::string> NewsReader::ParseItems(const std::string& value) {
+  std::vector<std::string> items;
+  size_t pos = 0;
+  while (pos < value.size()) {
+    size_t nl = value.find('\n', pos);
+    if (nl == std::string::npos) {
+      nl = value.size();
+    }
+    if (nl > pos) {
+      items.push_back(value.substr(pos, nl - pos));
+    }
+    pos = nl + 1;
+  }
+  return items;
+}
+
+std::string NewsReader::JoinItems(const std::vector<std::string>& items) {
+  std::string out;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) {
+      out += '\n';
+    }
+    out += items[i];
+  }
+  return out;
+}
+
+void NewsReader::GetLatestNews(const std::string& feed,
+                               std::function<void(const NewsRefresh&)> refresh,
+                               std::function<void(std::vector<NewsRefresh>)> done) {
+  EventLoop* loop = client_->loop();
+  const SimTime start = loop != nullptr ? loop->Now() : 0;
+  auto now = [loop, start]() { return loop != nullptr ? loop->Now() - start : 0; };
+  auto history = std::make_shared<std::vector<NewsRefresh>>();
+
+  auto record = [refresh, history, now](const View<OpResult>& v, bool is_final) {
+    NewsRefresh r;
+    r.items = v.value.found ? ParseItems(v.value.value) : std::vector<std::string>{};
+    r.level = v.level;
+    r.is_final = is_final;
+    r.at = now();
+    history->push_back(r);
+    refresh(r);
+  };
+
+  client_->Invoke(Operation::Get(FeedKey(feed)))
+      .SetCallbacks([record](const View<OpResult>& v) { record(v, false); },
+                    [record, done, history](const View<OpResult>& v) {
+                      record(v, true);
+                      done(*history);
+                    },
+                    [done, history](const Status&) { done(*history); });
+}
+
+void NewsReader::PublishNews(const std::string& feed, const std::vector<std::string>& items,
+                             std::function<void(bool)> done) {
+  client_->InvokeStrong(Operation::Put(FeedKey(feed), JoinItems(items)))
+      .SetCallbacks(nullptr, [done](const View<OpResult>&) { done(true); },
+                    [done](const Status&) { done(false); });
+}
+
+}  // namespace icg

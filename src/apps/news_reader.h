@@ -1,0 +1,49 @@
+// Smartphone news reader (§4.4, Listing 6): progressive display over a cached
+// primary-backup binding. One logical access resolves three times — local cache, closest
+// backup, distant primary — and the display refreshes on every update.
+#ifndef ICG_APPS_NEWS_READER_H_
+#define ICG_APPS_NEWS_READER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/correctables/client.h"
+
+namespace icg {
+
+struct NewsRefresh {
+  std::vector<std::string> items;
+  ConsistencyLevel level = ConsistencyLevel::kCache;
+  bool is_final = false;
+  SimDuration at = 0;  // latency from the request start
+};
+
+class NewsReader {
+ public:
+  // `client` must wrap a multi-level binding (CachedPbBinding).
+  explicit NewsReader(CorrectableClient* client);
+
+  static std::string FeedKey(const std::string& feed) { return "news:" + feed; }
+  // Feed values are newline-separated headlines.
+  static std::vector<std::string> ParseItems(const std::string& value);
+  static std::string JoinItems(const std::vector<std::string>& items);
+
+  // Listing 6: invoke(getLatestNews()).setCallbacks(onUpdate = refreshDisplay). Every
+  // view (including the final) triggers `refresh`; `done` receives the full refresh
+  // history when the final view lands.
+  void GetLatestNews(const std::string& feed,
+                     std::function<void(const NewsRefresh&)> refresh,
+                     std::function<void(std::vector<NewsRefresh>)> done);
+
+  // Publishes a headline list (write-through to cache + store).
+  void PublishNews(const std::string& feed, const std::vector<std::string>& items,
+                   std::function<void(bool ok)> done);
+
+ private:
+  CorrectableClient* client_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_APPS_NEWS_READER_H_

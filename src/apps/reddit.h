@@ -1,0 +1,28 @@
+// The Reddit-style motivating example (§4.1, Listings 1-2): ad-hoc cache-bypassing
+// replaced by invokeWeak / invokeStrong over a coherent binding.
+//
+//   def user_messages(user, strong=False):
+//     key = messages_key(user._id)
+//     if strong: return invokeStrong(get(key))
+//     else:      return invokeWeak(get(key))
+#ifndef ICG_APPS_REDDIT_H_
+#define ICG_APPS_REDDIT_H_
+
+#include <string>
+
+#include "src/correctables/client.h"
+
+namespace icg {
+
+inline std::string MessagesKey(int64_t user_id) { return "messages:" + std::to_string(user_id); }
+
+// Listing 2, transcribed. Cache coherence and bypassing live entirely in the binding.
+inline Correctable<OpResult> UserMessages(CorrectableClient& client, int64_t user_id,
+                                          bool strong = false) {
+  const Operation op = Operation::Get(MessagesKey(user_id));
+  return strong ? client.InvokeStrong(op) : client.InvokeWeak(op);
+}
+
+}  // namespace icg
+
+#endif  // ICG_APPS_REDDIT_H_

@@ -1,0 +1,58 @@
+// The reference-chasing speculation pattern shared by the ad-serving system and the
+// Twissandra timeline (§4.2):
+//
+//   "the application needs to chase a pointer (reference) to the latest data ... We avoid
+//    stale data by reading the references with invoke, and we mask the latency of the
+//    final value by speculatively fetching objects based on the preliminary reference."
+//
+// Step 1 reads a reference list with ICG; step 2 prefetches the referenced objects
+// speculatively from the preliminary list (strong reads, as in the paper's getAds). If
+// the final reference list confirms the preliminary, the prefetch latency is fully
+// hidden; otherwise the fetch re-executes on the corrected list.
+#ifndef ICG_APPS_REF_FETCH_H_
+#define ICG_APPS_REF_FETCH_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/correctables/client.h"
+
+namespace icg {
+
+struct RefFetchOutcome {
+  bool ok = false;
+  size_t objects = 0;          // referenced objects delivered
+  SimDuration latency = 0;     // total application-level latency
+  std::optional<SimDuration> preliminary_latency;  // reference list preliminary view
+  bool speculated = false;     // a preliminary view triggered a speculative prefetch
+  bool misspeculated = false;  // the final reference list contradicted the preliminary
+};
+
+class RefFetcher {
+ public:
+  // Objects are stored under `object_key_prefix` + id; the reference value is a
+  // comma-separated id list.
+  RefFetcher(CorrectableClient* client, std::string object_key_prefix);
+
+  // Two-step fetch. With `use_icg`, step 1 uses invoke() and step 2 runs speculatively on
+  // the preliminary reference list; otherwise both steps are strong-only (the baseline of
+  // Figure 11).
+  void Fetch(const std::string& ref_key, bool use_icg, std::function<void(RefFetchOutcome)> done);
+
+  static std::vector<int64_t> ParseRefs(const std::string& csv);
+  static std::string JoinRefs(const std::vector<int64_t>& refs);
+
+ private:
+  // Strong-reads every referenced object in one batched request (multiget).
+  Correctable<OpResult> FetchObjects(const OpResult& refs);
+
+  CorrectableClient* client_;
+  std::string object_key_prefix_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_APPS_REF_FETCH_H_

@@ -1,0 +1,70 @@
+#include "src/apps/tickets.h"
+
+#include <memory>
+#include <utility>
+
+namespace icg {
+
+TicketSeller::TicketSeller(CorrectableClient* client, TicketConfig config)
+    : client_(client), config_(std::move(config)) {}
+
+void TicketSeller::PurchaseTicket(std::function<void(PurchaseOutcome)> done) {
+  EventLoop* loop = client_->loop();
+  const SimTime start = loop != nullptr ? loop->Now() : 0;
+  auto now = [loop, start]() { return loop != nullptr ? loop->Now() - start : 0; };
+
+  struct State {
+    bool decided = false;
+    PurchaseOutcome outcome;
+  };
+  auto state = std::make_shared<State>();
+
+  client_->Invoke(Operation::Dequeue(config_.event))
+      .SetCallbacks(
+          // onUpdate — Listing 5: "if weakResult.ticketNr > THRESHOLD: done = true".
+          [this, state, done, now](const View<OpResult>& weak) {
+            if (state->decided) {
+              return;
+            }
+            if (weak.value.found && RemainingAfter(weak.value.seqno) > config_.threshold) {
+              state->decided = true;
+              state->outcome.purchased = true;
+              state->outcome.via_preliminary = true;
+              state->outcome.ticket_seq = weak.value.seqno;
+              state->outcome.latency = now();
+              preliminary_purchases_++;
+              done(state->outcome);
+            }
+          },
+          // onFinal — either the authoritative decision, or a revocation check for a
+          // sale already confirmed on the preliminary.
+          [this, state, done, now](const View<OpResult>& strong) {
+            if (state->decided) {
+              if (!strong.value.found) {
+                // The fast path promised a ticket the atomic dequeue could not deliver.
+                revocations_++;
+              }
+              return;
+            }
+            state->decided = true;
+            state->outcome.purchased = strong.value.found;
+            state->outcome.sold_out = !strong.value.found;
+            state->outcome.ticket_seq = strong.value.seqno;
+            state->outcome.latency = now();
+            if (strong.value.found) {
+              final_purchases_++;
+            }
+            done(state->outcome);
+          },
+          [state, done, now](const Status&) {
+            if (state->decided) {
+              return;
+            }
+            state->decided = true;
+            state->outcome.purchased = false;
+            state->outcome.latency = now();
+            done(state->outcome);
+          });
+}
+
+}  // namespace icg

@@ -1,0 +1,62 @@
+// Ticket selling system (§4.3, Listing 5; evaluated in §6.3.2 / Figure 12).
+//
+// The ticket stock is a replicated queue. A purchase dequeues a ticket with invoke():
+// if the preliminary view shows plenty of stock (position far from the end), the sale
+// confirms immediately on weak consistency and the dequeue completes in the background;
+// near the end of the stock the retailer waits for the atomic final view to avoid
+// overselling.
+#ifndef ICG_APPS_TICKETS_H_
+#define ICG_APPS_TICKETS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "src/correctables/client.h"
+
+namespace icg {
+
+struct TicketConfig {
+  std::string event = "concert";
+  int64_t stock = 500;      // tickets initially enqueued (seq 0 .. stock-1)
+  int64_t threshold = 20;   // switch to final views for the last `threshold` tickets
+};
+
+struct PurchaseOutcome {
+  bool purchased = false;
+  bool sold_out = false;
+  bool via_preliminary = false;  // fast path: confirmed on the weak view
+  int64_t ticket_seq = -1;
+  SimDuration latency = 0;
+};
+
+class TicketSeller {
+ public:
+  // `client` must wrap a queue-capable binding (ZooKeeperBinding).
+  TicketSeller(CorrectableClient* client, TicketConfig config);
+
+  // Listing 5. `done` fires at decision time: immediately on the preliminary view when
+  // stock is plentiful, otherwise when the final (atomic) view arrives.
+  void PurchaseTicket(std::function<void(PurchaseOutcome)> done);
+
+  // Tickets whose fast-path confirmation was later contradicted by the final view
+  // ("revoked" tickets, §6.3.2 — the paper saw on average two, at most six).
+  int64_t revocations() const { return revocations_; }
+  int64_t preliminary_purchases() const { return preliminary_purchases_; }
+  int64_t final_purchases() const { return final_purchases_; }
+
+  const TicketConfig& config() const { return config_; }
+
+ private:
+  int64_t RemainingAfter(int64_t ticket_seq) const { return config_.stock - 1 - ticket_seq; }
+
+  CorrectableClient* client_;
+  TicketConfig config_;
+  int64_t revocations_ = 0;
+  int64_t preliminary_purchases_ = 0;
+  int64_t final_purchases_ = 0;
+};
+
+}  // namespace icg
+
+#endif  // ICG_APPS_TICKETS_H_

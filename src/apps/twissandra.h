@@ -1,0 +1,57 @@
+// Twissandra-like microblogging service (§6.3.1 / Figure 11): get_timeline fetches the
+// timeline (tweet IDs) with ICG and speculatively prefetches the tweets.
+#ifndef ICG_APPS_TWISSANDRA_H_
+#define ICG_APPS_TWISSANDRA_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/apps/ref_fetch.h"
+#include "src/correctables/client.h"
+#include "src/kvstore/cluster.h"
+
+namespace icg {
+
+struct TwissandraConfig {
+  // Paper dataset: "a corpus of 65k tweets spread over 22k user timelines".
+  int64_t num_users = 22000;
+  int64_t num_tweets = 65000;
+  int max_timeline = 10;  // tweets per timeline
+  int64_t tweet_bytes = 140;
+  uint64_t seed = 7;
+};
+
+class Twissandra {
+ public:
+  Twissandra(CorrectableClient* client, TwissandraConfig config);
+
+  static std::string TimelineKey(int64_t user) { return "timeline:" + std::to_string(user); }
+  static std::string TweetKey(int64_t tweet) { return "tweet:" + std::to_string(tweet); }
+
+  std::vector<int64_t> TimelineFor(int64_t user, int64_t version) const;
+  std::string TimelineValue(int64_t user, int64_t version) const;
+  std::string TweetValue(int64_t tweet) const;
+
+  void Preload(KvCluster* cluster) const;
+
+  // get_timeline: "(1) fetch the timeline (tweet IDs), and then (2) fetch each tweet by
+  // its ID", step 2 speculating on the preliminary timeline when `use_icg` is set.
+  void GetTimeline(int64_t user, bool use_icg, std::function<void(RefFetchOutcome)> done);
+
+  // Posting rewrites the author's timeline (the workload's write op).
+  void PostTweet(int64_t user, int64_t version, std::function<void(bool ok)> done);
+
+  const TwissandraConfig& config() const { return config_; }
+  EventLoop* ClientLoop() const { return client_->loop(); }
+
+ private:
+  CorrectableClient* client_;
+  TwissandraConfig config_;
+  RefFetcher fetcher_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_APPS_TWISSANDRA_H_

@@ -1,0 +1,39 @@
+// Blockchain binding (§4.5): Correctables "track transaction confirmations as they
+// accumulate and eventually the transaction becomes an irrevocable part of the
+// blockchain, i.e., strongly-consistent with high probability".
+//
+// A kPut submits a transaction. Each confirmation delivers a WEAK preliminary view whose
+// seqno carries the confirmation count (including regressions to 0 after reorgs); the
+// Correctable closes with a STRONG final view once `confirm_depth` confirmations
+// accumulate. This exercises the multi-view capability of Correctables beyond two views.
+#ifndef ICG_BINDINGS_BLOCKCHAIN_BINDING_H_
+#define ICG_BINDINGS_BLOCKCHAIN_BINDING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/correctables/binding.h"
+#include "src/stores/chain_sim.h"
+
+namespace icg {
+
+class BlockchainBinding : public Binding {
+ public:
+  explicit BlockchainBinding(ChainSim* chain) : chain_(chain) {}
+
+  std::string Name() const override { return "blockchain"; }
+
+  std::vector<ConsistencyLevel> SupportedLevels() const override {
+    return {ConsistencyLevel::kWeak, ConsistencyLevel::kStrong};
+  }
+
+  void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
+                       ResponseCallback callback) override;
+
+ private:
+  ChainSim* chain_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_BINDINGS_BLOCKCHAIN_BINDING_H_

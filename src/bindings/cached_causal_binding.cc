@@ -1,0 +1,77 @@
+#include "src/bindings/cached_causal_binding.h"
+
+#include <algorithm>
+
+namespace icg {
+namespace {
+
+bool Contains(const std::vector<ConsistencyLevel>& levels, ConsistencyLevel level) {
+  return std::find(levels.begin(), levels.end(), level) != levels.end();
+}
+
+}  // namespace
+
+void CachedCausalBinding::SubmitOperation(const Operation& op,
+                                          const std::vector<ConsistencyLevel>& levels,
+                                          ResponseCallback callback) {
+  const bool want_cache = Contains(levels, ConsistencyLevel::kCache);
+  const bool want_causal = Contains(levels, ConsistencyLevel::kCausal);
+  const ConsistencyLevel strongest = levels.back();
+
+  switch (op.type) {
+    case OpType::kGet: {
+      if (want_cache) {
+        const auto cached = cache_->Get(op.key);
+        callback(cached.value_or(OpResult{}), ConsistencyLevel::kCache, ResponseKind::kValue);
+      }
+      if (want_causal) {
+        if (disconnected_) {
+          callback(Status::Unavailable("disconnected: causal store unreachable"),
+                   ConsistencyLevel::kCausal, ResponseKind::kValue);
+          return;
+        }
+        ClientCache* cache = cache_;
+        const std::string key = op.key;
+        client_->Read(op.key, [callback, cache, key](StatusOr<OpResult> result) {
+          if (result.ok() && result->found) {
+            cache->Put(key, result.value());
+          }
+          callback(std::move(result), ConsistencyLevel::kCausal, ResponseKind::kValue);
+        });
+      }
+      return;
+    }
+    case OpType::kPut: {
+      if (disconnected_) {
+        callback(Status::Unavailable("disconnected: causal store unreachable"), strongest,
+                 ResponseKind::kValue);
+        return;
+      }
+      ClientCache* cache = cache_;
+      const std::string key = op.key;
+      const std::string value = op.value;
+      client_->Write(op.key, op.value,
+                     [callback, cache, key, value, strongest](StatusOr<OpResult> result) {
+                       if (result.ok()) {
+                         OpResult cached;
+                         cached.found = true;
+                         cached.value = value;
+                         cached.version = result->version;
+                         cache->Put(key, cached);
+                       }
+                       callback(std::move(result), strongest, ResponseKind::kValue);
+                     });
+      return;
+    }
+    case OpType::kMultiGet:
+    case OpType::kEnqueue:
+    case OpType::kDequeue:
+    case OpType::kPeek:
+      callback(
+          Status::InvalidArgument("cached-causal binding supports key-value operations only"),
+          strongest, ResponseKind::kValue);
+      return;
+  }
+}
+
+}  // namespace icg

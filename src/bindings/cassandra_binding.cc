@@ -1,0 +1,63 @@
+#include "src/bindings/cassandra_binding.h"
+
+#include <algorithm>
+
+namespace icg {
+namespace {
+
+bool Contains(const std::vector<ConsistencyLevel>& levels, ConsistencyLevel level) {
+  return std::find(levels.begin(), levels.end(), level) != levels.end();
+}
+
+}  // namespace
+
+void CassandraBinding::SubmitOperation(const Operation& op,
+                                       const std::vector<ConsistencyLevel>& levels,
+                                       ResponseCallback callback) {
+  const bool weak = Contains(levels, ConsistencyLevel::kWeak);
+  const bool strong = Contains(levels, ConsistencyLevel::kStrong);
+
+  switch (op.type) {
+    case OpType::kGet:
+    case OpType::kMultiGet: {
+      ReadOptions options;
+      options.read_quorum = strong ? config_.strong_read_quorum : 1;
+      options.want_preliminary = weak && strong;  // the ICG path
+      options.confirmations = config_.confirmations && weak && strong;
+      auto forward = [callback, strong](StatusOr<OpResult> result, bool is_final,
+                                        ResponseKind kind) {
+        // A non-final response is always the WEAK view; the final response lands at the
+        // strongest requested level.
+        const ConsistencyLevel level =
+            is_final ? (strong ? ConsistencyLevel::kStrong : ConsistencyLevel::kWeak)
+                     : ConsistencyLevel::kWeak;
+        callback(std::move(result), level, kind);
+      };
+      if (op.type == OpType::kGet) {
+        client_->Read(op.key, options, forward);
+      } else {
+        client_->MultiRead(op.keys, options, forward);
+      }
+      return;
+    }
+    case OpType::kPut: {
+      // Writes use W=1 (§6.2.1): a single acknowledgement, reported at the strongest
+      // requested level.
+      const ConsistencyLevel level =
+          strong ? ConsistencyLevel::kStrong : ConsistencyLevel::kWeak;
+      client_->Write(op.key, op.value,
+                     [callback, level](StatusOr<OpResult> result, bool, ResponseKind kind) {
+                       callback(std::move(result), level, kind);
+                     });
+      return;
+    }
+    case OpType::kEnqueue:
+    case OpType::kDequeue:
+    case OpType::kPeek:
+      callback(Status::InvalidArgument("cassandra binding supports key-value operations only"),
+               levels.back(), ResponseKind::kValue);
+      return;
+  }
+}
+
+}  // namespace icg

@@ -1,0 +1,52 @@
+#include "src/bindings/primary_backup_binding.h"
+
+#include <algorithm>
+
+namespace icg {
+namespace {
+
+bool Contains(const std::vector<ConsistencyLevel>& levels, ConsistencyLevel level) {
+  return std::find(levels.begin(), levels.end(), level) != levels.end();
+}
+
+}  // namespace
+
+void PrimaryBackupBinding::SubmitOperation(const Operation& op,
+                                           const std::vector<ConsistencyLevel>& levels,
+                                           ResponseCallback callback) {
+  const bool weak = Contains(levels, ConsistencyLevel::kWeak);
+  const bool strong = Contains(levels, ConsistencyLevel::kStrong);
+
+  switch (op.type) {
+    case OpType::kGet:
+      if (weak) {
+        client_->ReadWeak(op.key, [callback](StatusOr<OpResult> result) {
+          callback(std::move(result), ConsistencyLevel::kWeak, ResponseKind::kValue);
+        });
+      }
+      if (strong) {
+        client_->ReadStrong(op.key, [callback](StatusOr<OpResult> result) {
+          callback(std::move(result), ConsistencyLevel::kStrong, ResponseKind::kValue);
+        });
+      }
+      return;
+    case OpType::kPut: {
+      const ConsistencyLevel level =
+          strong ? ConsistencyLevel::kStrong : ConsistencyLevel::kWeak;
+      client_->Write(op.key, op.value, [callback, level](StatusOr<OpResult> result) {
+        callback(std::move(result), level, ResponseKind::kValue);
+      });
+      return;
+    }
+    case OpType::kMultiGet:
+    case OpType::kEnqueue:
+    case OpType::kDequeue:
+    case OpType::kPeek:
+      callback(
+          Status::InvalidArgument("primary-backup binding supports key-value operations only"),
+          levels.back(), ResponseKind::kValue);
+      return;
+  }
+}
+
+}  // namespace icg

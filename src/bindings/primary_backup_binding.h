@@ -1,0 +1,39 @@
+// Binding to a primary-backup store: the paper's Listing 7, transcribed.
+//
+//   def submitOperation(operation, consLevels, callback):
+//     if WEAK in consLevels:    callback(queryClosestBackup(operation), WEAK)
+//     if STRONG in consLevels:  callback(queryPrimary(operation), STRONG)
+//
+// Both queries run in parallel (the "more sophisticated binding" the paper mentions);
+// the library's monotonicity enforcement handles any reordering.
+#ifndef ICG_BINDINGS_PRIMARY_BACKUP_BINDING_H_
+#define ICG_BINDINGS_PRIMARY_BACKUP_BINDING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/correctables/binding.h"
+#include "src/stores/pb_store.h"
+
+namespace icg {
+
+class PrimaryBackupBinding : public Binding {
+ public:
+  explicit PrimaryBackupBinding(PbClient* client) : client_(client) {}
+
+  std::string Name() const override { return "primary-backup"; }
+
+  std::vector<ConsistencyLevel> SupportedLevels() const override {
+    return {ConsistencyLevel::kWeak, ConsistencyLevel::kStrong};
+  }
+
+  void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
+                       ResponseCallback callback) override;
+
+ private:
+  PbClient* client_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_BINDINGS_PRIMARY_BACKUP_BINDING_H_

@@ -1,0 +1,74 @@
+#include "src/bindings/zookeeper_binding.h"
+
+#include <algorithm>
+
+namespace icg {
+namespace {
+
+bool Contains(const std::vector<ConsistencyLevel>& levels, ConsistencyLevel level) {
+  return std::find(levels.begin(), levels.end(), level) != levels.end();
+}
+
+}  // namespace
+
+void ZooKeeperBinding::SubmitOperation(const Operation& op,
+                                       const std::vector<ConsistencyLevel>& levels,
+                                       ResponseCallback callback) {
+  const bool weak = Contains(levels, ConsistencyLevel::kWeak);
+  const bool strong = Contains(levels, ConsistencyLevel::kStrong);
+  const bool icg = weak && strong;
+  const ConsistencyLevel final_level =
+      strong ? ConsistencyLevel::kStrong : ConsistencyLevel::kWeak;
+
+  auto forward = [callback, final_level](StatusOr<OpResult> result, bool is_final,
+                                         ResponseKind kind) {
+    const ConsistencyLevel level = is_final ? final_level : ConsistencyLevel::kWeak;
+    callback(std::move(result), level, kind);
+  };
+
+  switch (op.type) {
+    case OpType::kEnqueue:
+      if (!strong && weak) {
+        // A weak-only enqueue still has to commit (there is no meaningful "eventual"
+        // enqueue in ZooKeeper); the weak level only controls which view is reported.
+        client_->Enqueue(op.key, op.value, /*icg=*/true,
+                         [callback](StatusOr<OpResult> result, bool is_final, ResponseKind kind) {
+                           if (!is_final) {
+                             callback(std::move(result), ConsistencyLevel::kWeak, kind);
+                           }
+                         });
+        return;
+      }
+      client_->Enqueue(op.key, op.value, icg, forward);
+      return;
+    case OpType::kDequeue:
+      if (!strong && weak) {
+        client_->Dequeue(op.key, /*icg=*/true,
+                         [callback](StatusOr<OpResult> result, bool is_final, ResponseKind kind) {
+                           if (!is_final) {
+                             callback(std::move(result), ConsistencyLevel::kWeak, kind);
+                           }
+                         });
+        return;
+      }
+      client_->Dequeue(op.key, icg, forward);
+      return;
+    case OpType::kPeek:
+      // Local head read at the session server; inherently weak.
+      if (strong) {
+        callback(Status::InvalidArgument("peek is only available at WEAK consistency"),
+                 levels.back(), ResponseKind::kValue);
+        return;
+      }
+      client_->Peek(op.key, forward);
+      return;
+    case OpType::kGet:
+    case OpType::kMultiGet:
+    case OpType::kPut:
+      callback(Status::InvalidArgument("zookeeper binding supports queue operations only"),
+               levels.back(), ResponseKind::kValue);
+      return;
+  }
+}
+
+}  // namespace icg

@@ -1,0 +1,36 @@
+// Binding to the coordination service (Correctable ZooKeeper, §5.2).
+//
+// Data type: replicated queues. Levels: WEAK (local simulation at the session server) and
+// STRONG (Zab-committed result). invokeWeak/invokeStrong map to single-level execution;
+// invoke() yields the CZK fast-path preliminary followed by the atomic final.
+#ifndef ICG_BINDINGS_ZOOKEEPER_BINDING_H_
+#define ICG_BINDINGS_ZOOKEEPER_BINDING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/correctables/binding.h"
+#include "src/zab/cluster.h"
+
+namespace icg {
+
+class ZooKeeperBinding : public Binding {
+ public:
+  explicit ZooKeeperBinding(ZabClient* client) : client_(client) {}
+
+  std::string Name() const override { return "zookeeper"; }
+
+  std::vector<ConsistencyLevel> SupportedLevels() const override {
+    return {ConsistencyLevel::kWeak, ConsistencyLevel::kStrong};
+  }
+
+  void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
+                       ResponseCallback callback) override;
+
+ private:
+  ZabClient* client_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_BINDINGS_ZOOKEEPER_BINDING_H_

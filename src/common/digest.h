@@ -1,0 +1,35 @@
+// Content digests for the confirmation optimization (§5.2 of the paper): a final view
+// whose digest matches the preliminary is replaced by a small confirmation message.
+#ifndef ICG_COMMON_DIGEST_H_
+#define ICG_COMMON_DIGEST_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace icg {
+
+using Digest = uint64_t;
+
+// FNV-1a 64-bit. Not cryptographic; collision resistance adequate for a simulation where
+// digests only compare a preliminary view with its own final view.
+constexpr Digest Fnv1a(std::string_view data) {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : data) {
+    hash ^= static_cast<uint8_t>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+// Digest of a value plus its version; two views are "the same" only if both the bytes
+// and the version agree, mirroring Cassandra's digest reads.
+constexpr Digest ValueDigest(std::string_view value, int64_t version_timestamp) {
+  uint64_t hash = Fnv1a(value);
+  hash ^= static_cast<uint64_t>(version_timestamp) + 0x9e3779b97f4a7c15ULL + (hash << 6) +
+          (hash >> 2);
+  return hash;
+}
+
+}  // namespace icg
+
+#endif  // ICG_COMMON_DIGEST_H_

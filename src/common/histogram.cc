@@ -1,0 +1,122 @@
+#include "src/common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+namespace icg {
+
+std::string LatencySummary::ToString() const {
+  std::ostringstream os;
+  os.precision(2);
+  os << std::fixed << "n=" << count << " mean=" << mean_ms() << "ms p50=" << p50_ms()
+     << "ms p95=" << p95_ms() << "ms p99=" << p99_ms() << "ms";
+  return os.str();
+}
+
+void LatencyRecorder::Record(SimDuration latency) {
+  samples_.push_back(latency);
+  sorted_ = false;
+}
+
+void LatencyRecorder::Clear() {
+  samples_.clear();
+  sorted_ = true;
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  samples_.insert(samples_.end(), other.samples_.begin(), other.samples_.end());
+  sorted_ = false;
+}
+
+SimDuration LatencyRecorder::Percentile(double pct) const {
+  if (samples_.empty()) {
+    return 0;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  const double rank = pct / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto idx = static_cast<size_t>(std::llround(rank));
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+LatencySummary LatencyRecorder::Summarize() const {
+  LatencySummary s;
+  if (samples_.empty()) {
+    return s;
+  }
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+  s.count = static_cast<int64_t>(samples_.size());
+  s.min_us = samples_.front();
+  s.max_us = samples_.back();
+  const double total = std::accumulate(samples_.begin(), samples_.end(), 0.0);
+  s.mean_us = total / static_cast<double>(samples_.size());
+  s.p50_us = Percentile(50);
+  s.p95_us = Percentile(95);
+  s.p99_us = Percentile(99);
+  return s;
+}
+
+LogHistogram::LogHistogram() : buckets_(kBucketsPerOctave * kOctaves, 0) {}
+
+int LogHistogram::BucketFor(int64_t value) {
+  if (value < 1) {
+    return 0;
+  }
+  const auto v = static_cast<uint64_t>(value);
+  const int octave = 63 - std::countl_zero(v);
+  // Position within the octave, in [0, kBucketsPerOctave).
+  const uint64_t base = uint64_t{1} << octave;
+  const int sub =
+      static_cast<int>((v - base) * kBucketsPerOctave / (base == 0 ? 1 : base));
+  const int bucket = octave * kBucketsPerOctave + std::min(sub, kBucketsPerOctave - 1);
+  return std::min(bucket, kBucketsPerOctave * kOctaves - 1);
+}
+
+int64_t LogHistogram::BucketUpperBound(int bucket) {
+  const int octave = bucket / kBucketsPerOctave;
+  const int sub = bucket % kBucketsPerOctave;
+  const uint64_t base = uint64_t{1} << octave;
+  return static_cast<int64_t>(base + base * static_cast<uint64_t>(sub + 1) / kBucketsPerOctave);
+}
+
+void LogHistogram::Record(int64_t value) {
+  buckets_[static_cast<size_t>(BucketFor(value))]++;
+  count_++;
+  sum_ += static_cast<double>(value);
+}
+
+void LogHistogram::Clear() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+}
+
+double LogHistogram::Mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+int64_t LogHistogram::Percentile(double pct) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  const auto target = static_cast<int64_t>(std::ceil(pct / 100.0 * static_cast<double>(count_)));
+  int64_t seen = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      return BucketUpperBound(static_cast<int>(i));
+    }
+  }
+  return BucketUpperBound(static_cast<int>(buckets_.size()) - 1);
+}
+
+}  // namespace icg

@@ -1,0 +1,84 @@
+// Latency statistics for benchmarks: exact-percentile sample sets and streaming
+// log-bucketed histograms.
+#ifndef ICG_COMMON_HISTOGRAM_H_
+#define ICG_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace icg {
+
+// Summary statistics of a latency distribution, in microseconds (same unit as SimTime).
+struct LatencySummary {
+  int64_t count = 0;
+  double mean_us = 0.0;
+  int64_t min_us = 0;
+  int64_t max_us = 0;
+  int64_t p50_us = 0;
+  int64_t p95_us = 0;
+  int64_t p99_us = 0;
+
+  double mean_ms() const { return mean_us / 1000.0; }
+  double p50_ms() const { return static_cast<double>(p50_us) / 1000.0; }
+  double p95_ms() const { return static_cast<double>(p95_us) / 1000.0; }
+  double p99_ms() const { return static_cast<double>(p99_us) / 1000.0; }
+
+  std::string ToString() const;
+};
+
+// Records every sample; exact percentiles. Fine for simulation-scale sample counts
+// (millions), which is what the benchmark harnesses produce.
+class LatencyRecorder {
+ public:
+  void Record(SimDuration latency);
+  void Clear();
+
+  int64_t count() const { return static_cast<int64_t>(samples_.size()); }
+  bool empty() const { return samples_.empty(); }
+
+  // Computes summary statistics. Sorts lazily; callable repeatedly.
+  LatencySummary Summarize() const;
+
+  // Exact percentile in [0, 100].
+  SimDuration Percentile(double pct) const;
+
+  // Merges another recorder's samples into this one.
+  void Merge(const LatencyRecorder& other);
+
+ private:
+  mutable std::vector<SimDuration> samples_;
+  mutable bool sorted_ = true;
+};
+
+// Streaming histogram with logarithmic buckets (~4% relative error), constant memory.
+// Used where sample counts would make exact recording wasteful.
+class LogHistogram {
+ public:
+  LogHistogram();
+
+  void Record(int64_t value);
+  void Clear();
+
+  int64_t count() const { return count_; }
+  double Mean() const;
+  // Approximate percentile in [0, 100]; returns the upper bound of the target bucket.
+  int64_t Percentile(double pct) const;
+
+ private:
+  static constexpr int kBucketsPerOctave = 16;
+  static constexpr int kOctaves = 40;  // covers [1, 2^40) microseconds (~12 days)
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketUpperBound(int bucket);
+
+  std::vector<int64_t> buckets_;
+  int64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace icg
+
+#endif  // ICG_COMMON_HISTOGRAM_H_

@@ -1,0 +1,40 @@
+#include "src/common/logging.h"
+
+#include <iostream>
+
+namespace icg {
+namespace {
+
+LogLevel g_level = LogLevel::kOff;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_level = level; }
+LogLevel GetLogLevel() { return g_level; }
+
+void LogLine(LogLevel level, const std::string& message) {
+  if (level < g_level) {
+    return;
+  }
+  std::cerr << "[" << LevelName(level) << "] " << message << "\n";
+}
+
+}  // namespace icg

@@ -1,0 +1,50 @@
+// Minimal leveled logging. Off by default so tests and benchmarks stay quiet; enable
+// per-binary with icg::SetLogLevel for debugging protocol traces.
+#ifndef ICG_COMMON_LOGGING_H_
+#define ICG_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace icg {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarning = 3, kError = 4, kOff = 5 };
+
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+// Writes a formatted line to stderr if `level` is at or above the global level.
+void LogLine(LogLevel level, const std::string& message);
+
+namespace log_internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { LogLine(level_, stream_.str()); }
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace log_internal
+
+}  // namespace icg
+
+#define ICG_LOG(level)                                        \
+  if (icg::GetLogLevel() > icg::LogLevel::level) {            \
+  } else                                                      \
+    icg::log_internal::LogMessage(icg::LogLevel::level).stream()
+
+#define ICG_TRACE ICG_LOG(kTrace)
+#define ICG_DEBUG ICG_LOG(kDebug)
+#define ICG_INFO ICG_LOG(kInfo)
+#define ICG_WARN ICG_LOG(kWarning)
+#define ICG_ERROR ICG_LOG(kError)
+
+#endif  // ICG_COMMON_LOGGING_H_

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation for the simulator and workloads.
+//
+// All randomness in the repository flows through Rng instances seeded explicitly, so
+// every experiment is reproducible bit-for-bit. The core generator is xoshiro256**,
+// seeded through SplitMix64 (the recommended seeding procedure).
+#ifndef ICG_COMMON_RANDOM_H_
+#define ICG_COMMON_RANDOM_H_
+
+#include <array>
+#include <cstdint>
+
+namespace icg {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  // Uniform over the full 64-bit range.
+  uint64_t NextU64();
+
+  // Uniform in [0, bound). bound must be > 0. Uses rejection sampling (no modulo bias).
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in the inclusive range [lo, hi].
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // True with probability p (clamped to [0, 1]).
+  bool NextBool(double p);
+
+  // Exponentially distributed with the given mean (> 0).
+  double NextExponential(double mean);
+
+  // Standard normal via Box-Muller (cached second value, hence stateful).
+  double NextGaussian();
+
+  // Lognormal such that the median is `median` and sigma is the log-space deviation.
+  // Used for WAN latency jitter: heavy right tail, never negative.
+  double NextLognormal(double median, double sigma);
+
+  // Forks an independent stream; deterministic function of this generator's state.
+  Rng Fork();
+
+ private:
+  std::array<uint64_t, 4> state_{};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+}  // namespace icg
+
+#endif  // ICG_COMMON_RANDOM_H_

@@ -1,0 +1,13 @@
+#include "src/common/types.h"
+
+#include <sstream>
+
+namespace icg {
+
+std::string ToString(const Version& v) {
+  std::ostringstream os;
+  os << "v" << v.timestamp << "@" << v.writer;
+  return os.str();
+}
+
+}  // namespace icg

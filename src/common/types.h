@@ -1,0 +1,52 @@
+// Basic shared vocabulary types used across the Correctables libraries.
+#ifndef ICG_COMMON_TYPES_H_
+#define ICG_COMMON_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+namespace icg {
+
+// Identifies a simulated process (storage replica, client, ...). Dense, assigned by the
+// topology builder starting at zero.
+using NodeId = int32_t;
+inline constexpr NodeId kInvalidNode = -1;
+
+// Simulated time. All simulation time is expressed in integral microseconds of virtual
+// time; the event loop is the single authority on "now".
+using SimTime = int64_t;      // absolute, microseconds since simulation start
+using SimDuration = int64_t;  // relative, microseconds
+
+inline constexpr SimDuration kMicrosecond = 1;
+inline constexpr SimDuration kMillisecond = 1000;
+inline constexpr SimDuration kSecond = 1000 * 1000;
+
+// Readable literals for durations in tests and benchmarks.
+constexpr SimDuration Micros(int64_t n) { return n; }
+constexpr SimDuration Millis(int64_t n) { return n * kMillisecond; }
+constexpr SimDuration Seconds(int64_t n) { return n * kSecond; }
+
+constexpr double ToMillis(SimDuration d) { return static_cast<double>(d) / kMillisecond; }
+constexpr double ToSeconds(SimDuration d) { return static_cast<double>(d) / kSecond; }
+
+// Logical version for last-writer-wins values in the quorum store. Combines a
+// coordinator-assigned timestamp with a tie-breaking node id.
+struct Version {
+  SimTime timestamp = 0;
+  NodeId writer = kInvalidNode;
+
+  friend bool operator==(const Version&, const Version&) = default;
+  friend auto operator<=>(const Version& a, const Version& b) {
+    if (auto c = a.timestamp <=> b.timestamp; c != 0) {
+      return c;
+    }
+    return a.writer <=> b.writer;
+  }
+};
+
+// Returns a short printable form such as "v1234@2".
+std::string ToString(const Version& v);
+
+}  // namespace icg
+
+#endif  // ICG_COMMON_TYPES_H_

@@ -1,0 +1,51 @@
+// The binding API (§5.1): the line between consistency semantics (library side) and the
+// protocols implementing them (storage side).
+//
+// A binding encapsulates one concrete storage stack configuration. It advertises its
+// consistency levels and executes operations, invoking the callback once per requested
+// level, weakest first. The strongest requested level is the final response; it may be
+// delivered either as a full value or as a confirmation that the preliminary value was
+// correct (ResponseKind::kConfirmation, the §5.2 bandwidth optimization).
+#ifndef ICG_CORRECTABLES_BINDING_H_
+#define ICG_CORRECTABLES_BINDING_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/correctables/consistency.h"
+#include "src/correctables/operation.h"
+
+namespace icg {
+
+enum class ResponseKind {
+  kValue,         // response carries the result payload
+  kConfirmation,  // response is a digest-only confirmation of the previous view
+};
+
+class Binding {
+ public:
+  virtual ~Binding() = default;
+
+  virtual std::string Name() const = 0;
+
+  // Supported levels, ordered weakest to strongest. Must be non-empty and stable.
+  virtual std::vector<ConsistencyLevel> SupportedLevels() const = 0;
+
+  // Called once per delivered view. For errors, `result` holds the status; `level`
+  // identifies which requested level the (non-)response corresponds to.
+  using ResponseCallback =
+      std::function<void(StatusOr<OpResult> result, ConsistencyLevel level, ResponseKind kind)>;
+
+  // Executes `op` so that a view is produced for each entry of `levels` (a validated,
+  // ascending subset of SupportedLevels()), invoking `callback` per view, weakest first.
+  // Implementations are expected to exploit the level set: e.g., a single-level request
+  // must not pay the multi-response protocol cost.
+  virtual void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
+                               ResponseCallback callback) = 0;
+};
+
+}  // namespace icg
+
+#endif  // ICG_CORRECTABLES_BINDING_H_

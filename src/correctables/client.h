@@ -1,0 +1,71 @@
+// CorrectableClient: the application-facing library entry point (§3.2).
+//
+//   invokeWeak(op)   -> single final view at the weakest supported level
+//   invokeStrong(op) -> single final view at the strongest supported level
+//   invoke(op)       -> incremental views at every supported level (ICG)
+//   invoke(op, lvls) -> incremental views at a chosen ascending subset of levels
+//
+// The client creates Correctables, translates binding responses into view transitions,
+// enforces level monotonicity, applies the confirmation optimization, and optionally
+// arms a timeout that fails the Correctable if the final view never arrives.
+#ifndef ICG_CORRECTABLES_CLIENT_H_
+#define ICG_CORRECTABLES_CLIENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/correctables/binding.h"
+#include "src/correctables/correctable.h"
+#include "src/correctables/operation.h"
+#include "src/sim/event_loop.h"
+
+namespace icg {
+
+struct ClientStats {
+  int64_t invocations = 0;
+  int64_t weak_invocations = 0;
+  int64_t strong_invocations = 0;
+  int64_t icg_invocations = 0;
+  int64_t views_delivered = 0;
+  int64_t confirmations = 0;        // finals delivered as confirmations
+  int64_t divergences = 0;          // finals that differed from the last preliminary
+  int64_t stale_views_dropped = 0;  // out-of-order weaker views suppressed
+  int64_t errors = 0;
+  int64_t timeouts = 0;
+};
+
+class CorrectableClient {
+ public:
+  // `loop` may be null when the binding is synchronous (unit tests); timeouts then
+  // cannot be armed and view timestamps read as zero.
+  explicit CorrectableClient(std::shared_ptr<Binding> binding, EventLoop* loop = nullptr);
+
+  // Fails invocations whose final view has not arrived within `timeout` (0 disables).
+  void SetTimeout(SimDuration timeout) { timeout_ = timeout; }
+
+  Correctable<OpResult> InvokeWeak(Operation op);
+  Correctable<OpResult> InvokeStrong(Operation op);
+  // All supported levels.
+  Correctable<OpResult> Invoke(Operation op);
+  // A chosen subset; must be ascending and supported, else the result is already failed
+  // with INVALID_ARGUMENT.
+  Correctable<OpResult> Invoke(Operation op, std::vector<ConsistencyLevel> levels);
+
+  const ClientStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = ClientStats{}; }
+
+  const Binding& binding() const { return *binding_; }
+  EventLoop* loop() const { return loop_; }
+
+ private:
+  Correctable<OpResult> Submit(Operation op, std::vector<ConsistencyLevel> levels);
+
+  std::shared_ptr<Binding> binding_;
+  EventLoop* loop_;
+  SimDuration timeout_ = 0;
+  ClientStats stats_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_CORRECTABLES_CLIENT_H_

@@ -1,0 +1,49 @@
+#include "src/correctables/consistency.h"
+
+#include <algorithm>
+
+namespace icg {
+
+const char* ConsistencyLevelName(ConsistencyLevel level) {
+  switch (level) {
+    case ConsistencyLevel::kCache:
+      return "CACHE";
+    case ConsistencyLevel::kWeak:
+      return "WEAK";
+    case ConsistencyLevel::kCausal:
+      return "CAUSAL";
+    case ConsistencyLevel::kStrong:
+      return "STRONG";
+  }
+  return "?";
+}
+
+bool ValidLevelSelection(const std::vector<ConsistencyLevel>& levels,
+                         const std::vector<ConsistencyLevel>& supported) {
+  if (levels.empty()) {
+    return false;
+  }
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0 && !IsStronger(levels[i], levels[i - 1])) {
+      return false;
+    }
+    if (std::find(supported.begin(), supported.end(), levels[i]) == supported.end()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string LevelsToString(const std::vector<ConsistencyLevel>& levels) {
+  std::string out = "[";
+  for (size_t i = 0; i < levels.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += ConsistencyLevelName(levels[i]);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace icg

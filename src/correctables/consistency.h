@@ -1,0 +1,46 @@
+// Consistency levels exposed by the Correctables API.
+//
+// The library is "a thin, consistency-based interface" (§3.2): applications name the
+// guarantee they need, bindings map it onto protocol mechanics (quorum sizes, cache
+// bypassing, leader reads). Levels form a total order from weakest to strongest; an
+// invoke() delivers views at strictly non-decreasing levels.
+#ifndef ICG_CORRECTABLES_CONSISTENCY_H_
+#define ICG_CORRECTABLES_CONSISTENCY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace icg {
+
+enum class ConsistencyLevel : int32_t {
+  // Client-local cache content: no freshness guarantee at all (news-reader binding).
+  kCache = 0,
+  // Eventual consistency: one replica's local state (Cassandra R=1, ZooKeeper local
+  // simulation, primary-backup backup read).
+  kWeak = 1,
+  // Causal consistency (causal-store binding).
+  kCausal = 2,
+  // Strong consistency: linearizable result (quorum read, Zab commit, primary read).
+  kStrong = 3,
+};
+
+const char* ConsistencyLevelName(ConsistencyLevel level);
+
+constexpr bool IsStronger(ConsistencyLevel a, ConsistencyLevel b) {
+  return static_cast<int32_t>(a) > static_cast<int32_t>(b);
+}
+constexpr bool IsStrongerOrEqual(ConsistencyLevel a, ConsistencyLevel b) {
+  return static_cast<int32_t>(a) >= static_cast<int32_t>(b);
+}
+
+// True if `levels` is non-empty, strictly ascending, and every entry occurs in
+// `supported` (which is itself ordered weakest to strongest).
+bool ValidLevelSelection(const std::vector<ConsistencyLevel>& levels,
+                         const std::vector<ConsistencyLevel>& supported);
+
+std::string LevelsToString(const std::vector<ConsistencyLevel>& levels);
+
+}  // namespace icg
+
+#endif  // ICG_CORRECTABLES_CONSISTENCY_H_

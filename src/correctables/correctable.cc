@@ -1,0 +1,17 @@
+#include "src/correctables/correctable.h"
+
+namespace icg {
+
+const char* CorrectableStateName(CorrectableState state) {
+  switch (state) {
+    case CorrectableState::kUpdating:
+      return "UPDATING";
+    case CorrectableState::kFinal:
+      return "FINAL";
+    case CorrectableState::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+}  // namespace icg

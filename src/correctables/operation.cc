@@ -1,0 +1,81 @@
+#include "src/correctables/operation.h"
+
+#include <sstream>
+#include <utility>
+
+namespace icg {
+
+const char* OpTypeName(OpType type) {
+  switch (type) {
+    case OpType::kGet:
+      return "GET";
+    case OpType::kMultiGet:
+      return "MULTIGET";
+    case OpType::kPut:
+      return "PUT";
+    case OpType::kEnqueue:
+      return "ENQUEUE";
+    case OpType::kDequeue:
+      return "DEQUEUE";
+    case OpType::kPeek:
+      return "PEEK";
+  }
+  return "?";
+}
+
+Operation Operation::Get(std::string key) {
+  return Operation{.type = OpType::kGet, .key = std::move(key), .value = {}, .keys = {}};
+}
+Operation Operation::MultiGet(std::vector<std::string> keys) {
+  return Operation{.type = OpType::kMultiGet, .key = {}, .value = {}, .keys = std::move(keys)};
+}
+Operation Operation::Put(std::string key, std::string value) {
+  return Operation{.type = OpType::kPut, .key = std::move(key), .value = std::move(value)};
+}
+Operation Operation::Enqueue(std::string queue, std::string element) {
+  return Operation{.type = OpType::kEnqueue, .key = std::move(queue), .value = std::move(element)};
+}
+Operation Operation::Dequeue(std::string queue) {
+  return Operation{.type = OpType::kDequeue, .key = std::move(queue), .value = {}};
+}
+Operation Operation::Peek(std::string queue) {
+  return Operation{.type = OpType::kPeek, .key = std::move(queue), .value = {}};
+}
+
+int64_t Operation::WireBytes() const {
+  int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(key.size()) +
+                  static_cast<int64_t>(value.size());
+  for (const auto& k : keys) {
+    bytes += static_cast<int64_t>(k.size()) + 2;
+  }
+  return bytes;
+}
+
+std::string Operation::ToString() const {
+  std::ostringstream os;
+  os << OpTypeName(type) << "(" << key;
+  if (!value.empty()) {
+    os << ", " << value.size() << "B";
+  }
+  os << ")";
+  return os.str();
+}
+
+int64_t OpResult::WireBytes() const {
+  return kResponseHeaderBytes + static_cast<int64_t>(value.size());
+}
+
+std::string OpResult::ToString() const {
+  std::ostringstream os;
+  if (!found) {
+    return "(not found)";
+  }
+  os << "{" << value.size() << "B";
+  if (seqno >= 0) {
+    os << " seq=" << seqno;
+  }
+  os << " " << icg::ToString(version) << "}";
+  return os.str();
+}
+
+}  // namespace icg

@@ -1,0 +1,89 @@
+// Storage-agnostic operation descriptors passed from the client library to bindings.
+//
+// Applications build Operations with the factory helpers; bindings translate them into
+// storage-specific protocols. A single tagged struct (rather than per-store templates)
+// keeps the API surface "thin and consistency-based" as the paper advocates: the
+// operation says *what*, the binding decides *how*.
+#ifndef ICG_CORRECTABLES_OPERATION_H_
+#define ICG_CORRECTABLES_OPERATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace icg {
+
+enum class OpType : uint8_t {
+  kGet,       // read value at key
+  kMultiGet,  // read several keys in one request (batched, e.g. fetching all ads)
+  kPut,       // write value at key
+  kEnqueue,   // append element to the queue named by key
+  kDequeue,   // remove and return the queue head
+  kPeek,      // read the queue head without removing
+};
+
+const char* OpTypeName(OpType type);
+
+struct Operation {
+  OpType type = OpType::kGet;
+  std::string key;    // record key, or queue name for queue operations
+  std::string value;  // put payload / enqueue element; empty otherwise
+  std::vector<std::string> keys;  // kMultiGet only
+
+  static Operation Get(std::string key);
+  static Operation MultiGet(std::vector<std::string> keys);
+  static Operation Put(std::string key, std::string value);
+  static Operation Enqueue(std::string queue, std::string element);
+  static Operation Dequeue(std::string queue);
+  static Operation Peek(std::string queue);
+
+  bool IsRead() const {
+    return type == OpType::kGet || type == OpType::kMultiGet || type == OpType::kPeek;
+  }
+  bool IsQueueOp() const {
+    return type == OpType::kEnqueue || type == OpType::kDequeue || type == OpType::kPeek;
+  }
+
+  // Approximate wire size of the request (header + key + payload), for byte accounting.
+  int64_t WireBytes() const;
+
+  std::string ToString() const;
+};
+
+// Separator between per-key payloads in a kMultiGet result value.
+inline constexpr char kMultiValueSeparator = '\x1e';
+
+// The result of an operation as observed under some consistency level. For kMultiGet,
+// `value` holds the per-key payloads joined by kMultiValueSeparator (missing keys
+// contribute an empty payload), `found` means every key was found, and `seqno` counts
+// the keys found.
+struct OpResult {
+  bool found = false;  // key existed / queue non-empty
+  std::string value;   // read value or dequeued element
+  // Queue element sequence number (ticket position); -1 for key-value results. For a
+  // dequeue preliminary view this is the observed head position, which the ticket app
+  // uses as the remaining-stock estimate.
+  int64_t seqno = -1;
+  // Version of the value (key-value stores); default for queue results.
+  Version version{};
+
+  friend bool operator==(const OpResult&, const OpResult&) = default;
+
+  // Approximate wire size of a response carrying this result.
+  int64_t WireBytes() const;
+
+  std::string ToString() const;
+};
+
+// Wire-size constants shared by the simulated protocols. The paper reports ~270 B for a
+// ZooKeeper enqueue request+response pair and ~130 B for the extra preliminary response;
+// these headers make those magnitudes come out naturally.
+inline constexpr int64_t kRequestHeaderBytes = 48;
+inline constexpr int64_t kResponseHeaderBytes = 40;
+inline constexpr int64_t kConfirmationBytes = 24;  // digest-only final (§5.2)
+
+}  // namespace icg
+
+#endif  // ICG_CORRECTABLES_OPERATION_H_

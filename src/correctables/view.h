@@ -1,0 +1,27 @@
+// A View is one incremental result of an operation on a replicated object: the value as
+// observed under a particular consistency level at a particular time.
+#ifndef ICG_CORRECTABLES_VIEW_H_
+#define ICG_CORRECTABLES_VIEW_H_
+
+#include "src/common/types.h"
+#include "src/correctables/consistency.h"
+
+namespace icg {
+
+template <typename T>
+struct View {
+  T value{};
+  ConsistencyLevel level = ConsistencyLevel::kWeak;
+  // True for the view that closes the Correctable.
+  bool is_final = false;
+  // True when the final view was delivered as a confirmation message: the storage told
+  // the client that the last preliminary value is the correct final value, without
+  // re-sending the payload (§5.2 bandwidth optimization).
+  bool confirmed_preliminary = false;
+  // Virtual time at which the library delivered this view (0 when no loop is attached).
+  SimTime delivered_at = 0;
+};
+
+}  // namespace icg
+
+#endif  // ICG_CORRECTABLES_VIEW_H_

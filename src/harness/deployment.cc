@@ -1,0 +1,68 @@
+#include "src/harness/deployment.h"
+
+#include <utility>
+
+namespace icg {
+
+CassandraStack MakeCassandraStack(SimWorld& world, KvConfig kv_config,
+                                  CassandraBindingConfig binding_config, Region client_region,
+                                  Region coordinator_region, std::vector<Region> replica_regions) {
+  CassandraStack stack;
+  stack.config = std::make_unique<KvConfig>(kv_config);
+  stack.cluster = std::make_unique<KvCluster>(&world.network(), &world.topology(),
+                                              stack.config.get(), replica_regions);
+  stack.kv_client = stack.cluster->MakeClient(client_region, coordinator_region);
+  stack.binding = std::make_shared<CassandraBinding>(stack.kv_client.get(), binding_config);
+  stack.client = std::make_unique<CorrectableClient>(stack.binding, &world.loop());
+  return stack;
+}
+
+CassandraClientEndpoint AddCassandraClient(SimWorld& world, CassandraStack& stack,
+                                           CassandraBindingConfig binding_config,
+                                           Region client_region, Region coordinator_region) {
+  CassandraClientEndpoint endpoint;
+  endpoint.kv_client = stack.cluster->MakeClient(client_region, coordinator_region);
+  endpoint.binding =
+      std::make_shared<CassandraBinding>(endpoint.kv_client.get(), binding_config);
+  endpoint.client = std::make_unique<CorrectableClient>(endpoint.binding, &world.loop());
+  return endpoint;
+}
+
+ZooKeeperStack MakeZooKeeperStack(SimWorld& world, ZabConfig zab_config, Region client_region,
+                                  Region session_region, Region leader_region,
+                                  std::vector<Region> server_regions) {
+  ZooKeeperStack stack;
+  stack.config = std::make_unique<ZabConfig>(zab_config);
+  stack.cluster = std::make_unique<ZabCluster>(&world.network(), &world.topology(),
+                                               stack.config.get(), server_regions,
+                                               leader_region);
+  stack.zab_client = stack.cluster->MakeClient(client_region, session_region);
+  stack.binding = std::make_shared<ZooKeeperBinding>(stack.zab_client.get());
+  stack.client = std::make_unique<CorrectableClient>(stack.binding, &world.loop());
+  return stack;
+}
+
+ZooKeeperClientEndpoint AddZooKeeperClient(SimWorld& world, ZooKeeperStack& stack,
+                                           Region client_region, Region session_region) {
+  ZooKeeperClientEndpoint endpoint;
+  endpoint.zab_client = stack.cluster->MakeClient(client_region, session_region);
+  endpoint.binding = std::make_shared<ZooKeeperBinding>(endpoint.zab_client.get());
+  endpoint.client = std::make_unique<CorrectableClient>(endpoint.binding, &world.loop());
+  return endpoint;
+}
+
+NewsStack MakeNewsStack(SimWorld& world, PbConfig pb_config, Region client_region,
+                        Region backup_region, std::vector<Region> store_regions) {
+  NewsStack stack;
+  stack.config = std::make_unique<PbConfig>(pb_config);
+  stack.cluster = std::make_unique<PbCluster>(&world.network(), &world.topology(),
+                                              stack.config.get(), store_regions);
+  stack.pb_client = stack.cluster->MakeClient(client_region, backup_region);
+  stack.cache = std::make_unique<ClientCache>();
+  stack.binding =
+      std::make_shared<CachedPbBinding>(stack.pb_client.get(), stack.cache.get());
+  stack.client = std::make_unique<CorrectableClient>(stack.binding, &world.loop());
+  return stack;
+}
+
+}  // namespace icg

@@ -1,0 +1,111 @@
+// Pre-wired deployments of the paper's experimental setups, shared by tests, benchmarks,
+// and examples: a simulated WAN world plus ready-to-use storage stacks (cluster + client
+// + binding + Correctables library instance).
+#ifndef ICG_HARNESS_DEPLOYMENT_H_
+#define ICG_HARNESS_DEPLOYMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/bindings/cached_pb_binding.h"
+#include "src/bindings/cassandra_binding.h"
+#include "src/bindings/zookeeper_binding.h"
+#include "src/correctables/client.h"
+#include "src/kvstore/cluster.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/network.h"
+#include "src/sim/topology.h"
+#include "src/stores/pb_store.h"
+#include "src/zab/cluster.h"
+
+namespace icg {
+
+// The simulated world: event loop + geographic topology + network. Construction order
+// matters (the network holds pointers into the other two), hence this bundle.
+class SimWorld {
+ public:
+  explicit SimWorld(uint64_t seed = 1, double jitter_sigma = 0.08)
+      : network_(&loop_, &topology_, seed, jitter_sigma) {}
+
+  EventLoop& loop() { return loop_; }
+  Topology& topology() { return topology_; }
+  Network& network() { return network_; }
+
+ private:
+  EventLoop loop_;
+  Topology topology_;
+  Network network_;
+};
+
+// The paper's default Cassandra deployment: replicas in FRK/IRL/VRG (configurable),
+// one client with a chosen coordinator, a Cassandra binding, and a Correctables client.
+struct CassandraStack {
+  std::unique_ptr<KvConfig> config;
+  std::unique_ptr<KvCluster> cluster;
+  std::unique_ptr<KvClient> kv_client;
+  std::shared_ptr<CassandraBinding> binding;
+  std::unique_ptr<CorrectableClient> client;
+};
+
+CassandraStack MakeCassandraStack(
+    SimWorld& world, KvConfig kv_config, CassandraBindingConfig binding_config,
+    Region client_region = Region::kIreland, Region coordinator_region = Region::kFrankfurt,
+    std::vector<Region> replica_regions = {Region::kFrankfurt, Region::kIreland,
+                                           Region::kVirginia});
+
+// Adds another client (own coordinator + binding + library instance) to an existing
+// Cassandra deployment — the paper's "3 clients, one per region" load setups.
+struct CassandraClientEndpoint {
+  std::unique_ptr<KvClient> kv_client;
+  std::shared_ptr<CassandraBinding> binding;
+  std::unique_ptr<CorrectableClient> client;
+};
+
+CassandraClientEndpoint AddCassandraClient(SimWorld& world, CassandraStack& stack,
+                                           CassandraBindingConfig binding_config,
+                                           Region client_region, Region coordinator_region);
+
+// ZooKeeper-like deployment: ensemble (leader region configurable), one session client.
+struct ZooKeeperStack {
+  std::unique_ptr<ZabConfig> config;
+  std::unique_ptr<ZabCluster> cluster;
+  std::unique_ptr<ZabClient> zab_client;
+  std::shared_ptr<ZooKeeperBinding> binding;
+  std::unique_ptr<CorrectableClient> client;
+};
+
+ZooKeeperStack MakeZooKeeperStack(
+    SimWorld& world, ZabConfig zab_config, Region client_region = Region::kIreland,
+    Region session_region = Region::kFrankfurt, Region leader_region = Region::kIreland,
+    std::vector<Region> server_regions = {Region::kIreland, Region::kFrankfurt,
+                                          Region::kVirginia});
+
+struct ZooKeeperClientEndpoint {
+  std::unique_ptr<ZabClient> zab_client;
+  std::shared_ptr<ZooKeeperBinding> binding;
+  std::unique_ptr<CorrectableClient> client;
+};
+
+ZooKeeperClientEndpoint AddZooKeeperClient(SimWorld& world, ZooKeeperStack& stack,
+                                           Region client_region, Region session_region);
+
+// News-reader deployment: primary-backup store + client-side cache, three-level binding.
+struct NewsStack {
+  std::unique_ptr<PbConfig> config;
+  std::unique_ptr<PbCluster> cluster;
+  std::unique_ptr<PbClient> pb_client;
+  std::unique_ptr<ClientCache> cache;
+  std::shared_ptr<CachedPbBinding> binding;
+  std::unique_ptr<CorrectableClient> client;
+};
+
+NewsStack MakeNewsStack(SimWorld& world, PbConfig pb_config,
+                        Region client_region = Region::kIreland,
+                        Region backup_region = Region::kIreland,
+                        std::vector<Region> store_regions = {Region::kVirginia,
+                                                             Region::kIreland,
+                                                             Region::kFrankfurt});
+
+}  // namespace icg
+
+#endif  // ICG_HARNESS_DEPLOYMENT_H_

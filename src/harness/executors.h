@@ -1,0 +1,44 @@
+// Bridges from the YCSB runner to the systems under test: executors that issue one
+// workload operation through the Correctables stack and report latencies/divergence.
+#ifndef ICG_HARNESS_EXECUTORS_H_
+#define ICG_HARNESS_EXECUTORS_H_
+
+#include <string>
+
+#include "src/apps/ads.h"
+#include "src/apps/twissandra.h"
+#include "src/correctables/client.h"
+#include "src/kvstore/cluster.h"
+#include "src/ycsb/runner.h"
+
+namespace icg {
+
+// How a raw key-value executor maps reads onto the consistency API.
+enum class KvMode {
+  kWeakOnly,    // baseline C1: invokeWeak (R=1)
+  kStrongOnly,  // baseline C2/C3: invokeStrong (R=quorum)
+  kIcg,         // CC: invoke() — preliminary + final
+};
+
+const char* KvModeName(KvMode mode);
+
+// Executor over plain YCSB records (Figures 6, 7, 8). Reads follow `mode`; updates are
+// writes at W=1 in every mode.
+OpExecutor MakeKvExecutor(CorrectableClient* client, KvMode mode);
+
+// Executor over the ad-serving system (Figure 11): reads are fetchAdsByUserId (with or
+// without speculation); updates rewrite the profile's ad references.
+OpExecutor MakeAdsExecutor(AdsSystem* ads, bool use_icg);
+
+// Executor over Twissandra (Figure 11): reads are get_timeline; updates post tweets.
+OpExecutor MakeTwissandraExecutor(Twissandra* twissandra, bool use_icg);
+
+// Extracts the numeric index from a YCSB key ("user123" -> 123).
+int64_t KeyIndexOf(const std::string& ycsb_key);
+
+// Installs `record_count` records of the workload's value size on every replica.
+void PreloadYcsbDataset(KvCluster* cluster, const WorkloadConfig& config);
+
+}  // namespace icg
+
+#endif  // ICG_HARNESS_EXECUTORS_H_

@@ -1,0 +1,72 @@
+#include "src/kvstore/partitioner.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/digest.h"
+
+namespace icg {
+namespace {
+
+// FNV-1a alone has weak avalanche in the high bits for very short inputs (vnode labels,
+// short keys), which skews ring ownership badly. A SplitMix64-style finalizer restores
+// uniformity across the full 64-bit token space.
+uint64_t MixToken(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+}  // namespace
+
+Partitioner::Partitioner(std::vector<NodeId> nodes, int replication_factor, int vnodes_per_node)
+    : nodes_(std::move(nodes)), replication_factor_(replication_factor) {
+  assert(!nodes_.empty());
+  assert(replication_factor_ >= 1);
+  assert(vnodes_per_node >= 1);
+  for (const NodeId node : nodes_) {
+    for (int v = 0; v < vnodes_per_node; ++v) {
+      const std::string vnode_key = std::to_string(node) + "#" + std::to_string(v);
+      ring_[MixToken(Fnv1a(vnode_key))] = node;
+    }
+  }
+}
+
+uint64_t Partitioner::HashToken(const std::string& key) { return MixToken(Fnv1a(key)); }
+
+std::vector<NodeId> Partitioner::ReplicasFor(const std::string& key) const {
+  const size_t want = std::min(static_cast<size_t>(replication_factor_), nodes_.size());
+  std::vector<NodeId> replicas;
+  replicas.reserve(want);
+  auto it = ring_.lower_bound(HashToken(key));
+  // Walk the ring clockwise, collecting distinct nodes, wrapping at the end.
+  for (size_t steps = 0; steps < 2 * ring_.size() && replicas.size() < want; ++steps) {
+    if (it == ring_.end()) {
+      it = ring_.begin();
+    }
+    if (std::find(replicas.begin(), replicas.end(), it->second) == replicas.end()) {
+      replicas.push_back(it->second);
+    }
+    ++it;
+  }
+  return replicas;
+}
+
+NodeId Partitioner::PrimaryFor(const std::string& key) const { return ReplicasFor(key).front(); }
+
+std::map<NodeId, double> Partitioner::PrimaryLoadEstimate(int sample_keys) const {
+  std::map<NodeId, int64_t> counts;
+  for (int i = 0; i < sample_keys; ++i) {
+    counts[PrimaryFor("sample-key-" + std::to_string(i))]++;
+  }
+  std::map<NodeId, double> out;
+  for (const auto& [node, count] : counts) {
+    out[node] = static_cast<double>(count) / sample_keys;
+  }
+  return out;
+}
+
+}  // namespace icg

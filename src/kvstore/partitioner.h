@@ -1,0 +1,45 @@
+// Consistent-hash ring partitioner (Dynamo/Cassandra style).
+//
+// Replica placement: a key's token is its hash; the key is owned by the first
+// `replication_factor` distinct nodes encountered walking the ring clockwise from the
+// token. With virtual nodes for balance.
+#ifndef ICG_KVSTORE_PARTITIONER_H_
+#define ICG_KVSTORE_PARTITIONER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace icg {
+
+class Partitioner {
+ public:
+  Partitioner(std::vector<NodeId> nodes, int replication_factor, int vnodes_per_node = 16);
+
+  // The ordered replica set for a key (primary first), size = min(RF, #nodes).
+  std::vector<NodeId> ReplicasFor(const std::string& key) const;
+
+  // The primary (first) replica for a key.
+  NodeId PrimaryFor(const std::string& key) const;
+
+  int replication_factor() const { return replication_factor_; }
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  // Fraction of a large synthetic keyspace owned (as primary) by each node; used by
+  // balance tests.
+  std::map<NodeId, double> PrimaryLoadEstimate(int sample_keys) const;
+
+ private:
+  static uint64_t HashToken(const std::string& key);
+
+  std::vector<NodeId> nodes_;
+  int replication_factor_;
+  std::map<uint64_t, NodeId> ring_;  // token -> node
+};
+
+}  // namespace icg
+
+#endif  // ICG_KVSTORE_PARTITIONER_H_

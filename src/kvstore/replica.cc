@@ -1,0 +1,567 @@
+#include "src/kvstore/replica.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace icg {
+
+KvReplica::KvReplica(Network* network, NodeId id, const KvConfig* config, const std::string& name)
+    : network_(network),
+      loop_(network->loop()),
+      id_(id),
+      config_(config),
+      service_(network->loop(), name) {
+  assert(config_ != nullptr);
+}
+
+void KvReplica::SetPeers(std::vector<KvReplica*> peers) {
+  peers_ = std::move(peers);
+  // Keep peers ordered nearest-first from this node, so quorum requests go to the
+  // closest replicas — the behaviour that produces the paper's CC2 20 ms gap (coordinator
+  // + nearest replica) versus CC3's 140 ms gap (farthest replica).
+  std::sort(peers_.begin(), peers_.end(), [this](const KvReplica* a, const KvReplica* b) {
+    return network_->topology()->RttBetween(id_, a->id()) <
+           network_->topology()->RttBetween(id_, b->id());
+  });
+}
+
+OpResult KvReplica::ToOpResult(const std::optional<VersionedValue>& value) {
+  OpResult result;
+  if (value.has_value()) {
+    result.found = true;
+    result.value = value->value;
+    result.version = value->version;
+  }
+  return result;
+}
+
+void KvReplica::CoordinateRead(NodeId client_id, const std::string& key,
+                               const ReadOptions& options, KvResponseFn respond) {
+  assert(options.read_quorum >= 1);
+  const uint64_t request_id = next_request_id_++;
+  PendingRead& read = pending_reads_[request_id];
+  read.client_id = client_id;
+  read.key = key;
+  read.options = options;
+  read.respond = std::move(respond);
+
+  metrics_.GetCounter("reads_coordinated").Increment();
+  if (options.want_preliminary) {
+    metrics_.GetCounter("icg_reads").Increment();
+  }
+
+  // Fan out to peer replicas in parallel with the local read (only when a quorum > 1 is
+  // required). Responses beyond the quorum feed read repair.
+  const int needed = options.read_quorum;
+  if (needed > 1) {
+    const size_t peer_count = std::min(peers_.size(), static_cast<size_t>(needed - 1) + 1);
+    for (size_t i = 0; i < peer_count && i < peers_.size(); ++i) {
+      KvReplica* peer = peers_[i];
+      read.peers_asked.push_back(peer->id());
+      read.peer_results.emplace_back(std::nullopt);
+      const size_t slot = read.peer_results.size() - 1;
+      const int64_t req_bytes = kRequestHeaderBytes + static_cast<int64_t>(key.size());
+      network_->Send(id_, peer->id(), req_bytes, [this, peer, key, request_id, slot]() {
+        peer->HandlePeerRead(
+            id_, key, request_id,
+            [this, slot](uint64_t rid, std::optional<VersionedValue> value) {
+              auto it = pending_reads_.find(rid);
+              if (it == pending_reads_.end()) {
+                return;  // request already finished (late reply)
+              }
+              PendingRead& r = it->second;
+              if (!r.peer_results[slot].has_value() && value.has_value()) {
+                r.peer_results[slot] = std::move(value);
+              }
+              r.responses++;
+              MaybeFinishRead(rid);
+            });
+      });
+    }
+  }
+
+  // Local read on the coordinator's service queue.
+  service_.Submit(config_->read_service, [this, request_id]() {
+    auto it = pending_reads_.find(request_id);
+    if (it == pending_reads_.end()) {
+      return;
+    }
+    PendingRead& r = it->second;
+    r.local = LocalGet(r.key);
+    r.responses++;
+    if (r.options.want_preliminary) {
+      // Preliminary flushing (§6.2.1): serializing and sending the early response costs
+      // extra coordinator time, the cause of CC's throughput drop versus baseline.
+      service_.Submit(config_->flush_service, [this, request_id]() {
+        auto it2 = pending_reads_.find(request_id);
+        if (it2 == pending_reads_.end()) {
+          return;
+        }
+        PendingRead& r2 = it2->second;
+        if (r2.done || r2.preliminary_sent) {
+          return;
+        }
+        r2.preliminary_sent = true;
+        const auto result = r2.local;
+        r2.preliminary_digest =
+            result.has_value() ? result->ContentDigest() : ValueDigest("", 0);
+        metrics_.GetCounter("preliminaries_sent").Increment();
+        SendReadResponse(r2, result, /*is_final=*/false, ResponseKind::kValue);
+        MaybeFinishRead(request_id);
+      });
+    }
+    MaybeFinishRead(request_id);
+  });
+
+  // Quorum timeout: fail the request if peers never answer (crash/partition).
+  PendingRead& armed = pending_reads_[request_id];
+  armed.timeout_timer = loop_->Schedule(config_->read_timeout, [this, request_id]() {
+    auto it = pending_reads_.find(request_id);
+    if (it == pending_reads_.end()) {
+      return;
+    }
+    PendingRead& r = it->second;
+    if (r.done) {
+      return;
+    }
+    r.done = true;
+    metrics_.GetCounter("read_timeouts").Increment();
+    const int64_t bytes = kResponseHeaderBytes;
+    auto respond_fn = r.respond;
+    network_->Send(id_, r.client_id, bytes, [respond_fn]() {
+      respond_fn(Status::Timeout("read quorum not reached"), /*is_final=*/true,
+                 ResponseKind::kValue);
+    });
+    pending_reads_.erase(it);
+  });
+}
+
+void KvReplica::MaybeFinishRead(uint64_t request_id) {
+  auto it = pending_reads_.find(request_id);
+  if (it == pending_reads_.end()) {
+    return;
+  }
+  PendingRead& read = it->second;
+  if (read.done) {
+    return;
+  }
+  if (read.responses < read.options.read_quorum) {
+    return;
+  }
+  // An ICG read must deliver its preliminary before the final view.
+  if (read.options.want_preliminary && !read.preliminary_sent) {
+    return;
+  }
+  FinishRead(read);
+  loop_->Cancel(read.timeout_timer);
+  pending_reads_.erase(request_id);
+}
+
+void KvReplica::FinishRead(PendingRead& read) {
+  read.done = true;
+  const std::optional<VersionedValue> merged = MergedResult(read);
+
+  if (config_->read_repair && merged.has_value()) {
+    IssueReadRepair(read, *merged);
+  }
+
+  ResponseKind kind = ResponseKind::kValue;
+  if (read.options.want_preliminary && read.options.confirmations &&
+      read.preliminary_digest.has_value()) {
+    const Digest final_digest =
+        merged.has_value() ? merged->ContentDigest() : ValueDigest("", 0);
+    if (final_digest == *read.preliminary_digest) {
+      kind = ResponseKind::kConfirmation;
+      metrics_.GetCounter("confirmations_sent").Increment();
+    }
+  }
+  if (read.options.want_preliminary && kind == ResponseKind::kValue &&
+      read.preliminary_digest.has_value()) {
+    const Digest final_digest =
+        merged.has_value() ? merged->ContentDigest() : ValueDigest("", 0);
+    if (final_digest != *read.preliminary_digest) {
+      metrics_.GetCounter("divergent_finals").Increment();
+    } else {
+      metrics_.GetCounter("matching_finals").Increment();
+    }
+  }
+  SendReadResponse(read, kind == ResponseKind::kConfirmation ? std::nullopt : merged,
+                   /*is_final=*/true, kind);
+}
+
+void KvReplica::SendReadResponse(const PendingRead& read,
+                                 const std::optional<VersionedValue>& value, bool is_final,
+                                 ResponseKind kind) {
+  int64_t bytes = 0;
+  OpResult result;
+  if (kind == ResponseKind::kConfirmation) {
+    bytes = kConfirmationBytes;
+    // The client library substitutes the preliminary value; the wire carries no payload.
+  } else {
+    result = ToOpResult(value);
+    bytes = result.WireBytes();
+  }
+  auto respond_fn = read.respond;
+  network_->Send(id_, read.client_id, bytes, [respond_fn, result, is_final, kind]() {
+    respond_fn(result, is_final, kind);
+  });
+}
+
+std::optional<VersionedValue> KvReplica::MergedResult(const PendingRead& read) const {
+  std::optional<VersionedValue> best = read.local;
+  for (const auto& peer_value : read.peer_results) {
+    if (peer_value.has_value() && (!best.has_value() || best->OlderThan(peer_value->version))) {
+      best = peer_value;
+    }
+  }
+  return best;
+}
+
+void KvReplica::IssueReadRepair(const PendingRead& read, const VersionedValue& freshest) {
+  // Repair the coordinator's own copy synchronously (cheap local apply) and stale peers
+  // asynchronously over the network.
+  if (!read.local.has_value() || read.local->OlderThan(freshest.version)) {
+    auto existing = storage_.find(read.key);
+    if (existing == storage_.end() || existing->second.OlderThan(freshest.version)) {
+      storage_[read.key] = freshest;
+      metrics_.GetCounter("read_repairs").Increment();
+    }
+  }
+  for (size_t i = 0; i < read.peer_results.size(); ++i) {
+    const auto& peer_value = read.peer_results[i];
+    const bool stale =
+        peer_value.has_value() ? peer_value->OlderThan(freshest.version) : false;
+    if (!stale) {
+      continue;
+    }
+    KvReplica* peer = nullptr;
+    for (KvReplica* candidate : peers_) {
+      if (candidate->id() == read.peers_asked[i]) {
+        peer = candidate;
+        break;
+      }
+    }
+    if (peer == nullptr) {
+      continue;
+    }
+    const int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(read.key.size()) +
+                          static_cast<int64_t>(freshest.value.size());
+    metrics_.GetCounter("read_repairs").Increment();
+    network_->Send(id_, peer->id(), bytes, [peer, key = read.key, freshest]() {
+      peer->HandleReplicate(key, freshest);
+    });
+  }
+}
+
+OpResult KvReplica::ToMultiOpResult(const std::vector<std::optional<VersionedValue>>& values) {
+  OpResult result;
+  result.found = !values.empty();
+  int64_t found_count = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) {
+      result.value += kMultiValueSeparator;
+    }
+    if (values[i].has_value()) {
+      result.value += values[i]->value;
+      found_count++;
+      if (result.version < values[i]->version) {
+        result.version = values[i]->version;
+      }
+    } else {
+      result.found = false;
+    }
+  }
+  result.seqno = found_count;
+  return result;
+}
+
+Digest KvReplica::CombinedDigest(const std::vector<std::optional<VersionedValue>>& values) {
+  Digest digest = 0xcbf29ce484222325ULL;
+  for (const auto& value : values) {
+    const Digest d = value.has_value() ? value->ContentDigest() : ValueDigest("", 0);
+    digest ^= d + 0x9e3779b97f4a7c15ULL + (digest << 6) + (digest >> 2);
+  }
+  return digest;
+}
+
+void KvReplica::CoordinateMultiRead(NodeId client_id, std::vector<std::string> keys,
+                                    const ReadOptions& options, KvResponseFn respond) {
+  assert(options.read_quorum >= 1);
+  assert(!keys.empty());
+  const uint64_t request_id = next_request_id_++;
+  PendingMultiRead& read = pending_multi_reads_[request_id];
+  read.client_id = client_id;
+  read.keys = std::move(keys);
+  read.options = options;
+  read.respond = std::move(respond);
+  read.local.assign(read.keys.size(), std::nullopt);
+
+  metrics_.GetCounter("multireads_coordinated").Increment();
+  const auto batch_extra =
+      config_->multiread_per_key_service * static_cast<SimDuration>(read.keys.size() - 1);
+
+  if (options.read_quorum > 1) {
+    const size_t peer_count =
+        std::min(peers_.size(), static_cast<size_t>(options.read_quorum));
+    for (size_t i = 0; i < peer_count; ++i) {
+      KvReplica* peer = peers_[i];
+      read.peers_asked.push_back(peer->id());
+      read.peer_results.emplace_back();
+      read.peer_answered.push_back(false);
+      const size_t slot = read.peer_results.size() - 1;
+      int64_t req_bytes = kRequestHeaderBytes;
+      for (const auto& key : read.keys) {
+        req_bytes += static_cast<int64_t>(key.size()) + 2;
+      }
+      network_->Send(id_, peer->id(), req_bytes,
+                     [this, peer, request_keys = read.keys, request_id, slot]() {
+                       peer->HandlePeerMultiRead(
+                           id_, request_keys, request_id,
+                           [this, slot](uint64_t rid,
+                                        std::vector<std::optional<VersionedValue>> values) {
+                             auto it = pending_multi_reads_.find(rid);
+                             if (it == pending_multi_reads_.end()) {
+                               return;
+                             }
+                             PendingMultiRead& r = it->second;
+                             if (!r.peer_answered[slot]) {
+                               r.peer_answered[slot] = true;
+                               r.peer_results[slot] = std::move(values);
+                               r.responses++;
+                               MaybeFinishMultiRead(rid);
+                             }
+                           });
+                     });
+    }
+  }
+
+  service_.Submit(config_->read_service + batch_extra, [this, request_id]() {
+    auto it = pending_multi_reads_.find(request_id);
+    if (it == pending_multi_reads_.end()) {
+      return;
+    }
+    PendingMultiRead& r = it->second;
+    for (size_t i = 0; i < r.keys.size(); ++i) {
+      r.local[i] = LocalGet(r.keys[i]);
+    }
+    r.local_done = true;
+    r.responses++;
+    if (r.options.want_preliminary) {
+      service_.Submit(config_->flush_service, [this, request_id]() {
+        auto it2 = pending_multi_reads_.find(request_id);
+        if (it2 == pending_multi_reads_.end()) {
+          return;
+        }
+        PendingMultiRead& r2 = it2->second;
+        if (r2.done || r2.preliminary_sent) {
+          return;
+        }
+        r2.preliminary_sent = true;
+        r2.preliminary_digest = CombinedDigest(r2.local);
+        metrics_.GetCounter("preliminaries_sent").Increment();
+        SendMultiReadResponse(r2, r2.local, /*is_final=*/false, ResponseKind::kValue);
+        MaybeFinishMultiRead(request_id);
+      });
+    }
+    MaybeFinishMultiRead(request_id);
+  });
+
+  PendingMultiRead& armed = pending_multi_reads_[request_id];
+  armed.timeout_timer = loop_->Schedule(config_->read_timeout, [this, request_id]() {
+    auto it = pending_multi_reads_.find(request_id);
+    if (it == pending_multi_reads_.end()) {
+      return;
+    }
+    PendingMultiRead& r = it->second;
+    if (r.done) {
+      return;
+    }
+    r.done = true;
+    metrics_.GetCounter("read_timeouts").Increment();
+    auto respond_fn = r.respond;
+    network_->Send(id_, r.client_id, kResponseHeaderBytes, [respond_fn]() {
+      respond_fn(Status::Timeout("multiread quorum not reached"), /*is_final=*/true,
+                 ResponseKind::kValue);
+    });
+    pending_multi_reads_.erase(it);
+  });
+}
+
+void KvReplica::MaybeFinishMultiRead(uint64_t request_id) {
+  auto it = pending_multi_reads_.find(request_id);
+  if (it == pending_multi_reads_.end()) {
+    return;
+  }
+  PendingMultiRead& read = it->second;
+  if (read.done || read.responses < read.options.read_quorum || !read.local_done) {
+    return;
+  }
+  if (read.options.want_preliminary && !read.preliminary_sent) {
+    return;
+  }
+  FinishMultiRead(read);
+  loop_->Cancel(read.timeout_timer);
+  pending_multi_reads_.erase(request_id);
+}
+
+std::vector<std::optional<VersionedValue>> KvReplica::MergedMultiResult(
+    const PendingMultiRead& read) const {
+  std::vector<std::optional<VersionedValue>> merged = read.local;
+  for (size_t p = 0; p < read.peer_results.size(); ++p) {
+    if (!read.peer_answered[p]) {
+      continue;
+    }
+    for (size_t i = 0; i < merged.size() && i < read.peer_results[p].size(); ++i) {
+      const auto& candidate = read.peer_results[p][i];
+      if (candidate.has_value() &&
+          (!merged[i].has_value() || merged[i]->OlderThan(candidate->version))) {
+        merged[i] = candidate;
+      }
+    }
+  }
+  return merged;
+}
+
+void KvReplica::FinishMultiRead(PendingMultiRead& read) {
+  read.done = true;
+  const auto merged = MergedMultiResult(read);
+
+  // Per-key read repair: bring stale copies (local and peers) up to the merged state.
+  if (config_->read_repair) {
+    for (size_t i = 0; i < merged.size(); ++i) {
+      if (!merged[i].has_value()) {
+        continue;
+      }
+      auto existing = storage_.find(read.keys[i]);
+      if (existing == storage_.end() || existing->second.OlderThan(merged[i]->version)) {
+        storage_[read.keys[i]] = *merged[i];
+        metrics_.GetCounter("read_repairs").Increment();
+      }
+    }
+  }
+
+  ResponseKind kind = ResponseKind::kValue;
+  if (read.options.want_preliminary && read.preliminary_digest.has_value()) {
+    const Digest final_digest = CombinedDigest(merged);
+    const bool matches = final_digest == *read.preliminary_digest;
+    if (read.options.confirmations && matches) {
+      kind = ResponseKind::kConfirmation;
+      metrics_.GetCounter("confirmations_sent").Increment();
+    }
+    metrics_.GetCounter(matches ? "matching_finals" : "divergent_finals").Increment();
+  }
+  SendMultiReadResponse(read, merged, /*is_final=*/true, kind);
+}
+
+void KvReplica::SendMultiReadResponse(const PendingMultiRead& read,
+                                      const std::vector<std::optional<VersionedValue>>& values,
+                                      bool is_final, ResponseKind kind) {
+  int64_t bytes = 0;
+  OpResult result;
+  if (kind == ResponseKind::kConfirmation) {
+    bytes = kConfirmationBytes;
+  } else {
+    result = ToMultiOpResult(values);
+    bytes = result.WireBytes() + 8 * static_cast<int64_t>(values.size());
+  }
+  auto respond_fn = read.respond;
+  network_->Send(id_, read.client_id, bytes, [respond_fn, result, is_final, kind]() {
+    respond_fn(result, is_final, kind);
+  });
+}
+
+void KvReplica::HandlePeerMultiRead(
+    NodeId requester, const std::vector<std::string>& keys, uint64_t request_id,
+    std::function<void(uint64_t, std::vector<std::optional<VersionedValue>>)> reply) {
+  const auto batch_extra =
+      config_->multiread_per_key_service * static_cast<SimDuration>(keys.size() - 1);
+  service_.Submit(config_->peer_read_service + batch_extra,
+                  [this, requester, keys, request_id, reply = std::move(reply)]() {
+                    std::vector<std::optional<VersionedValue>> values;
+                    values.reserve(keys.size());
+                    int64_t bytes = kResponseHeaderBytes;
+                    for (const auto& key : keys) {
+                      values.push_back(LocalGet(key));
+                      if (values.back().has_value()) {
+                        bytes += static_cast<int64_t>(values.back()->value.size()) + 8;
+                      }
+                    }
+                    network_->Send(id_, requester, bytes, [reply, request_id, values]() {
+                      reply(request_id, values);
+                    });
+                  });
+}
+
+void KvReplica::CoordinateWrite(NodeId client_id, const std::string& key, std::string value,
+                                KvResponseFn respond) {
+  metrics_.GetCounter("writes_coordinated").Increment();
+  service_.Submit(config_->write_service, [this, client_id, key, value = std::move(value),
+                                           respond = std::move(respond)]() mutable {
+    // Coordinator-assigned LWW timestamp; write_seq_ keeps it strictly monotonic even for
+    // same-microsecond writes, and the writer id breaks cross-coordinator ties.
+    write_seq_ = std::max(static_cast<uint64_t>(loop_->Now()), write_seq_ + 1);
+    const Version version{static_cast<SimTime>(write_seq_), id_};
+    VersionedValue vv{std::move(value), version};
+
+    auto existing = storage_.find(key);
+    if (existing == storage_.end() || existing->second.OlderThan(version)) {
+      storage_[key] = vv;
+    }
+
+    // W = 1: acknowledge after the local apply.
+    OpResult ack;
+    ack.found = true;
+    ack.version = version;
+    network_->Send(id_, client_id, kResponseHeaderBytes, [respond, ack]() {
+      respond(ack, /*is_final=*/true, ResponseKind::kValue);
+    });
+
+    // Asynchronous replication to the other replicas.
+    for (KvReplica* peer : peers_) {
+      const int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(key.size()) +
+                            static_cast<int64_t>(vv.value.size());
+      network_->Send(id_, peer->id(), bytes,
+                     [peer, key, vv]() { peer->HandleReplicate(key, vv); });
+    }
+  });
+}
+
+void KvReplica::HandlePeerRead(NodeId requester, const std::string& key, uint64_t request_id,
+                               std::function<void(uint64_t, std::optional<VersionedValue>)> reply) {
+  service_.Submit(config_->peer_read_service, [this, requester, key, request_id,
+                                               reply = std::move(reply)]() {
+    const auto value = LocalGet(key);
+    const int64_t bytes =
+        kResponseHeaderBytes +
+        (value.has_value() ? static_cast<int64_t>(value->value.size()) : 0);
+    network_->Send(id_, requester, bytes,
+                   [reply, request_id, value]() { reply(request_id, value); });
+  });
+}
+
+void KvReplica::HandleReplicate(const std::string& key, VersionedValue incoming) {
+  service_.Submit(config_->replicate_service, [this, key, incoming = std::move(incoming)]() {
+    auto existing = storage_.find(key);
+    if (existing == storage_.end() || existing->second.OlderThan(incoming.version)) {
+      storage_[key] = incoming;
+      metrics_.GetCounter("replications_applied").Increment();
+    }
+  });
+}
+
+std::optional<VersionedValue> KvReplica::LocalGet(const std::string& key) const {
+  auto it = storage_.find(key);
+  if (it == storage_.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+void KvReplica::LocalPut(const std::string& key, std::string value, Version version) {
+  storage_[key] = VersionedValue{std::move(value), version};
+}
+
+}  // namespace icg

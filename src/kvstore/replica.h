@@ -1,0 +1,174 @@
+// A quorum-store replica (Cassandra-like), including the coordinator role.
+//
+// Any replica can coordinate client operations, exactly as in Cassandra:
+//
+//   Read:  the coordinator performs a local read and, in parallel, requests data from
+//          peer replicas; it answers the client once `read_quorum` responses (including
+//          its own) are merged under last-writer-wins. Stale peers are read-repaired
+//          asynchronously.
+//   Write: acknowledged after the local apply (W = 1, the paper's configuration), then
+//          replicated to peers asynchronously.
+//
+// Correctable Cassandra (CC) behaviour (§5.2 of the paper) is triggered per request:
+// when a read requests ICG, the coordinator *flushes a preliminary response* to the
+// client right after its local read — paying `flush_service` extra coordinator time,
+// which is the source of CC's throughput drop — and later sends the final response. With
+// `confirmations` enabled (the *CC2 variant), a final matching the preliminary digest is
+// replaced by a small confirmation message.
+#ifndef ICG_KVSTORE_REPLICA_H_
+#define ICG_KVSTORE_REPLICA_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/metrics.h"
+#include "src/common/status.h"
+#include "src/correctables/binding.h"
+#include "src/correctables/operation.h"
+#include "src/kvstore/versioned_value.h"
+#include "src/sim/network.h"
+#include "src/sim/service_queue.h"
+
+namespace icg {
+
+struct KvConfig {
+  int replication_factor = 3;
+
+  // Coordinator-side service times (single-server queue per replica).
+  SimDuration read_service = Micros(900);       // local read on the coordinator
+  SimDuration peer_read_service = Micros(400);  // serving an internal quorum read
+  SimDuration write_service = Micros(500);      // coordinator write apply + fan-out
+  SimDuration replicate_service = Micros(300);  // applying a replicated write
+  SimDuration flush_service = Micros(60);       // CC preliminary flushing (extra)
+  // Incremental cost per additional key in a batched (multiget) read.
+  SimDuration multiread_per_key_service = Micros(60);
+
+  // Coordinator waits this long for quorum responses before failing the read.
+  SimDuration read_timeout = Millis(2000);
+
+  bool read_repair = true;
+};
+
+// How a client read wants its responses delivered.
+struct ReadOptions {
+  int read_quorum = 1;
+  bool want_preliminary = false;  // ICG: flush a weak view before coordinating
+  bool want_final = true;         // false = weak-only read (R=1 local)
+  bool confirmations = false;     // replace matching finals by confirmation messages
+};
+
+// Client-side completion for one view of a read/write. `kind` distinguishes full values
+// from confirmations; the bool marks the final view.
+using KvResponseFn = std::function<void(StatusOr<OpResult>, bool is_final, ResponseKind kind)>;
+
+class KvReplica {
+ public:
+  KvReplica(Network* network, NodeId id, const KvConfig* config, const std::string& name);
+
+  // Wires up the peer set (all other replicas, excluding self). Must be called once
+  // before use.
+  void SetPeers(std::vector<KvReplica*> peers);
+
+  NodeId id() const { return id_; }
+  ServiceQueue& service_queue() { return service_; }
+  MetricRegistry& metrics() { return metrics_; }
+
+  // --- Coordinator entry points (invoked at this node; client_id is the requester) ----
+  void CoordinateRead(NodeId client_id, const std::string& key, const ReadOptions& options,
+                      KvResponseFn respond);
+  // Batched read of several keys in one request (Cassandra multiget): same quorum/ICG
+  // semantics as CoordinateRead, applied to the whole batch. The result value joins the
+  // per-key payloads with kMultiValueSeparator.
+  void CoordinateMultiRead(NodeId client_id, std::vector<std::string> keys,
+                           const ReadOptions& options, KvResponseFn respond);
+  void CoordinateWrite(NodeId client_id, const std::string& key, std::string value,
+                       KvResponseFn respond);
+
+  // --- Peer-internal handlers (invoked at this node by other replicas) ----------------
+  void HandlePeerRead(NodeId requester, const std::string& key, uint64_t request_id,
+                      std::function<void(uint64_t, std::optional<VersionedValue>)> reply);
+  void HandlePeerMultiRead(
+      NodeId requester, const std::vector<std::string>& keys, uint64_t request_id,
+      std::function<void(uint64_t, std::vector<std::optional<VersionedValue>>)> reply);
+  void HandleReplicate(const std::string& key, VersionedValue incoming);
+
+  // --- Direct local access (tests, dataset preloading) --------------------------------
+  std::optional<VersionedValue> LocalGet(const std::string& key) const;
+  void LocalPut(const std::string& key, std::string value, Version version);
+  size_t LocalSize() const { return storage_.size(); }
+
+ private:
+  struct PendingRead {
+    NodeId client_id = kInvalidNode;
+    std::string key;
+    ReadOptions options;
+    KvResponseFn respond;
+    std::optional<VersionedValue> local;   // coordinator's own read, once served
+    std::vector<std::optional<VersionedValue>> peer_results;
+    std::vector<NodeId> peers_asked;
+    int responses = 0;  // local + peer responses received
+    bool preliminary_sent = false;
+    std::optional<Digest> preliminary_digest;
+    bool done = false;
+    TimerId timeout_timer = 0;
+  };
+
+  struct PendingMultiRead {
+    NodeId client_id = kInvalidNode;
+    std::vector<std::string> keys;
+    ReadOptions options;
+    KvResponseFn respond;
+    bool local_done = false;
+    std::vector<std::optional<VersionedValue>> local;
+    std::vector<NodeId> peers_asked;
+    std::vector<std::vector<std::optional<VersionedValue>>> peer_results;
+    std::vector<bool> peer_answered;
+    int responses = 0;
+    bool preliminary_sent = false;
+    std::optional<Digest> preliminary_digest;
+    bool done = false;
+    TimerId timeout_timer = 0;
+  };
+
+  void MaybeFinishRead(uint64_t request_id);
+  void FinishRead(PendingRead& read);
+  void SendReadResponse(const PendingRead& read, const std::optional<VersionedValue>& value,
+                        bool is_final, ResponseKind kind);
+  // LWW merge of all responses gathered so far.
+  std::optional<VersionedValue> MergedResult(const PendingRead& read) const;
+  void IssueReadRepair(const PendingRead& read, const VersionedValue& freshest);
+
+  void MaybeFinishMultiRead(uint64_t request_id);
+  void FinishMultiRead(PendingMultiRead& read);
+  std::vector<std::optional<VersionedValue>> MergedMultiResult(
+      const PendingMultiRead& read) const;
+  void SendMultiReadResponse(const PendingMultiRead& read,
+                             const std::vector<std::optional<VersionedValue>>& values,
+                             bool is_final, ResponseKind kind);
+
+  static OpResult ToOpResult(const std::optional<VersionedValue>& value);
+  static OpResult ToMultiOpResult(const std::vector<std::optional<VersionedValue>>& values);
+  static Digest CombinedDigest(const std::vector<std::optional<VersionedValue>>& values);
+
+  Network* network_;
+  EventLoop* loop_;
+  NodeId id_;
+  const KvConfig* config_;
+  ServiceQueue service_;
+  MetricRegistry metrics_;
+
+  std::vector<KvReplica*> peers_;  // other replicas, nearest first
+  std::map<std::string, VersionedValue> storage_;
+  std::map<uint64_t, PendingRead> pending_reads_;
+  std::map<uint64_t, PendingMultiRead> pending_multi_reads_;
+  uint64_t next_request_id_ = 1;
+  uint64_t write_seq_ = 0;  // disambiguates same-microsecond writes from this coordinator
+};
+
+}  // namespace icg
+
+#endif  // ICG_KVSTORE_REPLICA_H_

@@ -1,0 +1,26 @@
+// Last-writer-wins versioned values stored by quorum replicas.
+#ifndef ICG_KVSTORE_VERSIONED_VALUE_H_
+#define ICG_KVSTORE_VERSIONED_VALUE_H_
+
+#include <string>
+
+#include "src/common/digest.h"
+#include "src/common/types.h"
+
+namespace icg {
+
+struct VersionedValue {
+  std::string value;
+  Version version;
+
+  // True if `other` should replace this value under last-writer-wins.
+  bool OlderThan(const Version& other) const { return version < other; }
+
+  Digest ContentDigest() const { return ValueDigest(value, version.timestamp); }
+
+  friend bool operator==(const VersionedValue&, const VersionedValue&) = default;
+};
+
+}  // namespace icg
+
+#endif  // ICG_KVSTORE_VERSIONED_VALUE_H_

@@ -1,0 +1,62 @@
+#include "src/sim/event_loop.h"
+
+#include <cassert>
+#include <utility>
+
+namespace icg {
+
+TimerId EventLoop::Schedule(SimDuration delay, Task task) {
+  assert(delay >= 0);
+  return ScheduleAt(now_ + delay, std::move(task));
+}
+
+TimerId EventLoop::ScheduleAt(SimTime when, Task task) {
+  assert(when >= now_);
+  assert(task != nullptr);
+  const TimerId id = next_id_++;
+  queue_.push(Event{when, id, std::move(task)});
+  return id;
+}
+
+void EventLoop::Cancel(TimerId id) { cancelled_.insert(id); }
+
+bool EventLoop::RunOne() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (auto it = cancelled_.find(ev.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    events_processed_++;
+    ev.task();
+    return true;
+  }
+  return false;
+}
+
+void EventLoop::Run() {
+  while (RunOne()) {
+  }
+}
+
+void EventLoop::RunUntil(SimTime until) {
+  assert(until >= now_);
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (auto it = cancelled_.find(top.id); it != cancelled_.end()) {
+      cancelled_.erase(it);
+      queue_.pop();
+      continue;
+    }
+    if (top.when > until) {
+      break;
+    }
+    RunOne();
+  }
+  now_ = until;
+}
+
+}  // namespace icg

@@ -1,0 +1,79 @@
+// Deterministic virtual-time event loop: the heart of the simulation substrate.
+//
+// All simulated activity (network delivery, CPU service completion, client think time,
+// timeouts) is a closure scheduled at a virtual timestamp. Events at equal timestamps run
+// in scheduling order, so a run is a pure function of its seeds.
+#ifndef ICG_SIM_EVENT_LOOP_H_
+#define ICG_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace icg {
+
+using TimerId = uint64_t;
+
+class EventLoop {
+ public:
+  using Task = std::function<void()>;
+
+  EventLoop() = default;
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  SimTime Now() const { return now_; }
+
+  // Schedules `task` to run `delay` from now (>= 0). Returns an id usable with Cancel.
+  TimerId Schedule(SimDuration delay, Task task);
+
+  // Schedules `task` at absolute virtual time `when` (>= Now()).
+  TimerId ScheduleAt(SimTime when, Task task);
+
+  // Cancels a pending timer. Cancelling an already-fired or unknown id is a no-op.
+  void Cancel(TimerId id);
+
+  // Runs the single earliest pending event. Returns false if none are pending.
+  bool RunOne();
+
+  // Runs until no events remain.
+  void Run();
+
+  // Runs all events with timestamp <= `until`, then advances Now() to `until`.
+  void RunUntil(SimTime until);
+
+  // Convenience: RunUntil(Now() + d).
+  void RunFor(SimDuration d) { RunUntil(now_ + d); }
+
+  int64_t events_processed() const { return events_processed_; }
+  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+
+ private:
+  struct Event {
+    SimTime when = 0;
+    TimerId id = 0;
+    Task task;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.id > b.id;  // FIFO among same-time events
+    }
+  };
+
+  SimTime now_ = 0;
+  TimerId next_id_ = 1;
+  int64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  std::unordered_set<TimerId> cancelled_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_SIM_EVENT_LOOP_H_

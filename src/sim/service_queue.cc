@@ -1,0 +1,22 @@
+#include "src/sim/service_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace icg {
+
+void ServiceQueue::Submit(SimDuration service_time, EventLoop::Task done) {
+  assert(service_time >= 0);
+  const SimTime start = std::max(loop_->Now(), busy_until_);
+  const SimTime finish = start + service_time;
+  busy_until_ = finish;
+  submitted_ += 1;
+  total_busy_time_ += service_time;
+  loop_->ScheduleAt(finish, [this, done = std::move(done)]() {
+    completed_ += 1;
+    done();
+  });
+}
+
+}  // namespace icg

@@ -1,0 +1,72 @@
+#include "src/sim/topology.h"
+
+#include <cassert>
+#include <utility>
+
+namespace icg {
+
+const char* RegionName(Region r) {
+  switch (r) {
+    case Region::kIreland:
+      return "IRL";
+    case Region::kFrankfurt:
+      return "FRK";
+    case Region::kVirginia:
+      return "VRG";
+    case Region::kCalifornia:
+      return "NCA";
+    case Region::kOregon:
+      return "ORE";
+  }
+  return "???";
+}
+
+RttMatrix RttMatrix::Ec2Default() {
+  RttMatrix m;
+  const auto set = [&m](Region a, Region b, int64_t ms) { m.SetRtt(a, b, Millis(ms)); };
+  // Intra-region RTT: the paper reports 2 ms for an IRL client reaching an IRL replica.
+  for (int r = 0; r < kNumRegions; ++r) {
+    set(static_cast<Region>(r), static_cast<Region>(r), 2);
+  }
+  // Pairs stated in the paper.
+  set(Region::kIreland, Region::kFrankfurt, 20);
+  set(Region::kIreland, Region::kVirginia, 83);
+  // Pairs calibrated from typical EC2 inter-region latencies.
+  set(Region::kFrankfurt, Region::kVirginia, 90);
+  set(Region::kIreland, Region::kCalifornia, 140);
+  set(Region::kIreland, Region::kOregon, 130);
+  set(Region::kFrankfurt, Region::kCalifornia, 150);
+  set(Region::kFrankfurt, Region::kOregon, 155);
+  set(Region::kVirginia, Region::kCalifornia, 62);
+  set(Region::kVirginia, Region::kOregon, 75);
+  set(Region::kCalifornia, Region::kOregon, 22);
+  return m;
+}
+
+SimDuration RttMatrix::Rtt(Region a, Region b) const {
+  return rtt_[static_cast<size_t>(a)][static_cast<size_t>(b)];
+}
+
+void RttMatrix::SetRtt(Region a, Region b, SimDuration rtt) {
+  assert(rtt >= 0);
+  rtt_[static_cast<size_t>(a)][static_cast<size_t>(b)] = rtt;
+  rtt_[static_cast<size_t>(b)][static_cast<size_t>(a)] = rtt;
+}
+
+NodeId Topology::AddNode(Region region, std::string name) {
+  regions_.push_back(region);
+  names_.push_back(std::move(name));
+  return static_cast<NodeId>(regions_.size() - 1);
+}
+
+std::vector<NodeId> Topology::NodesIn(Region region) const {
+  std::vector<NodeId> out;
+  for (size_t i = 0; i < regions_.size(); ++i) {
+    if (regions_[i] == region) {
+      out.push_back(static_cast<NodeId>(i));
+    }
+  }
+  return out;
+}
+
+}  // namespace icg

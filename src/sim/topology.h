@@ -1,0 +1,72 @@
+// Geographic topology of the simulated deployment.
+//
+// The paper evaluates on Amazon EC2 with replicas in Frankfurt (FRK), Ireland (IRL), and
+// N. Virginia (VRG); the Twissandra case study uses Virginia, N. California, and Oregon.
+// Region-to-region RTTs below are calibrated from the paper's text (IRL<->FRK 20 ms,
+// IRL<->VRG 83 ms, intra-region 2 ms) and from typical inter-region EC2 measurements for
+// pairs the paper does not state.
+#ifndef ICG_SIM_TOPOLOGY_H_
+#define ICG_SIM_TOPOLOGY_H_
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "src/common/types.h"
+
+namespace icg {
+
+enum class Region : int {
+  kIreland = 0,     // IRL (eu-west-1)
+  kFrankfurt = 1,   // FRK (eu-central-1)
+  kVirginia = 2,    // VRG (us-east-1)
+  kCalifornia = 3,  // NCA (us-west-1)
+  kOregon = 4,      // ORE (us-west-2)
+};
+inline constexpr int kNumRegions = 5;
+
+const char* RegionName(Region r);
+
+// Round-trip times between regions, including the intra-region RTT on the diagonal.
+class RttMatrix {
+ public:
+  // The default matrix used by all paper-reproduction experiments.
+  static RttMatrix Ec2Default();
+
+  SimDuration Rtt(Region a, Region b) const;
+  void SetRtt(Region a, Region b, SimDuration rtt);  // symmetric
+
+  SimDuration OneWay(Region a, Region b) const { return Rtt(a, b) / 2; }
+
+ private:
+  std::array<std::array<SimDuration, kNumRegions>, kNumRegions> rtt_{};
+};
+
+// Maps dense NodeIds to regions and human-readable roles.
+class Topology {
+ public:
+  explicit Topology(RttMatrix rtts = RttMatrix::Ec2Default()) : rtts_(rtts) {}
+
+  NodeId AddNode(Region region, std::string name);
+
+  int NumNodes() const { return static_cast<int>(regions_.size()); }
+  Region RegionOf(NodeId node) const { return regions_.at(static_cast<size_t>(node)); }
+  const std::string& NameOf(NodeId node) const { return names_.at(static_cast<size_t>(node)); }
+
+  const RttMatrix& rtts() const { return rtts_; }
+  SimDuration RttBetween(NodeId a, NodeId b) const {
+    return rtts_.Rtt(RegionOf(a), RegionOf(b));
+  }
+
+  // All nodes in a region, in insertion order.
+  std::vector<NodeId> NodesIn(Region region) const;
+
+ private:
+  RttMatrix rtts_;
+  std::vector<Region> regions_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_SIM_TOPOLOGY_H_

@@ -1,0 +1,87 @@
+#include "src/stores/chain_sim.h"
+
+#include <cmath>
+#include <utility>
+#include <vector>
+
+namespace icg {
+
+ChainSim::ChainSim(EventLoop* loop, const ChainConfig& config, uint64_t seed)
+    : loop_(loop), config_(config), rng_(seed) {}
+
+void ChainSim::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  ScheduleNextBlock();
+}
+
+void ChainSim::ScheduleNextBlock() {
+  const auto interval = static_cast<SimDuration>(
+      std::llround(rng_.NextExponential(static_cast<double>(config_.mean_block_interval))));
+  loop_->Schedule(std::max<SimDuration>(1, interval), [this]() {
+    MineBlock();
+    ScheduleNextBlock();
+  });
+}
+
+void ChainSim::MineBlock() {
+  blocks_mined_++;
+  if (height_ > 0 && rng_.NextBool(config_.orphan_probability)) {
+    // The previous tip loses the fork race. The competing block was mined concurrently,
+    // so it does NOT contain the orphaned tip's transactions: they fall back into the
+    // mempool and wait for the next block — their confirmation counts visibly regress.
+    orphans_++;
+    for (auto& [txid, tx] : txs_) {
+      if (tx.included_height == height_) {
+        tx.included_height = -1;
+      }
+    }
+  } else {
+    height_++;
+    // A regular new tip includes all mempool transactions.
+    for (auto& [txid, tx] : txs_) {
+      if (tx.included_height < 0) {
+        tx.included_height = height_;
+      }
+    }
+  }
+  NotifyAll();
+}
+
+int ChainSim::ConfirmationsOf(const TrackedTx& tx) const {
+  if (tx.included_height < 0 || tx.included_height > height_) {
+    return 0;
+  }
+  return static_cast<int>(height_ - tx.included_height + 1);
+}
+
+void ChainSim::NotifyAll() {
+  std::vector<std::string> finished;
+  for (auto& [txid, tx] : txs_) {
+    const int confirmations = ConfirmationsOf(tx);
+    if (confirmations == tx.last_reported) {
+      continue;
+    }
+    tx.last_reported = confirmations;
+    const bool irreversible = confirmations >= config_.confirm_depth;
+    tx.on_progress(confirmations, irreversible);
+    if (irreversible) {
+      finished.push_back(txid);
+    }
+  }
+  for (const auto& txid : finished) {
+    txs_.erase(txid);
+  }
+}
+
+void ChainSim::SubmitTransaction(const std::string& txid,
+                                 std::function<void(int, bool)> on_progress) {
+  TrackedTx tx;
+  tx.on_progress = std::move(on_progress);
+  tx.last_reported = 0;
+  txs_[txid] = std::move(tx);
+}
+
+}  // namespace icg

@@ -1,0 +1,72 @@
+// Nakamoto-style blockchain simulator for the paper's §4.5 blockchain use case
+// ("Correctables can track transaction confirmations as they accumulate ... a use-case we
+// also implemented").
+//
+// Blocks arrive as a Poisson process. Each new block includes all mempool transactions.
+// With a configurable probability the newest tip is orphaned by a competing block,
+// returning its transactions to the mempool — so confirmation counts can regress before
+// the transaction becomes effectively irreversible at `confirm_depth` confirmations.
+#ifndef ICG_STORES_CHAIN_SIM_H_
+#define ICG_STORES_CHAIN_SIM_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/common/types.h"
+#include "src/sim/event_loop.h"
+
+namespace icg {
+
+struct ChainConfig {
+  SimDuration mean_block_interval = Seconds(600);  // Bitcoin-like default
+  double orphan_probability = 0.05;                // chance a new tip gets orphaned
+  int confirm_depth = 6;                           // "irrevocable" threshold
+};
+
+class ChainSim {
+ public:
+  ChainSim(EventLoop* loop, const ChainConfig& config, uint64_t seed);
+
+  // Begins block production (idempotent).
+  void Start();
+
+  // Tracks a transaction. `on_progress(confirmations, irreversible)` fires whenever the
+  // transaction's confirmation count changes (including regressions to 0 on reorgs) and
+  // a final time with irreversible=true once `confirm_depth` confirmations accumulate,
+  // after which tracking stops.
+  void SubmitTransaction(const std::string& txid,
+                         std::function<void(int confirmations, bool irreversible)> on_progress);
+
+  int64_t height() const { return height_; }
+  int64_t blocks_mined() const { return blocks_mined_; }
+  int64_t orphans() const { return orphans_; }
+
+ private:
+  struct TrackedTx {
+    int64_t included_height = -1;  // -1 = in mempool
+    std::function<void(int, bool)> on_progress;
+    int last_reported = -1;
+  };
+
+  void ScheduleNextBlock();
+  void MineBlock();
+  void NotifyAll();
+  int ConfirmationsOf(const TrackedTx& tx) const;
+
+  EventLoop* loop_;
+  ChainConfig config_;
+  Rng rng_;
+  bool started_ = false;
+  int64_t height_ = 0;
+  int64_t blocks_mined_ = 0;
+  int64_t orphans_ = 0;
+  std::map<std::string, TrackedTx> txs_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_STORES_CHAIN_SIM_H_

@@ -1,0 +1,70 @@
+#include "src/ycsb/generators.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "src/common/digest.h"
+
+namespace icg {
+
+double ZipfianGenerator::ComputeZeta(int64_t n, double theta) {
+  double sum = 0.0;
+  for (int64_t i = 0; i < n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  return sum;
+}
+
+ZipfianGenerator::ZipfianGenerator(int64_t items, double zipfian_constant)
+    : ZipfianGenerator(items, zipfian_constant, ComputeZeta(items, zipfian_constant)) {}
+
+ZipfianGenerator::ZipfianGenerator(int64_t items, double zipfian_constant, double zetan)
+    : items_(items), theta_(zipfian_constant), zetan_(zetan) {
+  assert(items_ >= 1);
+  zeta2theta_ = ComputeZeta(2, theta_);
+  alpha_ = 1.0 / (1.0 - theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(items_), 1.0 - theta_)) /
+         (1.0 - zeta2theta_ / zetan_);
+}
+
+int64_t ZipfianGenerator::Next(Rng& rng) {
+  // Gray et al.'s constant-time inversion, as implemented in YCSB.
+  const double u = rng.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) {
+    return 0;
+  }
+  if (uz < 1.0 + std::pow(0.5, theta_)) {
+    return 1;
+  }
+  const auto rank = static_cast<int64_t>(
+      static_cast<double>(items_) * std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return std::min(rank, items_ - 1);
+}
+
+ScrambledZipfianGenerator::ScrambledZipfianGenerator(int64_t items)
+    : items_(items),
+      zipfian_(kItemCount, ZipfianGenerator::kZipfianConstant, kZetan) {
+  assert(items_ >= 1);
+}
+
+int64_t ScrambledZipfianGenerator::Next(Rng& rng) {
+  const int64_t rank = zipfian_.Next(rng);
+  const uint64_t hashed = Fnv1a(std::string_view(
+      reinterpret_cast<const char*>(&rank), sizeof(rank)));
+  return static_cast<int64_t>(hashed % static_cast<uint64_t>(items_));
+}
+
+SkewedLatestGenerator::SkewedLatestGenerator(int64_t initial_items)
+    : last_(initial_items - 1), zipfian_(initial_items) {
+  assert(initial_items >= 1);
+}
+
+int64_t SkewedLatestGenerator::Next(Rng& rng) {
+  // Most recent item = rank 0; older items get zipfian-decaying probability.
+  const int64_t offset = zipfian_.Next(rng);
+  const int64_t key = last_ - offset;
+  return key < 0 ? 0 : key;
+}
+
+}  // namespace icg

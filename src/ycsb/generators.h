@@ -1,0 +1,91 @@
+// Key-choosing generators ported from YCSB (Cooper et al., SoCC'10), which the paper uses
+// for workloads A, B, and C with Zipfian and Latest request distributions (§6).
+#ifndef ICG_YCSB_GENERATORS_H_
+#define ICG_YCSB_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "src/common/random.h"
+
+namespace icg {
+
+class IntegerGenerator {
+ public:
+  virtual ~IntegerGenerator() = default;
+  virtual int64_t Next(Rng& rng) = 0;
+};
+
+class UniformGenerator : public IntegerGenerator {
+ public:
+  UniformGenerator(int64_t lo, int64_t hi) : lo_(lo), hi_(hi) {}
+  int64_t Next(Rng& rng) override { return rng.NextInt(lo_, hi_); }
+
+ private:
+  int64_t lo_;
+  int64_t hi_;
+};
+
+// Zipfian over [0, items) with the YCSB/Gray rejection-inversion style algorithm
+// ("Quickly generating billion-record synthetic databases", Gray et al., SIGMOD'94).
+// Rank 0 is the most popular item.
+class ZipfianGenerator : public IntegerGenerator {
+ public:
+  static constexpr double kZipfianConstant = 0.99;
+
+  explicit ZipfianGenerator(int64_t items, double zipfian_constant = kZipfianConstant);
+  // Constructor with a precomputed zeta(n) — used by ScrambledZipfianGenerator, which
+  // draws from a huge nominal item space with a published zetan constant.
+  ZipfianGenerator(int64_t items, double zipfian_constant, double zetan);
+
+  int64_t Next(Rng& rng) override;
+
+  static double ComputeZeta(int64_t n, double theta);
+
+ private:
+  int64_t items_;
+  double theta_;
+  double zetan_;
+  double zeta2theta_;
+  double alpha_;
+  double eta_;
+};
+
+// YCSB's "zipfian" request distribution: a Zipfian draw over a huge nominal item space,
+// scattered over the actual keyspace by hashing. Spreads the popular ranks across the
+// keyspace, making the *effective* skew milder than the raw Zipfian — which is why the
+// paper's Figure 7 shows lower divergence for Zipfian than for Latest.
+class ScrambledZipfianGenerator : public IntegerGenerator {
+ public:
+  explicit ScrambledZipfianGenerator(int64_t items);
+  int64_t Next(Rng& rng) override;
+
+ private:
+  // Constants published in YCSB's ScrambledZipfianGenerator.
+  static constexpr int64_t kItemCount = 10000000000LL;
+  static constexpr double kZetan = 26.46902820178302;
+
+  int64_t items_;
+  ZipfianGenerator zipfian_;
+};
+
+// YCSB's "latest" request distribution: Zipfian over recency — rank 0 is the most
+// recently inserted/updated item. Concentrated at the head of the keyspace history, so
+// readers chase writers, maximizing the chance of observing replication lag.
+class SkewedLatestGenerator : public IntegerGenerator {
+ public:
+  explicit SkewedLatestGenerator(int64_t initial_items);
+
+  int64_t Next(Rng& rng) override;
+  // Advances the insertion horizon (call when the workload inserts a new record).
+  void AdvanceLast() { last_++; }
+  int64_t last() const { return last_; }
+
+ private:
+  int64_t last_;
+  ZipfianGenerator zipfian_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_YCSB_GENERATORS_H_

@@ -1,0 +1,76 @@
+#include "src/ycsb/runner.h"
+
+#include <cassert>
+#include <utility>
+
+namespace icg {
+
+LoadRunner::LoadRunner(EventLoop* loop, CoreWorkload* workload, OpExecutor executor,
+                       RunnerConfig config)
+    : loop_(loop), workload_(workload), executor_(std::move(executor)), config_(config) {
+  assert(loop_ != nullptr && workload_ != nullptr && executor_ != nullptr);
+  assert(config_.warmup + config_.cooldown < config_.duration);
+}
+
+bool LoadRunner::InMeasuredWindow(SimTime t) const {
+  return t >= start_ + config_.warmup && t <= end_ - config_.cooldown;
+}
+
+void LoadRunner::IssueNext() {
+  if (loop_->Now() >= end_) {
+    return;  // trial over; session retires
+  }
+  const YcsbOp op = workload_->NextOp();
+  const SimTime issued_at = loop_->Now();
+  executor_(op, [this, issued_at](OpOutcome outcome) {
+    // Attribute the sample to the window containing the issue time, like YCSB.
+    if (InMeasuredWindow(issued_at)) {
+      measured_ops_++;
+      if (outcome.error) {
+        errors_++;
+      } else {
+        final_view_.Record(outcome.final_latency);
+        if (outcome.preliminary_latency.has_value()) {
+          ops_with_preliminary_++;
+          preliminary_.Record(*outcome.preliminary_latency);
+          if (outcome.diverged) {
+            divergences_++;
+          }
+        }
+      }
+    }
+    IssueNext();
+  });
+}
+
+void LoadRunner::StartSession() { IssueNext(); }
+
+void LoadRunner::Begin() {
+  start_ = loop_->Now();
+  end_ = start_ + config_.duration;
+  for (int i = 0; i < config_.threads; ++i) {
+    StartSession();
+  }
+}
+
+RunnerResult LoadRunner::Run() {
+  Begin();
+  // Let the trial and all in-flight completions drain.
+  loop_->RunUntil(end_ + Seconds(5));
+  return Collect();
+}
+
+RunnerResult LoadRunner::Collect() const {
+  RunnerResult result;
+  result.preliminary = preliminary_.Summarize();
+  result.final_view = final_view_.Summarize();
+  result.measured_ops = measured_ops_;
+  result.ops_with_preliminary = ops_with_preliminary_;
+  result.divergences = divergences_;
+  result.errors = errors_;
+  const SimDuration window = config_.duration - config_.warmup - config_.cooldown;
+  result.throughput_ops = window > 0 ? static_cast<double>(measured_ops_) / ToSeconds(window) : 0;
+  return result;
+}
+
+}  // namespace icg

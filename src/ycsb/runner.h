@@ -1,0 +1,93 @@
+// Closed-loop load runner: N simulated client threads issue operations back-to-back, as
+// the YCSB client does. Follows the paper's methodology (§6.1): fixed-duration trials
+// with the first and last intervals elided from measurement.
+#ifndef ICG_YCSB_RUNNER_H_
+#define ICG_YCSB_RUNNER_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "src/common/histogram.h"
+#include "src/common/types.h"
+#include "src/sim/event_loop.h"
+#include "src/ycsb/workload.h"
+
+namespace icg {
+
+// What one operation produced, reported by the executor when the op fully completes.
+struct OpOutcome {
+  // Set when the operation delivered a preliminary (weak) view.
+  std::optional<SimDuration> preliminary_latency;
+  SimDuration final_latency = 0;
+  bool diverged = false;  // preliminary value differed from the final value
+  bool error = false;
+};
+
+// Executes one workload operation against the system under test.
+using OpExecutor = std::function<void(const YcsbOp& op, std::function<void(OpOutcome)> done)>;
+
+struct RunnerConfig {
+  int threads = 30;
+  SimDuration duration = Seconds(60);
+  SimDuration warmup = Seconds(15);   // elided from the front
+  SimDuration cooldown = Seconds(15);  // elided from the back
+};
+
+struct RunnerResult {
+  LatencySummary preliminary;
+  LatencySummary final_view;
+  int64_t measured_ops = 0;
+  int64_t ops_with_preliminary = 0;
+  int64_t divergences = 0;
+  int64_t errors = 0;
+  double throughput_ops = 0.0;  // measured ops per second of measured window
+
+  double DivergencePercent() const {
+    return ops_with_preliminary == 0
+               ? 0.0
+               : 100.0 * static_cast<double>(divergences) /
+                     static_cast<double>(ops_with_preliminary);
+  }
+};
+
+class LoadRunner {
+ public:
+  LoadRunner(EventLoop* loop, CoreWorkload* workload, OpExecutor executor, RunnerConfig config);
+
+  // Runs the trial to completion in virtual time and returns the measured-window stats.
+  // Convenience for a single runner; for several concurrent runners sharing a loop, call
+  // Begin() on each, drive the loop past the trial end, then Collect().
+  RunnerResult Run();
+
+  // Starts the client sessions; the trial window begins at the loop's current time.
+  void Begin();
+  // Summarizes the measured window. Call after the loop ran past Begin()+duration.
+  RunnerResult Collect() const;
+
+  SimTime end_time() const { return end_; }
+
+ private:
+  void StartSession();
+  void IssueNext();
+  bool InMeasuredWindow(SimTime t) const;
+
+  EventLoop* loop_;
+  CoreWorkload* workload_;
+  OpExecutor executor_;
+  RunnerConfig config_;
+
+  SimTime start_ = 0;
+  SimTime end_ = 0;
+  LatencyRecorder preliminary_;
+  LatencyRecorder final_view_;
+  int64_t measured_ops_ = 0;
+  int64_t ops_with_preliminary_ = 0;
+  int64_t divergences_ = 0;
+  int64_t errors_ = 0;
+};
+
+}  // namespace icg
+
+#endif  // ICG_YCSB_RUNNER_H_

@@ -1,0 +1,100 @@
+#include "src/ycsb/workload.h"
+
+#include <cassert>
+#include <utility>
+
+namespace icg {
+
+const char* RequestDistributionName(RequestDistribution d) {
+  switch (d) {
+    case RequestDistribution::kUniform:
+      return "Uniform";
+    case RequestDistribution::kZipfian:
+      return "Zipfian";
+    case RequestDistribution::kLatest:
+      return "Latest";
+  }
+  return "?";
+}
+
+WorkloadConfig WorkloadConfig::YcsbA(RequestDistribution d, int64_t records) {
+  WorkloadConfig c;
+  c.record_count = records;
+  c.read_proportion = 0.5;
+  c.update_proportion = 0.5;
+  c.request_distribution = d;
+  return c;
+}
+
+WorkloadConfig WorkloadConfig::YcsbB(RequestDistribution d, int64_t records) {
+  WorkloadConfig c;
+  c.record_count = records;
+  c.read_proportion = 0.95;
+  c.update_proportion = 0.05;
+  c.request_distribution = d;
+  return c;
+}
+
+WorkloadConfig WorkloadConfig::YcsbC(RequestDistribution d, int64_t records) {
+  WorkloadConfig c;
+  c.record_count = records;
+  c.read_proportion = 1.0;
+  c.update_proportion = 0.0;
+  c.request_distribution = d;
+  return c;
+}
+
+CoreWorkload::CoreWorkload(const WorkloadConfig& config, uint64_t seed)
+    : config_(config), rng_(seed) {
+  assert(config_.record_count >= 1);
+  switch (config_.request_distribution) {
+    case RequestDistribution::kUniform:
+      key_chooser_ = std::make_unique<UniformGenerator>(0, config_.record_count - 1);
+      break;
+    case RequestDistribution::kZipfian:
+      key_chooser_ = std::make_unique<ScrambledZipfianGenerator>(config_.record_count);
+      break;
+    case RequestDistribution::kLatest: {
+      auto latest = std::make_unique<SkewedLatestGenerator>(config_.record_count);
+      latest_ = latest.get();
+      key_chooser_ = std::move(latest);
+      break;
+    }
+  }
+}
+
+std::string CoreWorkload::KeyForIndex(int64_t index) { return "user" + std::to_string(index); }
+
+std::string CoreWorkload::BuildValue(int64_t key_index) {
+  std::string value;
+  value.reserve(static_cast<size_t>(config_.ValueBytes()));
+  // Deterministic but version-distinguishing content: embed key and a counter, pad to
+  // the configured size.
+  value += "v" + std::to_string(update_counter_) + ":k" + std::to_string(key_index) + ":";
+  while (static_cast<int64_t>(value.size()) < config_.ValueBytes()) {
+    value += static_cast<char>('a' + (value.size() % 26));
+  }
+  value.resize(static_cast<size_t>(config_.ValueBytes()));
+  return value;
+}
+
+int64_t CoreWorkload::NextKeyIndex() {
+  const int64_t index = key_chooser_->Next(rng_);
+  assert(index >= 0 && index < config_.record_count);
+  return index;
+}
+
+YcsbOp CoreWorkload::NextOp() {
+  YcsbOp op;
+  const double dice = rng_.NextDouble();
+  op.is_read = dice < config_.read_proportion;
+  const int64_t index = NextKeyIndex();
+  op.key = KeyForIndex(index);
+  if (!op.is_read) {
+    update_counter_++;
+    op.value = BuildValue(index);
+  }
+  return op;
+}
+
+}  // namespace icg

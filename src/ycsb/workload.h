@@ -1,0 +1,68 @@
+// YCSB CoreWorkload: operation mix + key/value generation for workloads A, B, and C.
+#ifndef ICG_YCSB_WORKLOAD_H_
+#define ICG_YCSB_WORKLOAD_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/random.h"
+#include "src/ycsb/generators.h"
+
+namespace icg {
+
+enum class RequestDistribution { kUniform, kZipfian, kLatest };
+
+const char* RequestDistributionName(RequestDistribution d);
+
+struct WorkloadConfig {
+  int64_t record_count = 1000;
+  double read_proportion = 0.5;
+  double update_proportion = 0.5;
+  RequestDistribution request_distribution = RequestDistribution::kZipfian;
+  // YCSB default record: 10 fields x 100 B. The paper's microbenchmarks use 100 B
+  // objects, so field_count stays configurable.
+  int field_length = 100;
+  int field_count = 1;
+
+  int64_t ValueBytes() const { return static_cast<int64_t>(field_length) * field_count; }
+
+  // Workload A: update heavy, 50:50 read/write.
+  static WorkloadConfig YcsbA(RequestDistribution d, int64_t records);
+  // Workload B: read mostly, 95:5.
+  static WorkloadConfig YcsbB(RequestDistribution d, int64_t records);
+  // Workload C: read only.
+  static WorkloadConfig YcsbC(RequestDistribution d, int64_t records);
+};
+
+struct YcsbOp {
+  bool is_read = true;
+  std::string key;
+  std::string value;  // payload for updates; empty for reads
+};
+
+class CoreWorkload {
+ public:
+  CoreWorkload(const WorkloadConfig& config, uint64_t seed);
+
+  YcsbOp NextOp();
+
+  // Deterministic key naming, shared with dataset preloading.
+  static std::string KeyForIndex(int64_t index);
+  // Deterministic value payload of the configured size.
+  std::string BuildValue(int64_t key_index);
+
+  const WorkloadConfig& config() const { return config_; }
+
+ private:
+  int64_t NextKeyIndex();
+
+  WorkloadConfig config_;
+  Rng rng_;
+  std::unique_ptr<IntegerGenerator> key_chooser_;
+  SkewedLatestGenerator* latest_ = nullptr;  // non-null iff distribution == kLatest
+  int64_t update_counter_ = 0;
+};
+
+}  // namespace icg
+
+#endif  // ICG_YCSB_WORKLOAD_H_

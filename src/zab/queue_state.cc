@@ -1,0 +1,40 @@
+#include "src/zab/queue_state.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace icg {
+
+int64_t QueueState::Enqueue(std::string data) {
+  const int64_t seq = next_seq_++;
+  entries_.push_back(QueueEntry{seq, std::move(data)});
+  return seq;
+}
+
+std::optional<QueueEntry> QueueState::Dequeue() {
+  if (entries_.empty()) {
+    return std::nullopt;
+  }
+  QueueEntry head = entries_.front();
+  entries_.pop_front();
+  return head;
+}
+
+std::optional<QueueEntry> QueueState::Head() const {
+  if (entries_.empty()) {
+    return std::nullopt;
+  }
+  return entries_.front();
+}
+
+bool QueueState::Delete(int64_t seq) {
+  auto it = std::find_if(entries_.begin(), entries_.end(),
+                         [seq](const QueueEntry& e) { return e.seq == seq; });
+  if (it == entries_.end()) {
+    return false;
+  }
+  entries_.erase(it);
+  return true;
+}
+
+}  // namespace icg

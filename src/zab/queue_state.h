@@ -1,0 +1,51 @@
+// The replicated queue state machine (ZooKeeper queue recipe, §4.3 / §5.2).
+//
+// Elements carry monotonically increasing sequence numbers, mirroring ZooKeeper's
+// sequential znodes. The same deterministic state machine runs on every Zab server;
+// a contacted replica also *simulates* operations on its local copy to produce CZK's
+// preliminary responses.
+#ifndef ICG_ZAB_QUEUE_STATE_H_
+#define ICG_ZAB_QUEUE_STATE_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+namespace icg {
+
+struct QueueEntry {
+  int64_t seq = -1;
+  std::string data;
+
+  friend bool operator==(const QueueEntry&, const QueueEntry&) = default;
+};
+
+class QueueState {
+ public:
+  // Appends an element; returns its assigned sequence number.
+  int64_t Enqueue(std::string data);
+
+  // Removes and returns the head (lowest sequence number), if any.
+  std::optional<QueueEntry> Dequeue();
+
+  // The head without removal (what a CZK preliminary dequeue reports).
+  std::optional<QueueEntry> Head() const;
+
+  // Removes the entry with sequence `seq`. Returns false if absent (a contending client
+  // already removed it) — the conflict that drives the ZK recipe's retries.
+  bool Delete(int64_t seq);
+
+  size_t Size() const { return entries_.size(); }
+  bool Empty() const { return entries_.empty(); }
+  int64_t next_seq() const { return next_seq_; }
+  const std::deque<QueueEntry>& entries() const { return entries_; }
+
+ private:
+  int64_t next_seq_ = 0;
+  std::deque<QueueEntry> entries_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_ZAB_QUEUE_STATE_H_

@@ -1,0 +1,92 @@
+// Blockchain binding: multi-view confirmation tracking through the Correctables API.
+#include "src/bindings/blockchain_binding.h"
+
+#include <gtest/gtest.h>
+
+#include "src/correctables/client.h"
+#include "src/stores/chain_sim.h"
+
+namespace icg {
+namespace {
+
+ChainConfig FastChain(double orphan_probability = 0.0) {
+  ChainConfig c;
+  c.mean_block_interval = Seconds(10);
+  c.orphan_probability = orphan_probability;
+  c.confirm_depth = 6;
+  return c;
+}
+
+class BlockchainBindingTest : public ::testing::Test {
+ protected:
+  BlockchainBindingTest()
+      : chain_(&loop_, FastChain(), 9),
+        binding_(std::make_shared<BlockchainBinding>(&chain_)),
+        client_(binding_, &loop_) {
+    chain_.Start();
+  }
+
+  EventLoop loop_;
+  ChainSim chain_;
+  std::shared_ptr<BlockchainBinding> binding_;
+  CorrectableClient client_;
+};
+
+TEST_F(BlockchainBindingTest, InvokeStreamsConfirmationsThenCloses) {
+  std::vector<int64_t> confirmations;
+  auto c = client_.Invoke(Operation::Put("tx1", "payload"));
+  c.OnUpdate([&](const View<OpResult>& v) { confirmations.push_back(v.value.seqno); });
+  loop_.RunFor(Seconds(300));
+  ASSERT_EQ(c.state(), CorrectableState::kFinal);
+  EXPECT_EQ(c.Final().value().seqno, 6);
+  EXPECT_EQ(c.LatestView().level, ConsistencyLevel::kStrong);
+  // Preliminary views 1..5 (6 closes the correctable).
+  EXPECT_EQ(confirmations, (std::vector<int64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST_F(BlockchainBindingTest, InvokeWeakClosesAtFirstConfirmation) {
+  auto c = client_.InvokeWeak(Operation::Put("tx1", "payload"));
+  loop_.RunFor(Seconds(100));
+  ASSERT_EQ(c.state(), CorrectableState::kFinal);
+  EXPECT_EQ(c.Final().value().seqno, 1);
+  EXPECT_EQ(c.LatestView().level, ConsistencyLevel::kWeak);
+}
+
+TEST_F(BlockchainBindingTest, InvokeStrongSkipsIntermediateViews) {
+  auto c = client_.InvokeStrong(Operation::Put("tx1", "payload"));
+  loop_.RunFor(Seconds(300));
+  ASSERT_EQ(c.state(), CorrectableState::kFinal);
+  EXPECT_EQ(c.views_delivered(), 1);
+  EXPECT_EQ(c.Final().value().seqno, 6);
+}
+
+TEST_F(BlockchainBindingTest, NonPutRejected) {
+  auto c = client_.InvokeStrong(Operation::Get("balance"));
+  EXPECT_EQ(c.state(), CorrectableState::kError);
+  EXPECT_EQ(c.Final().status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BlockchainBindingReorg, RegressionsDeliveredAsRepeatedWeakViews) {
+  EventLoop loop;
+  ChainSim chain(&loop, FastChain(/*orphan_probability=*/0.4), 11);
+  chain.Start();
+  auto binding = std::make_shared<BlockchainBinding>(&chain);
+  CorrectableClient client(binding, &loop);
+
+  std::vector<int64_t> seen;
+  auto c = client.Invoke(Operation::Put("tx1", "payload"));
+  c.OnUpdate([&](const View<OpResult>& v) { seen.push_back(v.value.seqno); });
+  loop.RunFor(Seconds(3000));
+  ASSERT_EQ(c.state(), CorrectableState::kFinal);
+  EXPECT_EQ(c.Final().value().seqno, 6);
+  // With heavy orphaning some prefix of the stream is non-monotonic; the API contract
+  // (same-level repeated updates) makes that legal. The stream must end below 6.
+  ASSERT_FALSE(seen.empty());
+  for (const int64_t conf : seen) {
+    EXPECT_GE(conf, 0);
+    EXPECT_LT(conf, 6);
+  }
+}
+
+}  // namespace
+}  // namespace icg

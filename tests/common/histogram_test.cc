@@ -1,0 +1,156 @@
+#include "src/common/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace icg {
+namespace {
+
+TEST(LatencyRecorder, EmptySummaryIsZero) {
+  LatencyRecorder r;
+  EXPECT_TRUE(r.empty());
+  const LatencySummary s = r.Summarize();
+  EXPECT_EQ(s.count, 0);
+  EXPECT_EQ(s.mean_us, 0.0);
+  EXPECT_EQ(r.Percentile(99), 0);
+}
+
+TEST(LatencyRecorder, SingleSample) {
+  LatencyRecorder r;
+  r.Record(Millis(5));
+  const LatencySummary s = r.Summarize();
+  EXPECT_EQ(s.count, 1);
+  EXPECT_EQ(s.min_us, Millis(5));
+  EXPECT_EQ(s.max_us, Millis(5));
+  EXPECT_EQ(s.p50_us, Millis(5));
+  EXPECT_EQ(s.p99_us, Millis(5));
+  EXPECT_DOUBLE_EQ(s.mean_ms(), 5.0);
+}
+
+TEST(LatencyRecorder, ExactPercentiles) {
+  LatencyRecorder r;
+  for (int i = 1; i <= 100; ++i) {
+    r.Record(i);
+  }
+  EXPECT_EQ(r.Percentile(0), 1);
+  EXPECT_EQ(r.Percentile(100), 100);
+  EXPECT_NEAR(static_cast<double>(r.Percentile(50)), 50.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(r.Percentile(99)), 99.0, 1.0);
+}
+
+TEST(LatencyRecorder, SummarizeRepeatable) {
+  LatencyRecorder r;
+  for (int i = 0; i < 10; ++i) {
+    r.Record(i * 100);
+  }
+  const LatencySummary s1 = r.Summarize();
+  const LatencySummary s2 = r.Summarize();
+  EXPECT_EQ(s1.p99_us, s2.p99_us);
+  EXPECT_EQ(s1.mean_us, s2.mean_us);
+}
+
+TEST(LatencyRecorder, RecordAfterSummarize) {
+  LatencyRecorder r;
+  r.Record(10);
+  (void)r.Summarize();
+  r.Record(20);
+  EXPECT_EQ(r.Summarize().count, 2);
+  EXPECT_EQ(r.Summarize().max_us, 20);
+}
+
+TEST(LatencyRecorder, MergeCombinesSamples) {
+  LatencyRecorder a;
+  LatencyRecorder b;
+  a.Record(1);
+  a.Record(2);
+  b.Record(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3);
+  EXPECT_EQ(a.Summarize().max_us, 3);
+}
+
+TEST(LatencyRecorder, ClearResets) {
+  LatencyRecorder r;
+  r.Record(5);
+  r.Clear();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.Summarize().count, 0);
+}
+
+TEST(LatencyRecorder, MeanIsArithmeticMean) {
+  LatencyRecorder r;
+  r.Record(Millis(10));
+  r.Record(Millis(20));
+  r.Record(Millis(30));
+  EXPECT_DOUBLE_EQ(r.Summarize().mean_ms(), 20.0);
+}
+
+TEST(LatencySummary, ToStringContainsFields) {
+  LatencyRecorder r;
+  r.Record(Millis(10));
+  const std::string s = r.Summarize().ToString();
+  EXPECT_NE(s.find("n=1"), std::string::npos);
+  EXPECT_NE(s.find("mean=10.00ms"), std::string::npos);
+}
+
+TEST(LogHistogram, EmptyIsZero) {
+  LogHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Mean(), 0.0);
+  EXPECT_EQ(h.Percentile(99), 0);
+}
+
+TEST(LogHistogram, MeanIsExact) {
+  LogHistogram h;
+  h.Record(100);
+  h.Record(200);
+  h.Record(300);
+  EXPECT_DOUBLE_EQ(h.Mean(), 200.0);
+}
+
+TEST(LogHistogram, PercentileWithinRelativeError) {
+  LogHistogram h;
+  for (int i = 0; i < 10000; ++i) {
+    h.Record(1000);  // all samples identical
+  }
+  const int64_t p99 = h.Percentile(99);
+  // Log-bucketed: upper bound of the bucket containing 1000, ~6.25% wide.
+  EXPECT_GE(p99, 1000);
+  EXPECT_LE(p99, 1100);
+}
+
+TEST(LogHistogram, OrderedPercentiles) {
+  LogHistogram h;
+  for (int64_t v = 1; v <= 100000; v += 7) {
+    h.Record(v);
+  }
+  EXPECT_LE(h.Percentile(50), h.Percentile(95));
+  EXPECT_LE(h.Percentile(95), h.Percentile(99));
+  EXPECT_LE(h.Percentile(99), h.Percentile(100));
+}
+
+TEST(LogHistogram, HandlesSmallAndZeroValues) {
+  LogHistogram h;
+  h.Record(0);
+  h.Record(-5);
+  h.Record(1);
+  EXPECT_EQ(h.count(), 3);
+  EXPECT_GT(h.Percentile(100), 0);
+}
+
+TEST(LogHistogram, ClearResets) {
+  LogHistogram h;
+  h.Record(50);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Percentile(50), 0);
+}
+
+TEST(LogHistogram, LargeValues) {
+  LogHistogram h;
+  const int64_t big = int64_t{1} << 39;
+  h.Record(big);
+  EXPECT_GE(h.Percentile(100), big / 2);
+}
+
+}  // namespace
+}  // namespace icg

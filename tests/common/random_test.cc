@@ -1,0 +1,206 @@
+#include "src/common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace icg {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      equal++;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ZeroSeedIsValid) {
+  Rng r(0);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 50; ++i) {
+    seen.insert(r.NextU64());
+  }
+  EXPECT_GT(seen.size(), 45u);  // not stuck
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(r.NextBounded(17), 17u);
+  }
+}
+
+TEST(Rng, BoundedOfOneIsZero) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(r.NextBounded(1), 0u);
+  }
+}
+
+TEST(Rng, NextIntInclusiveRange) {
+  Rng r(9);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = r.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = r.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, DoubleMeanNearHalf) {
+  Rng r(13);
+  double sum = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    sum += r.NextDouble();
+  }
+  EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, BoolProbabilityRespected) {
+  Rng r(17);
+  int heads = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    heads += r.NextBool(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(heads) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, BoolEdgeProbabilities) {
+  Rng r(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.NextBool(0.0));
+    EXPECT_TRUE(r.NextBool(1.0));
+    EXPECT_FALSE(r.NextBool(-0.5));
+    EXPECT_TRUE(r.NextBool(1.5));
+  }
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(23);
+  double sum = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    sum += r.NextExponential(50.0);
+  }
+  EXPECT_NEAR(sum / kN, 50.0, 1.0);
+}
+
+TEST(Rng, ExponentialIsNonNegative) {
+  Rng r(29);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(r.NextExponential(1.0), 0.0);
+  }
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng r(31);
+  double sum = 0;
+  double sum_sq = 0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const double g = r.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.01);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.02);
+}
+
+TEST(Rng, LognormalMedianMatches) {
+  Rng r(37);
+  std::vector<double> samples;
+  constexpr int kN = 100001;
+  samples.reserve(kN);
+  for (int i = 0; i < kN; ++i) {
+    samples.push_back(r.NextLognormal(10.0, 0.2));
+  }
+  std::nth_element(samples.begin(), samples.begin() + kN / 2, samples.end());
+  EXPECT_NEAR(samples[kN / 2], 10.0, 0.15);
+}
+
+TEST(Rng, LognormalAlwaysPositive) {
+  Rng r(41);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GT(r.NextLognormal(5.0, 1.0), 0.0);
+  }
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.NextU64() == child.NextU64()) {
+      equal++;
+    }
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ForkIsDeterministic) {
+  Rng a(47);
+  Rng b(47);
+  Rng fa = a.Fork();
+  Rng fb = b.Fork();
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(fa.NextU64(), fb.NextU64());
+  }
+}
+
+// Chi-squared-style uniformity check over 16 buckets, across several seeds.
+class RngUniformity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RngUniformity, BoundedIsRoughlyUniform) {
+  Rng r(GetParam());
+  constexpr int kBuckets = 16;
+  constexpr int kN = 160000;
+  std::vector<int> counts(kBuckets, 0);
+  for (int i = 0; i < kN; ++i) {
+    counts[static_cast<size_t>(r.NextBounded(kBuckets))]++;
+  }
+  const double expected = static_cast<double>(kN) / kBuckets;
+  double chi2 = 0;
+  for (const int c : counts) {
+    const double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  // 15 degrees of freedom: p=0.001 critical value ~37.7.
+  EXPECT_LT(chi2, 37.7) << "seed " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RngUniformity,
+                         ::testing::Values(1u, 2u, 42u, 1234567u, 0xdeadbeefu));
+
+}  // namespace
+}  // namespace icg

@@ -1,0 +1,111 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace icg {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, FactoriesCarryCodeAndMessage) {
+  EXPECT_EQ(Status::Timeout().code(), StatusCode::kTimeout);
+  EXPECT_EQ(Status::Unavailable("down").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Conflict("c").code(), StatusCode::kConflict);
+  EXPECT_EQ(Status::InvalidArgument("bad").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::Aborted("a").code(), StatusCode::kAborted);
+  EXPECT_EQ(Status::Internal("bug").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("down").message(), "down");
+  EXPECT_FALSE(Status::Timeout().ok());
+}
+
+TEST(Status, ToStringIncludesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("key k").ToString(), "NOT_FOUND: key k");
+  EXPECT_EQ(Status(StatusCode::kTimeout, "").ToString(), "TIMEOUT");
+}
+
+TEST(Status, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Conflict("a"));
+  EXPECT_EQ(Status(), Status::Ok());
+}
+
+TEST(Status, StreamInsertion) {
+  std::ostringstream os;
+  os << Status::Conflict("lost race");
+  EXPECT_EQ(os.str(), "CONFLICT: lost race");
+}
+
+TEST(StatusCodeNames, AllDistinct) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kTimeout), "TIMEOUT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kConflict), "CONFLICT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kAborted), "ABORTED");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "INTERNAL");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(7);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 7);
+  EXPECT_EQ(*v, 7);
+  EXPECT_TRUE(v.status().ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> e(Status::NotFound("gone"));
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(e.status().message(), "gone");
+}
+
+TEST(StatusOr, ValueOrFallsBack) {
+  StatusOr<int> v(3);
+  StatusOr<int> e(Status::Timeout());
+  EXPECT_EQ(v.value_or(-1), 3);
+  EXPECT_EQ(e.value_or(-1), -1);
+}
+
+TEST(StatusOr, MutableAccess) {
+  StatusOr<std::string> v(std::string("abc"));
+  v.value() += "d";
+  EXPECT_EQ(*v, "abcd");
+  EXPECT_EQ(v->size(), 4u);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v(std::string(1000, 'x'));
+  std::string taken = std::move(v).value();
+  EXPECT_EQ(taken.size(), 1000u);
+}
+
+TEST(StatusOr, CopyableAndAssignable) {
+  StatusOr<int> a(1);
+  StatusOr<int> b = a;
+  EXPECT_TRUE(b.ok());
+  b = StatusOr<int>(Status::Conflict("c"));
+  EXPECT_FALSE(b.ok());
+  EXPECT_TRUE(a.ok());
+}
+
+TEST(StatusOr, WorksWithMoveOnlyFriendlyTypes) {
+  struct Big {
+    std::string payload;
+  };
+  StatusOr<Big> v(Big{std::string(64, 'p')});
+  EXPECT_EQ(v->payload.size(), 64u);
+}
+
+}  // namespace
+}  // namespace icg

@@ -1,0 +1,252 @@
+// CorrectableClient behaviour against a scriptable mock binding: level selection,
+// response-to-view translation, confirmation handling, monotonicity enforcement against
+// misbehaving storage, timeouts, and statistics.
+#include "src/correctables/client.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace icg {
+namespace {
+
+// A binding whose responses are scripted by the test.
+class MockBinding : public Binding {
+ public:
+  struct Call {
+    Operation op;
+    std::vector<ConsistencyLevel> levels;
+    ResponseCallback callback;
+  };
+
+  std::string Name() const override { return "mock"; }
+  std::vector<ConsistencyLevel> SupportedLevels() const override { return supported_; }
+
+  void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
+                       ResponseCallback callback) override {
+    calls_.push_back(Call{op, levels, std::move(callback)});
+  }
+
+  Call& last() { return calls_.back(); }
+  size_t call_count() const { return calls_.size(); }
+
+  std::vector<ConsistencyLevel> supported_ = {ConsistencyLevel::kWeak,
+                                              ConsistencyLevel::kStrong};
+  std::vector<Call> calls_;
+};
+
+OpResult Result(const std::string& value) {
+  OpResult r;
+  r.found = true;
+  r.value = value;
+  return r;
+}
+
+class ClientTest : public ::testing::Test {
+ protected:
+  ClientTest() : binding_(std::make_shared<MockBinding>()), client_(binding_) {}
+
+  std::shared_ptr<MockBinding> binding_;
+  CorrectableClient client_;
+};
+
+TEST_F(ClientTest, InvokeWeakRequestsWeakestLevel) {
+  client_.InvokeWeak(Operation::Get("k"));
+  ASSERT_EQ(binding_->call_count(), 1u);
+  EXPECT_EQ(binding_->last().levels,
+            (std::vector<ConsistencyLevel>{ConsistencyLevel::kWeak}));
+}
+
+TEST_F(ClientTest, InvokeStrongRequestsStrongestLevel) {
+  client_.InvokeStrong(Operation::Get("k"));
+  EXPECT_EQ(binding_->last().levels,
+            (std::vector<ConsistencyLevel>{ConsistencyLevel::kStrong}));
+}
+
+TEST_F(ClientTest, InvokeRequestsAllLevels) {
+  client_.Invoke(Operation::Get("k"));
+  EXPECT_EQ(binding_->last().levels, binding_->supported_);
+}
+
+TEST_F(ClientTest, InvokeWithSubsetPassesThrough) {
+  client_.Invoke(Operation::Get("k"), {ConsistencyLevel::kWeak});
+  EXPECT_EQ(binding_->last().levels,
+            (std::vector<ConsistencyLevel>{ConsistencyLevel::kWeak}));
+}
+
+TEST_F(ClientTest, InvalidLevelSelectionFailsFast) {
+  // Descending order is invalid.
+  auto c = client_.Invoke(Operation::Get("k"),
+                          {ConsistencyLevel::kStrong, ConsistencyLevel::kWeak});
+  EXPECT_EQ(c.state(), CorrectableState::kError);
+  EXPECT_EQ(c.Final().status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(binding_->call_count(), 0u);  // never reached the binding
+}
+
+TEST_F(ClientTest, UnsupportedLevelFailsFast) {
+  auto c = client_.Invoke(Operation::Get("k"), {ConsistencyLevel::kCausal});
+  EXPECT_EQ(c.state(), CorrectableState::kError);
+  EXPECT_EQ(client_.stats().errors, 1);
+}
+
+TEST_F(ClientTest, EmptyLevelSelectionFailsFast) {
+  auto c = client_.Invoke(Operation::Get("k"), {});
+  EXPECT_EQ(c.state(), CorrectableState::kError);
+}
+
+TEST_F(ClientTest, PreliminaryThenFinalViews) {
+  auto c = client_.Invoke(Operation::Get("k"));
+  auto& call = binding_->last();
+  call.callback(Result("v1"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  EXPECT_EQ(c.state(), CorrectableState::kUpdating);
+  EXPECT_EQ(c.LatestView().value.value, "v1");
+  call.callback(Result("v2"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  EXPECT_EQ(c.state(), CorrectableState::kFinal);
+  EXPECT_EQ(c.Final().value().value, "v2");
+  EXPECT_EQ(client_.stats().views_delivered, 2);
+}
+
+TEST_F(ClientTest, ConfirmationClosesWithPreliminaryValue) {
+  auto c = client_.Invoke(Operation::Get("k"));
+  auto& call = binding_->last();
+  call.callback(Result("v1"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  call.callback(OpResult{}, ConsistencyLevel::kStrong, ResponseKind::kConfirmation);
+  ASSERT_EQ(c.state(), CorrectableState::kFinal);
+  EXPECT_EQ(c.Final().value().value, "v1");
+  EXPECT_TRUE(c.LatestView().confirmed_preliminary);
+  EXPECT_EQ(client_.stats().confirmations, 1);
+  EXPECT_EQ(client_.stats().divergences, 0);
+}
+
+TEST_F(ClientTest, DivergenceCounted) {
+  auto c = client_.Invoke(Operation::Get("k"));
+  auto& call = binding_->last();
+  call.callback(Result("stale"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  call.callback(Result("fresh"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  EXPECT_EQ(client_.stats().divergences, 1);
+  EXPECT_EQ(c.Final().value().value, "fresh");
+}
+
+TEST_F(ClientTest, MatchingFullFinalIsNotDivergence) {
+  client_.Invoke(Operation::Get("k"));
+  auto& call = binding_->last();
+  call.callback(Result("same"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  call.callback(Result("same"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  EXPECT_EQ(client_.stats().divergences, 0);
+}
+
+TEST_F(ClientTest, WeakOnlyClosesAtWeakLevel) {
+  auto c = client_.InvokeWeak(Operation::Get("k"));
+  binding_->last().callback(Result("v"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  EXPECT_EQ(c.state(), CorrectableState::kFinal);
+  EXPECT_EQ(c.LatestView().level, ConsistencyLevel::kWeak);
+}
+
+TEST_F(ClientTest, ErrorOnFinalLevelFailsCorrectable) {
+  auto c = client_.Invoke(Operation::Get("k"));
+  auto& call = binding_->last();
+  call.callback(Result("v1"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  call.callback(Status::Unavailable("no quorum"), ConsistencyLevel::kStrong,
+                ResponseKind::kValue);
+  EXPECT_EQ(c.state(), CorrectableState::kError);
+  EXPECT_EQ(client_.stats().errors, 1);
+}
+
+TEST_F(ClientTest, ErrorOnPreliminaryLevelIsTolerated) {
+  auto c = client_.Invoke(Operation::Get("k"));
+  auto& call = binding_->last();
+  call.callback(Status::Unavailable("replica slow"), ConsistencyLevel::kWeak,
+                ResponseKind::kValue);
+  EXPECT_EQ(c.state(), CorrectableState::kUpdating);  // still waiting for the final
+  call.callback(Result("v"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  EXPECT_EQ(c.state(), CorrectableState::kFinal);
+  EXPECT_EQ(client_.stats().errors, 0);
+}
+
+TEST_F(ClientTest, ReorderedWeakerViewDropped) {
+  // A misbehaving binding delivers the strong view, then a stale weak view.
+  auto c = client_.Invoke(Operation::Get("k"));
+  auto& call = binding_->last();
+  call.callback(Result("strong"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  EXPECT_EQ(c.state(), CorrectableState::kFinal);
+  call.callback(Result("weak-late"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  EXPECT_EQ(c.Final().value().value, "strong");  // unchanged
+  EXPECT_EQ(client_.stats().stale_views_dropped, 1);
+}
+
+TEST_F(ClientTest, StatsCountInvocationKinds) {
+  client_.InvokeWeak(Operation::Get("a"));
+  client_.InvokeStrong(Operation::Get("b"));
+  client_.Invoke(Operation::Get("c"));
+  const ClientStats& s = client_.stats();
+  EXPECT_EQ(s.invocations, 3);
+  EXPECT_EQ(s.weak_invocations, 1);
+  EXPECT_EQ(s.strong_invocations, 1);
+  EXPECT_EQ(s.icg_invocations, 1);
+}
+
+TEST_F(ClientTest, ResetStatsZeroes) {
+  client_.InvokeWeak(Operation::Get("a"));
+  client_.ResetStats();
+  EXPECT_EQ(client_.stats().invocations, 0);
+}
+
+TEST(ClientTimeout, FailsWhenNoFinalArrives) {
+  EventLoop loop;
+  auto binding = std::make_shared<MockBinding>();
+  CorrectableClient client(binding, &loop);
+  client.SetTimeout(Millis(100));
+
+  auto c = client.Invoke(Operation::Get("k"));
+  // Only a preliminary ever arrives.
+  binding->last().callback(Result("v1"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  loop.RunFor(Millis(200));
+  EXPECT_EQ(c.state(), CorrectableState::kError);
+  EXPECT_EQ(c.Final().status().code(), StatusCode::kTimeout);
+  EXPECT_EQ(client.stats().timeouts, 1);
+}
+
+TEST(ClientTimeout, CancelledWhenFinalArrives) {
+  EventLoop loop;
+  auto binding = std::make_shared<MockBinding>();
+  CorrectableClient client(binding, &loop);
+  client.SetTimeout(Millis(100));
+
+  auto c = client.Invoke(Operation::Get("k"));
+  binding->last().callback(Result("v"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  loop.RunFor(Millis(200));
+  EXPECT_EQ(c.state(), CorrectableState::kFinal);
+  EXPECT_EQ(client.stats().timeouts, 0);
+}
+
+TEST(ClientTimeout, ViewTimestampsComeFromLoop) {
+  EventLoop loop;
+  auto binding = std::make_shared<MockBinding>();
+  CorrectableClient client(binding, &loop);
+  auto c = client.Invoke(Operation::Get("k"));
+  loop.RunFor(Millis(7));
+  binding->last().callback(Result("v"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  EXPECT_EQ(c.LatestView().delivered_at, Millis(7));
+}
+
+TEST(ClientThreeLevels, AllLevelsDeliveredInOrder) {
+  auto binding = std::make_shared<MockBinding>();
+  binding->supported_ = {ConsistencyLevel::kCache, ConsistencyLevel::kWeak,
+                         ConsistencyLevel::kStrong};
+  CorrectableClient client(binding);
+  auto c = client.Invoke(Operation::Get("k"));
+  auto& call = binding->last();
+  std::vector<ConsistencyLevel> seen;
+  c.OnUpdate([&](const View<OpResult>& v) { seen.push_back(v.level); });
+  c.OnFinal([&](const View<OpResult>& v) { seen.push_back(v.level); });
+  call.callback(Result("a"), ConsistencyLevel::kCache, ResponseKind::kValue);
+  call.callback(Result("b"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  call.callback(Result("c"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  EXPECT_EQ(seen, (std::vector<ConsistencyLevel>{ConsistencyLevel::kCache,
+                                                 ConsistencyLevel::kWeak,
+                                                 ConsistencyLevel::kStrong}));
+}
+
+}  // namespace
+}  // namespace icg

@@ -1,0 +1,112 @@
+// Reproducibility: identical seeds must produce bit-identical end-to-end results — the
+// property that makes every benchmark figure in this repository regenerable.
+#include <gtest/gtest.h>
+
+#include "src/harness/deployment.h"
+#include "src/harness/executors.h"
+
+namespace icg {
+namespace {
+
+RunnerResult RunOnce(uint64_t seed) {
+  SimWorld world(seed, /*jitter_sigma=*/0.08);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding);
+  WorkloadConfig config = WorkloadConfig::YcsbA(RequestDistribution::kLatest, 200);
+  PreloadYcsbDataset(stack.cluster.get(), config);
+
+  RunnerConfig runner_config;
+  runner_config.threads = 8;
+  runner_config.duration = Seconds(20);
+  runner_config.warmup = Seconds(4);
+  runner_config.cooldown = Seconds(4);
+  CoreWorkload workload(config, seed + 1);
+  LoadRunner runner(&world.loop(), &workload, MakeKvExecutor(stack.client.get(), KvMode::kIcg),
+                    runner_config);
+  return runner.Run();
+}
+
+TEST(Determinism, IdenticalSeedsIdenticalResults) {
+  const RunnerResult a = RunOnce(42);
+  const RunnerResult b = RunOnce(42);
+  EXPECT_EQ(a.measured_ops, b.measured_ops);
+  EXPECT_EQ(a.divergences, b.divergences);
+  EXPECT_EQ(a.final_view.p99_us, b.final_view.p99_us);
+  EXPECT_DOUBLE_EQ(a.final_view.mean_us, b.final_view.mean_us);
+  EXPECT_DOUBLE_EQ(a.throughput_ops, b.throughput_ops);
+}
+
+TEST(Determinism, DifferentSeedsDifferentRuns) {
+  const RunnerResult a = RunOnce(1);
+  const RunnerResult b = RunOnce(2);
+  // Same workload model, but the jitter/choice streams must differ.
+  EXPECT_NE(a.final_view.mean_us, b.final_view.mean_us);
+}
+
+TEST(ExecutorMapping, KeyIndexParsing) {
+  EXPECT_EQ(KeyIndexOf("user0"), 0);
+  EXPECT_EQ(KeyIndexOf("user987"), 987);
+  EXPECT_EQ(KeyIndexOf("nodigits"), 0);
+}
+
+TEST(ExecutorMapping, KvModeNames) {
+  EXPECT_STREQ(KvModeName(KvMode::kWeakOnly), "weak(R=1)");
+  EXPECT_STREQ(KvModeName(KvMode::kStrongOnly), "strong");
+  EXPECT_STREQ(KvModeName(KvMode::kIcg), "icg");
+}
+
+TEST(ExecutorBehaviour, WeakModeNeverReportsPreliminary) {
+  SimWorld world(9, 0.0);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding);
+  stack.cluster->Preload("user0", "v");
+  auto executor = MakeKvExecutor(stack.client.get(), KvMode::kWeakOnly);
+  YcsbOp op;
+  op.is_read = true;
+  op.key = "user0";
+  OpOutcome outcome;
+  executor(op, [&](OpOutcome o) { outcome = o; });
+  world.loop().Run();
+  EXPECT_FALSE(outcome.preliminary_latency.has_value());
+  EXPECT_FALSE(outcome.error);
+}
+
+TEST(ExecutorBehaviour, IcgModeReportsBothLatencies) {
+  SimWorld world(10, 0.0);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding);
+  stack.cluster->Preload("user0", "v");
+  auto executor = MakeKvExecutor(stack.client.get(), KvMode::kIcg);
+  YcsbOp op;
+  op.is_read = true;
+  op.key = "user0";
+  OpOutcome outcome;
+  executor(op, [&](OpOutcome o) { outcome = o; });
+  world.loop().Run();
+  ASSERT_TRUE(outcome.preliminary_latency.has_value());
+  EXPECT_LT(*outcome.preliminary_latency, outcome.final_latency);
+  EXPECT_FALSE(outcome.diverged);  // consistent preloaded data
+}
+
+TEST(ExecutorBehaviour, WritesReportFinalOnly) {
+  SimWorld world(11, 0.0);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding);
+  auto executor = MakeKvExecutor(stack.client.get(), KvMode::kIcg);
+  YcsbOp op;
+  op.is_read = false;
+  op.key = "user0";
+  op.value = "payload";
+  OpOutcome outcome;
+  executor(op, [&](OpOutcome o) { outcome = o; });
+  world.loop().Run();
+  EXPECT_FALSE(outcome.preliminary_latency.has_value());
+  EXPECT_GT(outcome.final_latency, 0);
+}
+
+}  // namespace
+}  // namespace icg

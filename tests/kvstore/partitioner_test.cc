@@ -1,0 +1,86 @@
+#include "src/kvstore/partitioner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace icg {
+namespace {
+
+TEST(Partitioner, ReplicaSetHasRfDistinctNodes) {
+  Partitioner p({0, 1, 2}, /*replication_factor=*/3);
+  const auto replicas = p.ReplicasFor("some-key");
+  EXPECT_EQ(replicas.size(), 3u);
+  EXPECT_EQ(std::set<NodeId>(replicas.begin(), replicas.end()).size(), 3u);
+}
+
+TEST(Partitioner, RfCappedByNodeCount) {
+  Partitioner p({0, 1}, /*replication_factor=*/3);
+  EXPECT_EQ(p.ReplicasFor("k").size(), 2u);
+}
+
+TEST(Partitioner, RfOneSelectsSingleNode) {
+  Partitioner p({0, 1, 2, 3}, 1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(p.ReplicasFor("key" + std::to_string(i)).size(), 1u);
+  }
+}
+
+TEST(Partitioner, Deterministic) {
+  Partitioner a({0, 1, 2}, 2);
+  Partitioner b({0, 1, 2}, 2);
+  for (int i = 0; i < 100; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(a.ReplicasFor(key), b.ReplicasFor(key));
+  }
+}
+
+TEST(Partitioner, PrimaryIsFirstReplica) {
+  Partitioner p({0, 1, 2}, 3);
+  for (int i = 0; i < 20; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    EXPECT_EQ(p.PrimaryFor(key), p.ReplicasFor(key).front());
+  }
+}
+
+TEST(Partitioner, DifferentKeysSpreadAcrossPrimaries) {
+  Partitioner p({0, 1, 2, 3, 4}, 1);
+  std::set<NodeId> primaries;
+  for (int i = 0; i < 200; ++i) {
+    primaries.insert(p.PrimaryFor("key" + std::to_string(i)));
+  }
+  EXPECT_EQ(primaries.size(), 5u);  // every node owns something
+}
+
+TEST(Partitioner, LoadRoughlyBalanced) {
+  Partitioner p({0, 1, 2, 3}, 1, /*vnodes_per_node=*/64);
+  const auto load = p.PrimaryLoadEstimate(20000);
+  for (const auto& [node, share] : load) {
+    EXPECT_GT(share, 0.15) << "node " << node;
+    EXPECT_LT(share, 0.40) << "node " << node;
+  }
+}
+
+class PartitionerVnodes : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionerVnodes, MoreVnodesImproveBalance) {
+  Partitioner p({0, 1, 2}, 1, GetParam());
+  const auto load = p.PrimaryLoadEstimate(9000);
+  double max_share = 0;
+  for (const auto& [node, share] : load) {
+    max_share = std::max(max_share, share);
+  }
+  // Perfect balance is 1/3; allow generous skew for few vnodes, tight for many.
+  const double bound = GetParam() >= 64 ? 0.45 : 0.80;
+  EXPECT_LT(max_share, bound);
+}
+
+INSTANTIATE_TEST_SUITE_P(VnodeSweep, PartitionerVnodes, ::testing::Values(1, 4, 16, 64, 256));
+
+TEST(Partitioner, SingleNodeOwnsEverything) {
+  Partitioner p({7}, 3);
+  EXPECT_EQ(p.ReplicasFor("anything"), std::vector<NodeId>{7});
+}
+
+}  // namespace
+}  // namespace icg

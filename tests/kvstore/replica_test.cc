@@ -1,0 +1,312 @@
+// Quorum-store protocol tests: coordinator read/write paths, replication, read repair,
+// ICG preliminary flushing, confirmations, multireads, and crash behaviour.
+#include "src/kvstore/replica.h"
+
+#include <gtest/gtest.h>
+
+#include "src/kvstore/cluster.h"
+#include "src/sim/network.h"
+#include "src/sim/topology.h"
+
+namespace icg {
+namespace {
+
+class ReplicaTest : public ::testing::Test {
+ protected:
+  ReplicaTest()
+      : topology_(RttMatrix::Ec2Default()),
+        network_(&loop_, &topology_, /*seed=*/1, /*jitter_sigma=*/0.0),
+        cluster_(&network_, &topology_, &config_,
+                 {Region::kFrankfurt, Region::kIreland, Region::kVirginia}) {
+    client_ = cluster_.MakeClient(Region::kIreland, Region::kFrankfurt);
+  }
+
+  // Convenience synchronous-style helpers driving the loop to completion.
+  StatusOr<OpResult> Read(const std::string& key, int quorum) {
+    StatusOr<OpResult> out(Status::Internal("no response"));
+    ReadOptions options;
+    options.read_quorum = quorum;
+    client_->Read(key, options,
+                  [&](StatusOr<OpResult> r, bool is_final, ResponseKind) {
+                    if (is_final) {
+                      out = std::move(r);
+                    }
+                  });
+    loop_.Run();
+    return out;
+  }
+
+  StatusOr<OpResult> Write(const std::string& key, const std::string& value) {
+    StatusOr<OpResult> out(Status::Internal("no response"));
+    client_->Write(key, value,
+                   [&](StatusOr<OpResult> r, bool, ResponseKind) { out = std::move(r); });
+    loop_.Run();
+    return out;
+  }
+
+  EventLoop loop_;
+  Topology topology_;
+  Network network_;
+  KvConfig config_;
+  KvCluster cluster_;
+  std::unique_ptr<KvClient> client_;
+};
+
+TEST_F(ReplicaTest, ReadMissingKeyReturnsNotFound) {
+  const auto result = Read("nope", 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->found);
+}
+
+TEST_F(ReplicaTest, PreloadedValueReadableAtAllQuorums) {
+  cluster_.Preload("k", "v");
+  for (const int quorum : {1, 2, 3}) {
+    const auto result = Read("k", quorum);
+    ASSERT_TRUE(result.ok()) << "R=" << quorum;
+    EXPECT_EQ(result->value, "v") << "R=" << quorum;
+  }
+}
+
+TEST_F(ReplicaTest, WriteAcksWithVersion) {
+  const auto ack = Write("k", "v1");
+  ASSERT_TRUE(ack.ok());
+  EXPECT_TRUE(ack->found);
+  EXPECT_GT(ack->version.timestamp, 0);
+  EXPECT_EQ(ack->version.writer, client_->coordinator_id());
+}
+
+TEST_F(ReplicaTest, WriteReplicatesToAllReplicasEventually) {
+  Write("k", "v1");
+  loop_.RunFor(Seconds(1));
+  for (const auto& replica : cluster_.replicas()) {
+    const auto local = replica->LocalGet("k");
+    ASSERT_TRUE(local.has_value());
+    EXPECT_EQ(local->value, "v1");
+  }
+}
+
+TEST_F(ReplicaTest, LastWriterWinsAcrossCoordinators) {
+  auto other_client = cluster_.MakeClient(Region::kVirginia, Region::kVirginia);
+  Write("k", "first");
+  bool done = false;
+  other_client->Write("k", "second",
+                      [&](StatusOr<OpResult>, bool, ResponseKind) { done = true; });
+  loop_.Run();
+  ASSERT_TRUE(done);
+  loop_.RunFor(Seconds(1));  // replication settles
+  for (const auto& replica : cluster_.replicas()) {
+    EXPECT_EQ(replica->LocalGet("k")->value, "second");
+  }
+}
+
+TEST_F(ReplicaTest, QuorumReadSeesFreshestReplica) {
+  // Install a stale copy on the coordinator and a fresh one elsewhere.
+  cluster_.Preload("k", "stale");
+  cluster_.ReplicaIn(Region::kIreland)->LocalPut("k", "fresh", Version{999, 1});
+  const auto weak = Read("k", 1);
+  EXPECT_EQ(weak->value, "stale");  // local read at FRK
+  const auto strong = Read("k", 2);
+  EXPECT_EQ(strong->value, "fresh");  // quorum includes IRL
+}
+
+TEST_F(ReplicaTest, ReadRepairUpdatesCoordinator) {
+  cluster_.Preload("k", "stale");
+  cluster_.ReplicaIn(Region::kIreland)->LocalPut("k", "fresh", Version{999, 1});
+  Read("k", 2);
+  loop_.RunFor(Seconds(1));
+  EXPECT_EQ(cluster_.ReplicaIn(Region::kFrankfurt)->LocalGet("k")->value, "fresh");
+}
+
+TEST_F(ReplicaTest, ReadRepairDisabledLeavesStaleCopy) {
+  config_.read_repair = false;
+  cluster_.Preload("k", "stale");
+  cluster_.ReplicaIn(Region::kIreland)->LocalPut("k", "fresh", Version{999, 1});
+  Read("k", 2);
+  loop_.RunFor(Seconds(1));
+  EXPECT_EQ(cluster_.ReplicaIn(Region::kFrankfurt)->LocalGet("k")->value, "stale");
+}
+
+TEST_F(ReplicaTest, IcgReadDeliversPreliminaryBeforeFinal) {
+  cluster_.Preload("k", "v");
+  ReadOptions options;
+  options.read_quorum = 2;
+  options.want_preliminary = true;
+  std::vector<bool> finality;
+  client_->Read("k", options, [&](StatusOr<OpResult> r, bool is_final, ResponseKind) {
+    ASSERT_TRUE(r.ok());
+    finality.push_back(is_final);
+  });
+  loop_.Run();
+  EXPECT_EQ(finality, (std::vector<bool>{false, true}));
+}
+
+TEST_F(ReplicaTest, IcgConfirmationWhenPreliminaryMatches) {
+  cluster_.Preload("k", "v");
+  ReadOptions options;
+  options.read_quorum = 2;
+  options.want_preliminary = true;
+  options.confirmations = true;
+  ResponseKind final_kind = ResponseKind::kValue;
+  client_->Read("k", options, [&](StatusOr<OpResult>, bool is_final, ResponseKind kind) {
+    if (is_final) {
+      final_kind = kind;
+    }
+  });
+  loop_.Run();
+  EXPECT_EQ(final_kind, ResponseKind::kConfirmation);
+  EXPECT_EQ(cluster_.ReplicaIn(Region::kFrankfurt)->metrics().Value("confirmations_sent"), 1);
+}
+
+TEST_F(ReplicaTest, IcgFullFinalWhenDiverged) {
+  cluster_.Preload("k", "stale");
+  cluster_.ReplicaIn(Region::kIreland)->LocalPut("k", "fresh", Version{999, 1});
+  ReadOptions options;
+  options.read_quorum = 2;
+  options.want_preliminary = true;
+  options.confirmations = true;
+  ResponseKind final_kind = ResponseKind::kConfirmation;
+  std::string final_value;
+  client_->Read("k", options, [&](StatusOr<OpResult> r, bool is_final, ResponseKind kind) {
+    if (is_final) {
+      final_kind = kind;
+      final_value = r->value;
+    }
+  });
+  loop_.Run();
+  EXPECT_EQ(final_kind, ResponseKind::kValue);
+  EXPECT_EQ(final_value, "fresh");
+  EXPECT_EQ(cluster_.ReplicaIn(Region::kFrankfurt)->metrics().Value("divergent_finals"), 1);
+}
+
+TEST_F(ReplicaTest, QuorumTimesOutWhenPeersCrashed) {
+  cluster_.Preload("k", "v");
+  network_.Crash(cluster_.ReplicaIn(Region::kIreland)->id());
+  network_.Crash(cluster_.ReplicaIn(Region::kVirginia)->id());
+  const auto result = Read("k", 2);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(ReplicaTest, R2SurvivesOneCrash) {
+  cluster_.Preload("k", "v");
+  network_.Crash(cluster_.ReplicaIn(Region::kVirginia)->id());
+  const auto result = Read("k", 2);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->value, "v");
+}
+
+TEST_F(ReplicaTest, WeakReadUnaffectedByRemoteCrashes) {
+  cluster_.Preload("k", "v");
+  network_.Crash(cluster_.ReplicaIn(Region::kIreland)->id());
+  network_.Crash(cluster_.ReplicaIn(Region::kVirginia)->id());
+  const auto result = Read("k", 1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->value, "v");
+}
+
+TEST_F(ReplicaTest, MultiReadReturnsJoinedValues) {
+  cluster_.Preload("a", "va");
+  cluster_.Preload("b", "vb");
+  StatusOr<OpResult> out(Status::Internal("none"));
+  ReadOptions options;
+  options.read_quorum = 2;
+  client_->MultiRead({"a", "b"}, options,
+                     [&](StatusOr<OpResult> r, bool is_final, ResponseKind) {
+                       if (is_final) {
+                         out = std::move(r);
+                       }
+                     });
+  loop_.Run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(out->found);
+  EXPECT_EQ(out->seqno, 2);  // both found
+  EXPECT_EQ(out->value, std::string("va") + kMultiValueSeparator + "vb");
+}
+
+TEST_F(ReplicaTest, MultiReadMissingKeyClearsFound) {
+  cluster_.Preload("a", "va");
+  StatusOr<OpResult> out(Status::Internal("none"));
+  ReadOptions options;
+  options.read_quorum = 1;
+  client_->MultiRead({"a", "missing"}, options,
+                     [&](StatusOr<OpResult> r, bool is_final, ResponseKind) {
+                       if (is_final) {
+                         out = std::move(r);
+                       }
+                     });
+  loop_.Run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(out->found);
+  EXPECT_EQ(out->seqno, 1);
+}
+
+TEST_F(ReplicaTest, MultiReadMergesPerKeyAcrossReplicas) {
+  cluster_.Preload("a", "stale-a");
+  cluster_.Preload("b", "stale-b");
+  cluster_.ReplicaIn(Region::kIreland)->LocalPut("a", "fresh-a", Version{999, 1});
+  cluster_.ReplicaIn(Region::kVirginia)->LocalPut("b", "fresh-b", Version{999, 2});
+  StatusOr<OpResult> out(Status::Internal("none"));
+  ReadOptions options;
+  options.read_quorum = 3;
+  client_->MultiRead({"a", "b"}, options,
+                     [&](StatusOr<OpResult> r, bool is_final, ResponseKind) {
+                       if (is_final) {
+                         out = std::move(r);
+                       }
+                     });
+  loop_.Run();
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->value, std::string("fresh-a") + kMultiValueSeparator + "fresh-b");
+}
+
+TEST_F(ReplicaTest, MultiReadIcgConfirmation) {
+  cluster_.Preload("a", "va");
+  cluster_.Preload("b", "vb");
+  ReadOptions options;
+  options.read_quorum = 2;
+  options.want_preliminary = true;
+  options.confirmations = true;
+  std::vector<ResponseKind> kinds;
+  client_->MultiRead({"a", "b"}, options,
+                     [&](StatusOr<OpResult>, bool, ResponseKind kind) {
+                       kinds.push_back(kind);
+                     });
+  loop_.Run();
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], ResponseKind::kValue);
+  EXPECT_EQ(kinds[1], ResponseKind::kConfirmation);
+}
+
+TEST_F(ReplicaTest, ConcurrentReadsIndependent) {
+  cluster_.Preload("a", "va");
+  cluster_.Preload("b", "vb");
+  std::string got_a;
+  std::string got_b;
+  ReadOptions options;
+  options.read_quorum = 2;
+  client_->Read("a", options, [&](StatusOr<OpResult> r, bool is_final, ResponseKind) {
+    if (is_final) {
+      got_a = r->value;
+    }
+  });
+  client_->Read("b", options, [&](StatusOr<OpResult> r, bool is_final, ResponseKind) {
+    if (is_final) {
+      got_b = r->value;
+    }
+  });
+  loop_.Run();
+  EXPECT_EQ(got_a, "va");
+  EXPECT_EQ(got_b, "vb");
+}
+
+TEST_F(ReplicaTest, CoordinatorMetricsCount) {
+  cluster_.Preload("k", "v");
+  Read("k", 2);
+  Write("k", "v2");
+  auto& metrics = cluster_.ReplicaIn(Region::kFrankfurt)->metrics();
+  EXPECT_EQ(metrics.Value("reads_coordinated"), 1);
+  EXPECT_EQ(metrics.Value("writes_coordinated"), 1);
+}
+
+}  // namespace
+}  // namespace icg

@@ -1,0 +1,173 @@
+#include "src/sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace icg {
+namespace {
+
+TEST(EventLoop, StartsAtZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.Now(), 0);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoop, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(Millis(30), [&]() { order.push_back(3); });
+  loop.Schedule(Millis(10), [&]() { order.push_back(1); });
+  loop.Schedule(Millis(20), [&]() { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), Millis(30));
+}
+
+TEST(EventLoop, SameTimeEventsRunFifo) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.Schedule(Millis(5), [&order, i]() { order.push_back(i); });
+  }
+  loop.Run();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventLoop, NowAdvancesToEventTime) {
+  EventLoop loop;
+  SimTime seen = -1;
+  loop.Schedule(Micros(123), [&]() { seen = loop.Now(); });
+  loop.Run();
+  EXPECT_EQ(seen, Micros(123));
+}
+
+TEST(EventLoop, NestedScheduling) {
+  EventLoop loop;
+  std::vector<SimTime> times;
+  loop.Schedule(Millis(1), [&]() {
+    times.push_back(loop.Now());
+    loop.Schedule(Millis(1), [&]() { times.push_back(loop.Now()); });
+  });
+  loop.Run();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], Millis(1));
+  EXPECT_EQ(times[1], Millis(2));
+}
+
+TEST(EventLoop, ZeroDelayRunsAtCurrentTime) {
+  EventLoop loop;
+  bool ran = false;
+  loop.Schedule(0, [&]() { ran = true; });
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(loop.Now(), 0);
+}
+
+TEST(EventLoop, RunOneReturnsFalseWhenEmpty) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.RunOne());
+}
+
+TEST(EventLoop, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  const TimerId id = loop.Schedule(Millis(1), [&]() { ran = true; });
+  loop.Cancel(id);
+  loop.Run();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoop, CancelUnknownIdIsNoop) {
+  EventLoop loop;
+  loop.Cancel(99999);
+  bool ran = false;
+  loop.Schedule(Millis(1), [&]() { ran = true; });
+  loop.Run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoop, CancelOneOfMany) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.Schedule(Millis(1), [&]() { order.push_back(1); });
+  const TimerId id = loop.Schedule(Millis(2), [&]() { order.push_back(2); });
+  loop.Schedule(Millis(3), [&]() { order.push_back(3); });
+  loop.Cancel(id);
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(EventLoop, RunUntilStopsAtBoundaryInclusive) {
+  EventLoop loop;
+  std::vector<int> ran;
+  loop.Schedule(Millis(10), [&]() { ran.push_back(10); });
+  loop.Schedule(Millis(20), [&]() { ran.push_back(20); });
+  loop.Schedule(Millis(30), [&]() { ran.push_back(30); });
+  loop.RunUntil(Millis(20));
+  EXPECT_EQ(ran, (std::vector<int>{10, 20}));
+  EXPECT_EQ(loop.Now(), Millis(20));
+  loop.Run();
+  EXPECT_EQ(ran, (std::vector<int>{10, 20, 30}));
+}
+
+TEST(EventLoop, RunUntilAdvancesTimeEvenWithoutEvents) {
+  EventLoop loop;
+  loop.RunUntil(Seconds(5));
+  EXPECT_EQ(loop.Now(), Seconds(5));
+}
+
+TEST(EventLoop, RunForIsRelative) {
+  EventLoop loop;
+  loop.RunFor(Millis(10));
+  loop.RunFor(Millis(10));
+  EXPECT_EQ(loop.Now(), Millis(20));
+}
+
+TEST(EventLoop, ScheduleAtAbsoluteTime) {
+  EventLoop loop;
+  SimTime seen = -1;
+  loop.ScheduleAt(Millis(7), [&]() { seen = loop.Now(); });
+  loop.Run();
+  EXPECT_EQ(seen, Millis(7));
+}
+
+TEST(EventLoop, EventsProcessedCounts) {
+  EventLoop loop;
+  for (int i = 0; i < 5; ++i) {
+    loop.Schedule(i, []() {});
+  }
+  loop.Run();
+  EXPECT_EQ(loop.events_processed(), 5);
+}
+
+TEST(EventLoop, CancelledEventNotCounted) {
+  EventLoop loop;
+  const TimerId id = loop.Schedule(1, []() {});
+  loop.Cancel(id);
+  loop.Run();
+  EXPECT_EQ(loop.events_processed(), 0);
+}
+
+TEST(EventLoop, ManyEventsStressOrdering) {
+  EventLoop loop;
+  SimTime last = -1;
+  bool monotonic = true;
+  for (int i = 0; i < 10000; ++i) {
+    // Pseudo-random but deterministic delays.
+    loop.Schedule((i * 7919) % 1000, [&, i]() {
+      if (loop.Now() < last) {
+        monotonic = false;
+      }
+      last = loop.Now();
+    });
+  }
+  loop.Run();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(loop.events_processed(), 10000);
+}
+
+}  // namespace
+}  // namespace icg

@@ -1,0 +1,158 @@
+#include "src/sim/network.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/histogram.h"
+#include "src/sim/topology.h"
+
+namespace icg {
+namespace {
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : topology_(RttMatrix::Ec2Default()) {
+    irl_ = topology_.AddNode(Region::kIreland, "irl");
+    frk_ = topology_.AddNode(Region::kFrankfurt, "frk");
+    vrg_ = topology_.AddNode(Region::kVirginia, "vrg");
+  }
+
+  EventLoop loop_;
+  Topology topology_;
+  NodeId irl_ = 0;
+  NodeId frk_ = 0;
+  NodeId vrg_ = 0;
+};
+
+TEST_F(NetworkTest, DelayIsHalfRttWithoutJitter) {
+  Network net(&loop_, &topology_, 1, /*jitter_sigma=*/0.0);
+  SimTime delivered = -1;
+  net.Send(irl_, frk_, 100, [&]() { delivered = loop_.Now(); });
+  loop_.Run();
+  EXPECT_EQ(delivered, Millis(10));  // IRL-FRK RTT is 20 ms
+}
+
+TEST_F(NetworkTest, SelfSendUsesLocalDelay) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  SimTime delivered = -1;
+  net.Send(irl_, irl_, 10, [&]() { delivered = loop_.Now(); });
+  loop_.Run();
+  EXPECT_GT(delivered, 0);
+  EXPECT_LT(delivered, Millis(1));
+}
+
+TEST_F(NetworkTest, JitterProducesSpreadAroundMedian) {
+  Network net(&loop_, &topology_, 3, /*jitter_sigma=*/0.1);
+  LatencyRecorder delays;
+  for (int i = 0; i < 2000; ++i) {
+    delays.Record(net.SampleDelay(irl_, vrg_));
+  }
+  const LatencySummary s = delays.Summarize();
+  // Median of the lognormal is the base one-way delay: 83/2 = 41.5 ms.
+  EXPECT_NEAR(static_cast<double>(s.p50_us), static_cast<double>(Millis(83)) / 2.0,
+              static_cast<double>(Millis(2)));
+  EXPECT_GT(s.max_us, s.min_us);  // actual spread
+  EXPECT_GT(s.p99_us, s.p50_us);
+}
+
+TEST_F(NetworkTest, BytesAccountedPerDirection) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  net.Send(irl_, frk_, 100, []() {});
+  net.Send(irl_, frk_, 50, []() {});
+  net.Send(frk_, irl_, 25, []() {});
+  EXPECT_EQ(net.Sent(irl_, frk_).bytes, 150);
+  EXPECT_EQ(net.Sent(irl_, frk_).messages, 2);
+  EXPECT_EQ(net.Sent(frk_, irl_).bytes, 25);
+  EXPECT_EQ(net.BytesBetween(irl_, frk_), 175);
+  EXPECT_EQ(net.MessagesBetween(irl_, frk_), 3);
+  EXPECT_EQ(net.total_bytes(), 175);
+}
+
+TEST_F(NetworkTest, UnusedLinkReportsZero) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  EXPECT_EQ(net.Sent(irl_, vrg_).bytes, 0);
+  EXPECT_EQ(net.BytesBetween(frk_, vrg_), 0);
+}
+
+TEST_F(NetworkTest, ResetStatsClears) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  net.Send(irl_, frk_, 100, []() {});
+  net.ResetStats();
+  EXPECT_EQ(net.total_bytes(), 0);
+  EXPECT_EQ(net.BytesBetween(irl_, frk_), 0);
+}
+
+TEST_F(NetworkTest, CrashedDestinationDropsMessages) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  net.Crash(frk_);
+  bool delivered = false;
+  net.Send(irl_, frk_, 10, [&]() { delivered = true; });
+  loop_.Run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.dropped_messages(), 1);
+}
+
+TEST_F(NetworkTest, CrashedSourceDropsMessages) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  net.Crash(irl_);
+  bool delivered = false;
+  net.Send(irl_, frk_, 10, [&]() { delivered = true; });
+  loop_.Run();
+  EXPECT_FALSE(delivered);
+}
+
+TEST_F(NetworkTest, RestartHealsNode) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  net.Crash(frk_);
+  EXPECT_TRUE(net.IsCrashed(frk_));
+  net.Restart(frk_);
+  EXPECT_FALSE(net.IsCrashed(frk_));
+  bool delivered = false;
+  net.Send(irl_, frk_, 10, [&]() { delivered = true; });
+  loop_.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(NetworkTest, PartitionCutsBothDirections) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  net.Partition(irl_, frk_);
+  int delivered = 0;
+  net.Send(irl_, frk_, 10, [&]() { delivered++; });
+  net.Send(frk_, irl_, 10, [&]() { delivered++; });
+  net.Send(irl_, vrg_, 10, [&]() { delivered++; });  // unaffected pair
+  loop_.Run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.dropped_messages(), 2);
+}
+
+TEST_F(NetworkTest, HealRestoresPartition) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  net.Partition(irl_, frk_);
+  net.Heal(irl_, frk_);
+  bool delivered = false;
+  net.Send(irl_, frk_, 10, [&]() { delivered = true; });
+  loop_.Run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(NetworkTest, LossProbabilityDropsFraction) {
+  Network net(&loop_, &topology_, 5, 0.0);
+  net.SetLossProbability(0.25);
+  int delivered = 0;
+  constexpr int kN = 4000;
+  for (int i = 0; i < kN; ++i) {
+    net.Send(irl_, frk_, 1, [&]() { delivered++; });
+  }
+  loop_.Run();
+  EXPECT_NEAR(static_cast<double>(delivered) / kN, 0.75, 0.03);
+}
+
+TEST_F(NetworkTest, DroppedMessagesStillAccountBytes) {
+  // The sender did transmit; accounting reflects offered bytes.
+  Network net(&loop_, &topology_, 1, 0.0);
+  net.Crash(frk_);
+  net.Send(irl_, frk_, 77, []() {});
+  EXPECT_EQ(net.Sent(irl_, frk_).bytes, 77);
+}
+
+}  // namespace
+}  // namespace icg

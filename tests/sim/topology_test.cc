@@ -1,0 +1,91 @@
+#include "src/sim/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace icg {
+namespace {
+
+TEST(RttMatrix, PaperCalibrationPoints) {
+  const RttMatrix m = RttMatrix::Ec2Default();
+  // Values stated in the paper's evaluation (§6.2).
+  EXPECT_EQ(m.Rtt(Region::kIreland, Region::kFrankfurt), Millis(20));
+  EXPECT_EQ(m.Rtt(Region::kIreland, Region::kVirginia), Millis(83));
+  EXPECT_EQ(m.Rtt(Region::kIreland, Region::kIreland), Millis(2));
+}
+
+TEST(RttMatrix, Symmetric) {
+  const RttMatrix m = RttMatrix::Ec2Default();
+  for (int a = 0; a < kNumRegions; ++a) {
+    for (int b = 0; b < kNumRegions; ++b) {
+      EXPECT_EQ(m.Rtt(static_cast<Region>(a), static_cast<Region>(b)),
+                m.Rtt(static_cast<Region>(b), static_cast<Region>(a)));
+    }
+  }
+}
+
+TEST(RttMatrix, AllPairsPopulated) {
+  const RttMatrix m = RttMatrix::Ec2Default();
+  for (int a = 0; a < kNumRegions; ++a) {
+    for (int b = 0; b < kNumRegions; ++b) {
+      EXPECT_GT(m.Rtt(static_cast<Region>(a), static_cast<Region>(b)), 0)
+          << RegionName(static_cast<Region>(a)) << "-" << RegionName(static_cast<Region>(b));
+    }
+  }
+}
+
+TEST(RttMatrix, OneWayIsHalfRtt) {
+  const RttMatrix m = RttMatrix::Ec2Default();
+  EXPECT_EQ(m.OneWay(Region::kIreland, Region::kFrankfurt), Millis(10));
+}
+
+TEST(RttMatrix, SetRttIsSymmetric) {
+  RttMatrix m = RttMatrix::Ec2Default();
+  m.SetRtt(Region::kIreland, Region::kOregon, Millis(111));
+  EXPECT_EQ(m.Rtt(Region::kOregon, Region::kIreland), Millis(111));
+}
+
+TEST(Topology, AddNodeAssignsDenseIds) {
+  Topology t;
+  EXPECT_EQ(t.AddNode(Region::kIreland, "a"), 0);
+  EXPECT_EQ(t.AddNode(Region::kFrankfurt, "b"), 1);
+  EXPECT_EQ(t.NumNodes(), 2);
+}
+
+TEST(Topology, RegionAndNameLookup) {
+  Topology t;
+  const NodeId n = t.AddNode(Region::kVirginia, "replica-vrg");
+  EXPECT_EQ(t.RegionOf(n), Region::kVirginia);
+  EXPECT_EQ(t.NameOf(n), "replica-vrg");
+}
+
+TEST(Topology, RttBetweenNodesUsesRegions) {
+  Topology t;
+  const NodeId a = t.AddNode(Region::kIreland, "a");
+  const NodeId b = t.AddNode(Region::kFrankfurt, "b");
+  const NodeId c = t.AddNode(Region::kIreland, "c");
+  EXPECT_EQ(t.RttBetween(a, b), Millis(20));
+  EXPECT_EQ(t.RttBetween(a, c), Millis(2));
+}
+
+TEST(Topology, NodesInFiltersRegion) {
+  Topology t;
+  t.AddNode(Region::kIreland, "a");
+  t.AddNode(Region::kFrankfurt, "b");
+  t.AddNode(Region::kIreland, "c");
+  const auto irl = t.NodesIn(Region::kIreland);
+  ASSERT_EQ(irl.size(), 2u);
+  EXPECT_EQ(irl[0], 0);
+  EXPECT_EQ(irl[1], 2);
+  EXPECT_TRUE(t.NodesIn(Region::kOregon).empty());
+}
+
+TEST(RegionNames, MatchPaperAbbreviations) {
+  EXPECT_STREQ(RegionName(Region::kIreland), "IRL");
+  EXPECT_STREQ(RegionName(Region::kFrankfurt), "FRK");
+  EXPECT_STREQ(RegionName(Region::kVirginia), "VRG");
+  EXPECT_STREQ(RegionName(Region::kCalifornia), "NCA");
+  EXPECT_STREQ(RegionName(Region::kOregon), "ORE");
+}
+
+}  // namespace
+}  // namespace icg

@@ -1,0 +1,175 @@
+// YCSB generator properties: skew, support, determinism. Parameterized sweeps verify the
+// distribution invariants that the paper's divergence results depend on (Latest is more
+// concentrated than scrambled Zipfian).
+#include "src/ycsb/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace icg {
+namespace {
+
+std::map<int64_t, int> Sample(IntegerGenerator& gen, Rng& rng, int n) {
+  std::map<int64_t, int> counts;
+  for (int i = 0; i < n; ++i) {
+    counts[gen.Next(rng)]++;
+  }
+  return counts;
+}
+
+TEST(UniformGenerator, CoversRangeUniformly) {
+  Rng rng(1);
+  UniformGenerator gen(0, 9);
+  const auto counts = Sample(gen, rng, 100000);
+  EXPECT_EQ(counts.size(), 10u);
+  for (const auto& [value, count] : counts) {
+    EXPECT_GE(value, 0);
+    EXPECT_LE(value, 9);
+    EXPECT_NEAR(count, 10000, 600);
+  }
+}
+
+TEST(ZipfianGenerator, RankZeroIsMostPopular) {
+  Rng rng(2);
+  ZipfianGenerator gen(1000);
+  const auto counts = Sample(gen, rng, 100000);
+  int max_count = 0;
+  int64_t max_rank = -1;
+  for (const auto& [rank, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_rank = rank;
+    }
+  }
+  EXPECT_EQ(max_rank, 0);
+}
+
+TEST(ZipfianGenerator, PopularityDecreasesWithRank) {
+  Rng rng(3);
+  ZipfianGenerator gen(1000);
+  const auto counts = Sample(gen, rng, 400000);
+  // Compare well-separated ranks to dodge sampling noise.
+  EXPECT_GT(counts.at(0), counts.at(10) * 2);
+  EXPECT_GT(counts.at(10), counts.count(500) ? counts.at(500) * 2 : 2);
+}
+
+TEST(ZipfianGenerator, TopRankProbabilityMatchesTheory) {
+  // p(rank 0) = 1 / zeta(n, theta); for n=1000, theta=0.99: zeta ~ 7.51, p ~ 13.3%.
+  Rng rng(4);
+  ZipfianGenerator gen(1000);
+  const auto counts = Sample(gen, rng, 200000);
+  const double p0 = counts.at(0) / 200000.0;
+  const double zeta = ZipfianGenerator::ComputeZeta(1000, 0.99);
+  EXPECT_NEAR(p0, 1.0 / zeta, 0.01);
+}
+
+TEST(ZipfianGenerator, StaysInRange) {
+  Rng rng(5);
+  ZipfianGenerator gen(100);
+  for (int i = 0; i < 50000; ++i) {
+    const int64_t v = gen.Next(rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 100);
+  }
+}
+
+TEST(ZipfianGenerator, ComputeZetaKnownValues) {
+  EXPECT_NEAR(ZipfianGenerator::ComputeZeta(1, 0.99), 1.0, 1e-9);
+  EXPECT_NEAR(ZipfianGenerator::ComputeZeta(2, 0.99), 1.0 + std::pow(2.0, -0.99), 1e-9);
+}
+
+TEST(ScrambledZipfian, StaysInRange) {
+  Rng rng(6);
+  ScrambledZipfianGenerator gen(1000);
+  for (int i = 0; i < 50000; ++i) {
+    const int64_t v = gen.Next(rng);
+    EXPECT_GE(v, 0);
+    EXPECT_LT(v, 1000);
+  }
+}
+
+TEST(ScrambledZipfian, LessConcentratedThanLatest) {
+  // The property behind Figure 7's Latest > Zipfian divergence ordering: the scrambled
+  // distribution's hottest key carries less probability mass than Latest's.
+  Rng rng1(7);
+  Rng rng2(7);
+  ScrambledZipfianGenerator scrambled(1000);
+  SkewedLatestGenerator latest(1000);
+  constexpr int kN = 300000;
+  const auto scrambled_counts = [&]() {
+    std::map<int64_t, int> counts;
+    for (int i = 0; i < kN; ++i) {
+      counts[scrambled.Next(rng1)]++;
+    }
+    return counts;
+  }();
+  const auto latest_counts = [&]() {
+    std::map<int64_t, int> counts;
+    for (int i = 0; i < kN; ++i) {
+      counts[latest.Next(rng2)]++;
+    }
+    return counts;
+  }();
+  int scrambled_max = 0;
+  for (const auto& [k, c] : scrambled_counts) {
+    scrambled_max = std::max(scrambled_max, c);
+  }
+  int latest_max = 0;
+  for (const auto& [k, c] : latest_counts) {
+    latest_max = std::max(latest_max, c);
+  }
+  EXPECT_GT(latest_max, 2 * scrambled_max);
+}
+
+TEST(SkewedLatest, MostRecentIsHottest) {
+  Rng rng(8);
+  SkewedLatestGenerator gen(1000);
+  const auto counts = Sample(gen, rng, 200000);
+  int max_count = 0;
+  int64_t max_key = -1;
+  for (const auto& [key, count] : counts) {
+    if (count > max_count) {
+      max_count = count;
+      max_key = key;
+    }
+  }
+  EXPECT_EQ(max_key, 999);  // the latest insert
+}
+
+TEST(SkewedLatest, AdvanceLastShiftsHotSpot) {
+  Rng rng(9);
+  SkewedLatestGenerator gen(1000);
+  EXPECT_EQ(gen.last(), 999);
+  gen.AdvanceLast();
+  EXPECT_EQ(gen.last(), 1000);
+  const auto counts = Sample(gen, rng, 100000);
+  EXPECT_GT(counts.at(1000), counts.count(990) ? counts.at(990) : 0);
+}
+
+TEST(SkewedLatest, NeverNegative) {
+  Rng rng(10);
+  SkewedLatestGenerator gen(5);  // tiny horizon forces clamping
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(gen.Next(rng), 0);
+  }
+}
+
+class GeneratorDeterminism : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorDeterminism, SameSeedSameStream) {
+  Rng rng1(GetParam());
+  Rng rng2(GetParam());
+  ScrambledZipfianGenerator g1(1000);
+  ScrambledZipfianGenerator g2(1000);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(g1.Next(rng1), g2.Next(rng2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorDeterminism, ::testing::Values(1u, 7u, 99u, 12345u));
+
+}  // namespace
+}  // namespace icg

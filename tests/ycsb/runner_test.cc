@@ -1,0 +1,130 @@
+// Closed-loop runner semantics: throughput math, warmup/cooldown elision, and outcome
+// accounting, using a synthetic constant-latency executor.
+#include "src/ycsb/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace icg {
+namespace {
+
+// Executor answering every op after a fixed virtual delay.
+OpExecutor FixedLatencyExecutor(EventLoop* loop, SimDuration latency,
+                                bool with_preliminary = false, bool diverged = false) {
+  return [loop, latency, with_preliminary, diverged](const YcsbOp&,
+                                                     std::function<void(OpOutcome)> done) {
+    loop->Schedule(latency, [latency, with_preliminary, diverged, done]() {
+      OpOutcome outcome;
+      outcome.final_latency = latency;
+      if (with_preliminary) {
+        outcome.preliminary_latency = latency / 2;
+        outcome.diverged = diverged;
+      }
+      done(outcome);
+    });
+  };
+}
+
+RunnerConfig ShortTrial(int threads) {
+  RunnerConfig c;
+  c.threads = threads;
+  c.duration = Seconds(30);
+  c.warmup = Seconds(5);
+  c.cooldown = Seconds(5);
+  return c;
+}
+
+TEST(LoadRunner, ClosedLoopThroughputMatchesLittleLaw) {
+  EventLoop loop;
+  CoreWorkload workload(WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100), 1);
+  // 4 sessions x (1 op / 100 ms) = 40 ops/s.
+  LoadRunner runner(&loop, &workload, FixedLatencyExecutor(&loop, Millis(100)),
+                    ShortTrial(4));
+  const RunnerResult result = runner.Run();
+  EXPECT_NEAR(result.throughput_ops, 40.0, 2.0);
+  EXPECT_NEAR(result.final_view.mean_ms(), 100.0, 1.0);
+}
+
+TEST(LoadRunner, SingleThreadSingleOpAtATime) {
+  EventLoop loop;
+  CoreWorkload workload(WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100), 2);
+  LoadRunner runner(&loop, &workload, FixedLatencyExecutor(&loop, Millis(10)), ShortTrial(1));
+  const RunnerResult result = runner.Run();
+  EXPECT_NEAR(result.throughput_ops, 100.0, 5.0);
+}
+
+TEST(LoadRunner, WarmupAndCooldownElided) {
+  EventLoop loop;
+  CoreWorkload workload(WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100), 3);
+  LoadRunner runner(&loop, &workload, FixedLatencyExecutor(&loop, Millis(100)), ShortTrial(2));
+  const RunnerResult result = runner.Run();
+  // Measured window is 20 s of the 30 s trial: ~2 sessions x 10 ops/s x 20 s = 400 ops.
+  EXPECT_NEAR(static_cast<double>(result.measured_ops), 400.0, 20.0);
+}
+
+TEST(LoadRunner, PreliminaryStatsRecorded) {
+  EventLoop loop;
+  CoreWorkload workload(WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100), 4);
+  LoadRunner runner(&loop, &workload,
+                    FixedLatencyExecutor(&loop, Millis(40), /*with_preliminary=*/true),
+                    ShortTrial(2));
+  const RunnerResult result = runner.Run();
+  EXPECT_EQ(result.ops_with_preliminary, result.measured_ops);
+  EXPECT_NEAR(result.preliminary.mean_ms(), 20.0, 1.0);
+  EXPECT_DOUBLE_EQ(result.DivergencePercent(), 0.0);
+}
+
+TEST(LoadRunner, DivergenceCounted) {
+  EventLoop loop;
+  CoreWorkload workload(WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100), 5);
+  LoadRunner runner(&loop, &workload,
+                    FixedLatencyExecutor(&loop, Millis(40), true, /*diverged=*/true),
+                    ShortTrial(1));
+  const RunnerResult result = runner.Run();
+  EXPECT_EQ(result.divergences, result.ops_with_preliminary);
+  EXPECT_DOUBLE_EQ(result.DivergencePercent(), 100.0);
+}
+
+TEST(LoadRunner, ErrorsCountedSeparately) {
+  EventLoop loop;
+  CoreWorkload workload(WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100), 6);
+  OpExecutor failing = [&loop](const YcsbOp&, std::function<void(OpOutcome)> done) {
+    loop.Schedule(Millis(10), [done]() {
+      OpOutcome outcome;
+      outcome.error = true;
+      outcome.final_latency = Millis(10);
+      done(outcome);
+    });
+  };
+  LoadRunner runner(&loop, &workload, failing, ShortTrial(1));
+  const RunnerResult result = runner.Run();
+  EXPECT_GT(result.errors, 0);
+  EXPECT_EQ(result.final_view.count, 0);  // errored ops do not pollute latency stats
+}
+
+TEST(LoadRunner, ConcurrentRunnersShareOneLoop) {
+  EventLoop loop;
+  CoreWorkload w1(WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100), 7);
+  CoreWorkload w2(WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100), 8);
+  RunnerConfig config = ShortTrial(1);
+  LoadRunner r1(&loop, &w1, FixedLatencyExecutor(&loop, Millis(50)), config);
+  LoadRunner r2(&loop, &w2, FixedLatencyExecutor(&loop, Millis(50)), config);
+  r1.Begin();
+  r2.Begin();
+  loop.RunUntil(loop.Now() + config.duration + Seconds(5));
+  EXPECT_NEAR(r1.Collect().throughput_ops, 20.0, 2.0);
+  EXPECT_NEAR(r2.Collect().throughput_ops, 20.0, 2.0);
+}
+
+TEST(LoadRunner, MoreThreadsMoreThroughputUntilExecutorLimits) {
+  EventLoop loop;
+  CoreWorkload w1(WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100), 9);
+  LoadRunner small(&loop, &w1, FixedLatencyExecutor(&loop, Millis(100)), ShortTrial(2));
+  const double t2 = small.Run().throughput_ops;
+  CoreWorkload w2(WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100), 10);
+  LoadRunner big(&loop, &w2, FixedLatencyExecutor(&loop, Millis(100)), ShortTrial(8));
+  const double t8 = big.Run().throughput_ops;
+  EXPECT_NEAR(t8 / t2, 4.0, 0.3);  // ideal scaling with a latency-only executor
+}
+
+}  // namespace
+}  // namespace icg

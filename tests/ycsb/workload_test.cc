@@ -1,0 +1,109 @@
+#include "src/ycsb/workload.h"
+
+#include <gtest/gtest.h>
+
+namespace icg {
+namespace {
+
+TEST(WorkloadConfig, PresetMixes) {
+  const auto a = WorkloadConfig::YcsbA(RequestDistribution::kZipfian, 1000);
+  EXPECT_DOUBLE_EQ(a.read_proportion, 0.5);
+  EXPECT_DOUBLE_EQ(a.update_proportion, 0.5);
+  const auto b = WorkloadConfig::YcsbB(RequestDistribution::kLatest, 1000);
+  EXPECT_DOUBLE_EQ(b.read_proportion, 0.95);
+  const auto c = WorkloadConfig::YcsbC(RequestDistribution::kUniform, 1000);
+  EXPECT_DOUBLE_EQ(c.read_proportion, 1.0);
+  EXPECT_DOUBLE_EQ(c.update_proportion, 0.0);
+}
+
+TEST(WorkloadConfig, ValueBytes) {
+  WorkloadConfig c;
+  c.field_length = 100;
+  c.field_count = 10;
+  EXPECT_EQ(c.ValueBytes(), 1000);
+}
+
+TEST(CoreWorkload, KeyNaming) {
+  EXPECT_EQ(CoreWorkload::KeyForIndex(0), "user0");
+  EXPECT_EQ(CoreWorkload::KeyForIndex(123), "user123");
+}
+
+TEST(CoreWorkload, KeysStayInRecordRange) {
+  CoreWorkload w(WorkloadConfig::YcsbA(RequestDistribution::kLatest, 50), 1);
+  for (int i = 0; i < 5000; ++i) {
+    const YcsbOp op = w.NextOp();
+    const int64_t index = std::stoll(op.key.substr(4));
+    EXPECT_GE(index, 0);
+    EXPECT_LT(index, 50);
+  }
+}
+
+TEST(CoreWorkload, ReadWriteMixMatchesProportion) {
+  CoreWorkload w(WorkloadConfig::YcsbB(RequestDistribution::kZipfian, 1000), 2);
+  int reads = 0;
+  constexpr int kN = 50000;
+  for (int i = 0; i < kN; ++i) {
+    reads += w.NextOp().is_read ? 1 : 0;
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / kN, 0.95, 0.01);
+}
+
+TEST(CoreWorkload, ReadOnlyWorkloadNeverWrites) {
+  CoreWorkload w(WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100), 3);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_TRUE(w.NextOp().is_read);
+  }
+}
+
+TEST(CoreWorkload, UpdatesCarryFullSizedValues) {
+  WorkloadConfig config = WorkloadConfig::YcsbA(RequestDistribution::kUniform, 100);
+  config.field_length = 100;
+  config.field_count = 10;
+  CoreWorkload w(config, 4);
+  for (int i = 0; i < 1000; ++i) {
+    const YcsbOp op = w.NextOp();
+    if (!op.is_read) {
+      EXPECT_EQ(op.value.size(), 1000u);
+    } else {
+      EXPECT_TRUE(op.value.empty());
+    }
+  }
+}
+
+TEST(CoreWorkload, SuccessiveUpdateValuesDiffer) {
+  CoreWorkload w(WorkloadConfig::YcsbA(RequestDistribution::kUniform, 10), 5);
+  std::string first;
+  std::string second;
+  while (second.empty()) {
+    const YcsbOp op = w.NextOp();
+    if (!op.is_read) {
+      if (first.empty()) {
+        first = op.value;
+      } else {
+        second = op.value;
+      }
+    }
+  }
+  EXPECT_NE(first, second);  // version counter distinguishes writes
+}
+
+TEST(CoreWorkload, DeterministicForSeed) {
+  CoreWorkload w1(WorkloadConfig::YcsbA(RequestDistribution::kLatest, 1000), 42);
+  CoreWorkload w2(WorkloadConfig::YcsbA(RequestDistribution::kLatest, 1000), 42);
+  for (int i = 0; i < 500; ++i) {
+    const YcsbOp a = w1.NextOp();
+    const YcsbOp b = w2.NextOp();
+    EXPECT_EQ(a.key, b.key);
+    EXPECT_EQ(a.is_read, b.is_read);
+    EXPECT_EQ(a.value, b.value);
+  }
+}
+
+TEST(RequestDistributionNames, Readable) {
+  EXPECT_STREQ(RequestDistributionName(RequestDistribution::kUniform), "Uniform");
+  EXPECT_STREQ(RequestDistributionName(RequestDistribution::kZipfian), "Zipfian");
+  EXPECT_STREQ(RequestDistributionName(RequestDistribution::kLatest), "Latest");
+}
+
+}  // namespace
+}  // namespace icg

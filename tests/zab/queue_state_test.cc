@@ -1,0 +1,88 @@
+#include "src/zab/queue_state.h"
+
+#include <gtest/gtest.h>
+
+namespace icg {
+namespace {
+
+TEST(QueueState, StartsEmpty) {
+  QueueState q;
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+  EXPECT_EQ(q.next_seq(), 0);
+  EXPECT_FALSE(q.Head().has_value());
+  EXPECT_FALSE(q.Dequeue().has_value());
+}
+
+TEST(QueueState, EnqueueAssignsSequentialNames) {
+  QueueState q;
+  EXPECT_EQ(q.Enqueue("a"), 0);
+  EXPECT_EQ(q.Enqueue("b"), 1);
+  EXPECT_EQ(q.Enqueue("c"), 2);
+  EXPECT_EQ(q.Size(), 3u);
+  EXPECT_EQ(q.next_seq(), 3);
+}
+
+TEST(QueueState, DequeueIsFifo) {
+  QueueState q;
+  q.Enqueue("a");
+  q.Enqueue("b");
+  const auto first = q.Dequeue();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->data, "a");
+  EXPECT_EQ(first->seq, 0);
+  const auto second = q.Dequeue();
+  EXPECT_EQ(second->data, "b");
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(QueueState, HeadDoesNotRemove) {
+  QueueState q;
+  q.Enqueue("a");
+  EXPECT_EQ(q.Head()->data, "a");
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+TEST(QueueState, DeleteBySeq) {
+  QueueState q;
+  q.Enqueue("a");
+  q.Enqueue("b");
+  q.Enqueue("c");
+  EXPECT_TRUE(q.Delete(1));
+  EXPECT_EQ(q.Size(), 2u);
+  EXPECT_FALSE(q.Delete(1));  // already gone
+  EXPECT_EQ(q.Head()->seq, 0);
+  EXPECT_TRUE(q.Delete(0));
+  EXPECT_EQ(q.Head()->seq, 2);
+}
+
+TEST(QueueState, SeqNamesNeverReused) {
+  QueueState q;
+  q.Enqueue("a");
+  q.Dequeue();
+  EXPECT_EQ(q.Enqueue("b"), 1);  // 0 is never reassigned
+}
+
+TEST(QueueState, DeleteMissingSeqFails) {
+  QueueState q;
+  EXPECT_FALSE(q.Delete(0));
+  q.Enqueue("a");
+  EXPECT_FALSE(q.Delete(5));
+}
+
+TEST(QueueState, EntriesOrderedBySeq) {
+  QueueState q;
+  for (int i = 0; i < 10; ++i) {
+    q.Enqueue(std::to_string(i));
+  }
+  q.Delete(3);
+  q.Delete(7);
+  int64_t last = -1;
+  for (const QueueEntry& e : q.entries()) {
+    EXPECT_GT(e.seq, last);
+    last = e.seq;
+  }
+}
+
+}  // namespace
+}  // namespace icg
