@@ -4,9 +4,11 @@
 // network latencies.
 #include <benchmark/benchmark.h>
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "src/correctables/client.h"
 #include "src/correctables/correctable.h"
 
 namespace icg {
@@ -100,6 +102,80 @@ void BM_WhenAll(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_WhenAll)->Arg(2)->Arg(8)->Arg(32);
+
+// --- Pipeline overhead -----------------------------------------------------------------
+// The cost the InvocationPipeline adds on top of raw Correctable transitions: plan
+// construction, one fetch-step dispatch, and the pipeline's delivery bookkeeping. The
+// baseline below is the direct path (close a source by hand), so the delta is the
+// per-invocation price of routing through the unified engine. Track this across PRs: the
+// hot path must stay negligible against even LAN network latencies.
+
+// Single-level binding whose fetch resolves synchronously: no store, no loop, pure
+// library overhead.
+class ImmediateBinding : public Binding {
+ public:
+  std::string Name() const override { return "immediate"; }
+  std::vector<ConsistencyLevel> SupportedLevels() const override {
+    return {ConsistencyLevel::kStrong};
+  }
+  InvocationPlan PlanInvocation(const Operation&, const LevelSet&) override {
+    InvocationPlan plan;
+    plan.AddStep(ConsistencyLevel::kStrong, [](const Operation&, LevelEmitter emit) {
+      OpResult r;
+      r.found = true;
+      emit(ConsistencyLevel::kStrong, std::move(r));
+    });
+    return plan;
+  }
+};
+
+void BM_PipelineSingleLevelInvoke(benchmark::State& state) {
+  auto binding = std::make_shared<ImmediateBinding>();
+  CorrectableClient client(binding);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.InvokeStrong(Operation::Get("k")).Final());
+  }
+}
+BENCHMARK(BM_PipelineSingleLevelInvoke);
+
+void BM_DirectSingleLevelBaseline(benchmark::State& state) {
+  for (auto _ : state) {
+    CorrectableSource<OpResult> src;
+    OpResult r;
+    r.found = true;
+    src.Close(std::move(r), ConsistencyLevel::kStrong);
+    benchmark::DoNotOptimize(src.GetCorrectable().Final());
+  }
+}
+BENCHMARK(BM_DirectSingleLevelBaseline);
+
+// The ICG shape: two levels through the pipeline via a span step.
+class ImmediateIcgBinding : public Binding {
+ public:
+  std::string Name() const override { return "immediate-icg"; }
+  std::vector<ConsistencyLevel> SupportedLevels() const override {
+    return {ConsistencyLevel::kWeak, ConsistencyLevel::kStrong};
+  }
+  InvocationPlan PlanInvocation(const Operation&, const LevelSet& levels) override {
+    InvocationPlan plan;
+    plan.AddSpan(levels.levels(), [](const Operation&, LevelEmitter emit) {
+      OpResult r;
+      r.found = true;
+      emit(ConsistencyLevel::kWeak, r);
+      emit(ConsistencyLevel::kStrong, std::move(r));
+    });
+    return plan;
+  }
+};
+
+void BM_PipelineIcgInvoke(benchmark::State& state) {
+  auto binding = std::make_shared<ImmediateIcgBinding>();
+  CorrectableClient client(binding);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Invoke(Operation::Get("k")).Final());
+  }
+}
+BENCHMARK(BM_PipelineIcgInvoke);
 
 void BM_StringViews(benchmark::State& state) {
   const std::string payload(static_cast<size_t>(state.range(0)), 'x');

@@ -1,49 +1,39 @@
 #include "src/bindings/blockchain_binding.h"
 
-#include <algorithm>
-
 namespace icg {
-namespace {
 
-bool Contains(const std::vector<ConsistencyLevel>& levels, ConsistencyLevel level) {
-  return std::find(levels.begin(), levels.end(), level) != levels.end();
-}
-
-}  // namespace
-
-void BlockchainBinding::SubmitOperation(const Operation& op,
-                                        const std::vector<ConsistencyLevel>& levels,
-                                        ResponseCallback callback) {
+InvocationPlan BlockchainBinding::PlanInvocation(const Operation& op, const LevelSet& levels) {
   if (op.type != OpType::kPut) {
-    callback(Status::InvalidArgument("blockchain binding supports transaction submission "
-                                     "(kPut) only"),
-             levels.back(), ResponseKind::kValue);
-    return;
+    return InvocationPlan::Rejected(Status::InvalidArgument(
+        "blockchain binding supports transaction submission (kPut) only"));
   }
-  const bool weak = Contains(levels, ConsistencyLevel::kWeak);
-  const bool strong = Contains(levels, ConsistencyLevel::kStrong);
-  const std::string txid = op.key;
-
-  chain_->SubmitTransaction(
-      txid, [callback, txid, weak, strong](int confirmations, bool irreversible) {
-        OpResult result;
-        result.found = true;
-        result.value = txid;
-        result.seqno = confirmations;
-        if (irreversible) {
-          callback(std::move(result),
-                   strong ? ConsistencyLevel::kStrong : ConsistencyLevel::kWeak,
-                   ResponseKind::kValue);
-          return;
-        }
-        if (weak && strong) {
-          // Intermediate confirmation counts are incremental WEAK views.
-          callback(std::move(result), ConsistencyLevel::kWeak, ResponseKind::kValue);
-        } else if (weak && !strong && confirmations >= 1) {
-          // Weak-only invocation: first inclusion is good enough; report and stop caring.
-          callback(std::move(result), ConsistencyLevel::kWeak, ResponseKind::kValue);
-        }
-      });
+  const bool weak = levels.Contains(ConsistencyLevel::kWeak);
+  const bool strong = levels.Contains(ConsistencyLevel::kStrong);
+  InvocationPlan plan;
+  plan.AddSpan(levels.levels(), [chain = chain_, weak, strong](const Operation& put,
+                                                               LevelEmitter emit) {
+    chain->SubmitTransaction(
+        put.key, [emit, txid = put.key, weak, strong](int confirmations, bool irreversible) {
+          OpResult result;
+          result.found = true;
+          result.value = txid;
+          result.seqno = confirmations;
+          if (irreversible) {
+            emit(strong ? ConsistencyLevel::kStrong : ConsistencyLevel::kWeak,
+                 std::move(result));
+            return;
+          }
+          if (weak && strong) {
+            // Intermediate confirmation counts are incremental WEAK views.
+            emit(ConsistencyLevel::kWeak, std::move(result));
+          } else if (weak && !strong && confirmations >= 1) {
+            // Weak-only invocation: first inclusion is good enough; report and stop
+            // caring (the pipeline ignores the stream once the Correctable closed).
+            emit(ConsistencyLevel::kWeak, std::move(result));
+          }
+        });
+  });
+  return plan;
 }
 
 }  // namespace icg

@@ -1,76 +1,50 @@
 #include "src/bindings/cached_causal_binding.h"
 
-#include <algorithm>
+#include "src/bindings/cache_refresh.h"
 
 namespace icg {
-namespace {
 
-bool Contains(const std::vector<ConsistencyLevel>& levels, ConsistencyLevel level) {
-  return std::find(levels.begin(), levels.end(), level) != levels.end();
-}
-
-}  // namespace
-
-void CachedCausalBinding::SubmitOperation(const Operation& op,
-                                          const std::vector<ConsistencyLevel>& levels,
-                                          ResponseCallback callback) {
-  const bool want_cache = Contains(levels, ConsistencyLevel::kCache);
-  const bool want_causal = Contains(levels, ConsistencyLevel::kCausal);
-  const ConsistencyLevel strongest = levels.back();
-
+InvocationPlan CachedCausalBinding::PlanInvocation(const Operation& op,
+                                                   const LevelSet& levels) {
+  InvocationPlan plan;
   switch (op.type) {
-    case OpType::kGet: {
-      if (want_cache) {
-        const auto cached = cache_->Get(op.key);
-        callback(cached.value_or(OpResult{}), ConsistencyLevel::kCache, ResponseKind::kValue);
-      }
-      if (want_causal) {
-        if (disconnected_) {
-          callback(Status::Unavailable("disconnected: causal store unreachable"),
-                   ConsistencyLevel::kCausal, ResponseKind::kValue);
-          return;
-        }
-        ClientCache* cache = cache_;
-        const std::string key = op.key;
-        client_->Read(op.key, [callback, cache, key](StatusOr<OpResult> result) {
-          if (result.ok() && result->found) {
-            cache->Put(key, result.value());
-          }
-          callback(std::move(result), ConsistencyLevel::kCausal, ResponseKind::kValue);
-        });
-      }
-      return;
-    }
-    case OpType::kPut: {
-      if (disconnected_) {
-        callback(Status::Unavailable("disconnected: causal store unreachable"), strongest,
-                 ResponseKind::kValue);
-        return;
-      }
-      ClientCache* cache = cache_;
-      const std::string key = op.key;
-      const std::string value = op.value;
-      client_->Write(op.key, op.value,
-                     [callback, cache, key, value, strongest](StatusOr<OpResult> result) {
-                       if (result.ok()) {
-                         OpResult cached;
-                         cached.found = true;
-                         cached.value = value;
-                         cached.version = result->version;
-                         cache->Put(key, cached);
-                       }
-                       callback(std::move(result), strongest, ResponseKind::kValue);
+    case OpType::kGet:
+      if (levels.Contains(ConsistencyLevel::kCache)) {
+        plan.AddStep(ConsistencyLevel::kCache,
+                     [cache = cache_](const Operation& get, LevelEmitter emit) {
+                       emit(ConsistencyLevel::kCache, cache->Get(get.key).value_or(OpResult{}));
                      });
-      return;
-    }
-    case OpType::kMultiGet:
-    case OpType::kEnqueue:
-    case OpType::kDequeue:
-    case OpType::kPeek:
-      callback(
-          Status::InvalidArgument("cached-causal binding supports key-value operations only"),
-          strongest, ResponseKind::kValue);
-      return;
+      }
+      if (levels.Contains(ConsistencyLevel::kCausal)) {
+        if (disconnected_) {
+          plan.AddStep(ConsistencyLevel::kCausal, [](const Operation&, LevelEmitter emit) {
+            emit(ConsistencyLevel::kCausal,
+                 Status::Unavailable("disconnected: causal store unreachable"));
+          });
+        } else {
+          plan.AddStep(ConsistencyLevel::kCausal,
+                       [client = client_](const Operation& get, LevelEmitter emit) {
+                         client->Read(get.key,
+                                      EmitAt(std::move(emit), ConsistencyLevel::kCausal));
+                       });
+        }
+      }
+      plan.refresh = CacheReadRefresh(cache_);
+      return plan;
+    case OpType::kPut:
+      if (disconnected_) {
+        return InvocationPlan::Rejected(
+            Status::Unavailable("disconnected: causal store unreachable"));
+      }
+      plan.AddStep(levels.strongest(), [client = client_, level = levels.strongest()](
+                                           const Operation& put, LevelEmitter emit) {
+        client->Write(put.key, put.value, EmitAt(std::move(emit), level));
+      });
+      plan.refresh = CacheWriteRefresh(cache_);
+      return plan;
+    default:
+      return InvocationPlan::Rejected(
+          Status::InvalidArgument("cached-causal binding supports key-value operations only"));
   }
 }
 

@@ -25,8 +25,7 @@ class CachedCausalBinding : public Binding {
     return {ConsistencyLevel::kCache, ConsistencyLevel::kCausal};
   }
 
-  void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
-                       ResponseCallback callback) override;
+  InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override;
 
   // Disconnected operation: reads resolve from cache only; writes fail fast.
   void SetDisconnected(bool disconnected) { disconnected_ = disconnected; }

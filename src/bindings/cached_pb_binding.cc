@@ -1,79 +1,47 @@
 #include "src/bindings/cached_pb_binding.h"
 
-#include <algorithm>
+#include "src/bindings/cache_refresh.h"
 
 namespace icg {
-namespace {
 
-bool Contains(const std::vector<ConsistencyLevel>& levels, ConsistencyLevel level) {
-  return std::find(levels.begin(), levels.end(), level) != levels.end();
-}
-
-}  // namespace
-
-void CachedPbBinding::SubmitOperation(const Operation& op,
-                                      const std::vector<ConsistencyLevel>& levels,
-                                      ResponseCallback callback) {
-  const bool want_cache = Contains(levels, ConsistencyLevel::kCache);
-  const bool want_weak = Contains(levels, ConsistencyLevel::kWeak);
-  const bool want_strong = Contains(levels, ConsistencyLevel::kStrong);
-  const ConsistencyLevel strongest = levels.back();
-
+InvocationPlan CachedPbBinding::PlanInvocation(const Operation& op, const LevelSet& levels) {
+  InvocationPlan plan;
   switch (op.type) {
-    case OpType::kGet: {
-      if (want_cache) {
+    case OpType::kGet:
+      if (levels.Contains(ConsistencyLevel::kCache)) {
         // Cache view: resolves synchronously. A miss is reported as found=false at the
         // CACHE level so the caller still sees one view per requested level.
-        const auto cached = cache_->Get(op.key);
-        callback(cached.value_or(OpResult{}), ConsistencyLevel::kCache, ResponseKind::kValue);
-      }
-      if (want_weak) {
-        ClientCache* cache = cache_;
-        const std::string key = op.key;
-        client_->ReadWeak(op.key, [callback, cache, key](StatusOr<OpResult> result) {
-          if (result.ok() && result->found) {
-            cache->Put(key, result.value());
-          }
-          callback(std::move(result), ConsistencyLevel::kWeak, ResponseKind::kValue);
-        });
-      }
-      if (want_strong) {
-        ClientCache* cache = cache_;
-        const std::string key = op.key;
-        client_->ReadStrong(op.key, [callback, cache, key](StatusOr<OpResult> result) {
-          if (result.ok() && result->found) {
-            cache->Put(key, result.value());
-          }
-          callback(std::move(result), ConsistencyLevel::kStrong, ResponseKind::kValue);
-        });
-      }
-      return;
-    }
-    case OpType::kPut: {
-      // Write-through: the cache updates only when the store acknowledges.
-      ClientCache* cache = cache_;
-      const std::string key = op.key;
-      const std::string value = op.value;
-      client_->Write(op.key, op.value,
-                     [callback, cache, key, value, strongest](StatusOr<OpResult> result) {
-                       if (result.ok()) {
-                         OpResult cached;
-                         cached.found = true;
-                         cached.value = value;
-                         cached.version = result->version;
-                         cache->Put(key, cached);
-                       }
-                       callback(std::move(result), strongest, ResponseKind::kValue);
+        plan.AddStep(ConsistencyLevel::kCache,
+                     [cache = cache_](const Operation& get, LevelEmitter emit) {
+                       emit(ConsistencyLevel::kCache, cache->Get(get.key).value_or(OpResult{}));
                      });
-      return;
-    }
-    case OpType::kMultiGet:
-    case OpType::kEnqueue:
-    case OpType::kDequeue:
-    case OpType::kPeek:
-      callback(Status::InvalidArgument("cached-pb binding supports key-value operations only"),
-               strongest, ResponseKind::kValue);
-      return;
+      }
+      if (levels.Contains(ConsistencyLevel::kWeak)) {
+        plan.AddStep(ConsistencyLevel::kWeak,
+                     [client = client_](const Operation& get, LevelEmitter emit) {
+                       client->ReadWeak(get.key, EmitAt(std::move(emit), ConsistencyLevel::kWeak));
+                     });
+      }
+      if (levels.Contains(ConsistencyLevel::kStrong)) {
+        plan.AddStep(ConsistencyLevel::kStrong,
+                     [client = client_](const Operation& get, LevelEmitter emit) {
+                       client->ReadStrong(get.key,
+                                          EmitAt(std::move(emit), ConsistencyLevel::kStrong));
+                     });
+      }
+      plan.refresh = CacheReadRefresh(cache_);
+      return plan;
+    case OpType::kPut:
+      plan.AddStep(levels.strongest(), [client = client_, level = levels.strongest()](
+                                           const Operation& put, LevelEmitter emit) {
+        client->Write(put.key, put.value, EmitAt(std::move(emit), level));
+      });
+      // Write-through: the pipeline refreshes the cache only when the store acknowledges.
+      plan.refresh = CacheWriteRefresh(cache_);
+      return plan;
+    default:
+      return InvocationPlan::Rejected(
+          Status::InvalidArgument("cached-pb binding supports key-value operations only"));
   }
 }
 

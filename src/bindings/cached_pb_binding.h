@@ -29,8 +29,7 @@ class CachedPbBinding : public Binding {
     return {ConsistencyLevel::kCache, ConsistencyLevel::kWeak, ConsistencyLevel::kStrong};
   }
 
-  void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
-                       ResponseCallback callback) override;
+  InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override;
 
  private:
   PbClient* client_;

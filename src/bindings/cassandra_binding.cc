@@ -1,62 +1,50 @@
 #include "src/bindings/cassandra_binding.h"
 
-#include <algorithm>
-
 namespace icg {
-namespace {
 
-bool Contains(const std::vector<ConsistencyLevel>& levels, ConsistencyLevel level) {
-  return std::find(levels.begin(), levels.end(), level) != levels.end();
-}
-
-}  // namespace
-
-void CassandraBinding::SubmitOperation(const Operation& op,
-                                       const std::vector<ConsistencyLevel>& levels,
-                                       ResponseCallback callback) {
-  const bool weak = Contains(levels, ConsistencyLevel::kWeak);
-  const bool strong = Contains(levels, ConsistencyLevel::kStrong);
-
+InvocationPlan CassandraBinding::PlanInvocation(const Operation& op, const LevelSet& levels) {
+  InvocationPlan plan;
   switch (op.type) {
     case OpType::kGet:
     case OpType::kMultiGet: {
+      const bool weak = levels.Contains(ConsistencyLevel::kWeak);
+      const bool strong = levels.Contains(ConsistencyLevel::kStrong);
       ReadOptions options;
       options.read_quorum = strong ? config_.strong_read_quorum : 1;
-      options.want_preliminary = weak && strong;  // the ICG path
+      options.want_preliminary = weak && strong;  // the single-request ICG path
       options.confirmations = config_.confirmations && weak && strong;
-      auto forward = [callback, strong](StatusOr<OpResult> result, bool is_final,
-                                        ResponseKind kind) {
-        // A non-final response is always the WEAK view; the final response lands at the
-        // strongest requested level.
-        const ConsistencyLevel level =
-            is_final ? (strong ? ConsistencyLevel::kStrong : ConsistencyLevel::kWeak)
-                     : ConsistencyLevel::kWeak;
-        callback(std::move(result), level, kind);
-      };
-      if (op.type == OpType::kGet) {
-        client_->Read(op.key, options, forward);
-      } else {
-        client_->MultiRead(op.keys, options, forward);
-      }
-      return;
+      // One round-trip covers the whole span: a non-final response is always the WEAK
+      // view; the final response lands at the strongest requested level.
+      plan.AddSpan(levels.levels(),
+                   [client = client_, options, strongest = levels.strongest()](
+                       const Operation& read, LevelEmitter emit) {
+                     auto forward = [emit, strongest](StatusOr<OpResult> result, bool is_final,
+                                                      ResponseKind kind) {
+                       emit(is_final ? strongest : ConsistencyLevel::kWeak, std::move(result),
+                            kind);
+                     };
+                     if (read.type == OpType::kGet) {
+                       client->Read(read.key, options, forward);
+                     } else {
+                       client->MultiRead(read.keys, options, forward);
+                     }
+                   });
+      return plan;
     }
-    case OpType::kPut: {
+    case OpType::kPut:
       // Writes use W=1 (§6.2.1): a single acknowledgement, reported at the strongest
       // requested level.
-      const ConsistencyLevel level =
-          strong ? ConsistencyLevel::kStrong : ConsistencyLevel::kWeak;
-      client_->Write(op.key, op.value,
-                     [callback, level](StatusOr<OpResult> result, bool, ResponseKind kind) {
-                       callback(std::move(result), level, kind);
-                     });
-      return;
-    }
-    case OpType::kEnqueue:
-    case OpType::kDequeue:
-    case OpType::kPeek:
-      callback(Status::InvalidArgument("cassandra binding supports key-value operations only"),
-               levels.back(), ResponseKind::kValue);
-      return;
+      plan.AddStep(levels.strongest(), [client = client_, level = levels.strongest()](
+                                           const Operation& put, LevelEmitter emit) {
+        client->Write(put.key, put.value,
+                      [emit, level](StatusOr<OpResult> result, bool, ResponseKind kind) {
+                        emit(level, std::move(result), kind);
+                      });
+      });
+      return plan;
+    default:
+      return InvocationPlan::Rejected(
+          Status::InvalidArgument("cassandra binding supports key-value operations only"));
   }
 }
 

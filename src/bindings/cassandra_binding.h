@@ -32,8 +32,7 @@ class CassandraBinding : public Binding {
     return {ConsistencyLevel::kWeak, ConsistencyLevel::kStrong};
   }
 
-  void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
-                       ResponseCallback callback) override;
+  InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override;
 
  private:
   KvClient* client_;

@@ -1,51 +1,35 @@
 #include "src/bindings/primary_backup_binding.h"
 
-#include <algorithm>
-
 namespace icg {
-namespace {
 
-bool Contains(const std::vector<ConsistencyLevel>& levels, ConsistencyLevel level) {
-  return std::find(levels.begin(), levels.end(), level) != levels.end();
-}
-
-}  // namespace
-
-void PrimaryBackupBinding::SubmitOperation(const Operation& op,
-                                           const std::vector<ConsistencyLevel>& levels,
-                                           ResponseCallback callback) {
-  const bool weak = Contains(levels, ConsistencyLevel::kWeak);
-  const bool strong = Contains(levels, ConsistencyLevel::kStrong);
-
+InvocationPlan PrimaryBackupBinding::PlanInvocation(const Operation& op,
+                                                    const LevelSet& levels) {
+  InvocationPlan plan;
   switch (op.type) {
     case OpType::kGet:
-      if (weak) {
-        client_->ReadWeak(op.key, [callback](StatusOr<OpResult> result) {
-          callback(std::move(result), ConsistencyLevel::kWeak, ResponseKind::kValue);
-        });
+      if (levels.Contains(ConsistencyLevel::kWeak)) {
+        plan.AddStep(ConsistencyLevel::kWeak,
+                     [client = client_](const Operation& get, LevelEmitter emit) {
+                       client->ReadWeak(get.key, EmitAt(std::move(emit), ConsistencyLevel::kWeak));
+                     });
       }
-      if (strong) {
-        client_->ReadStrong(op.key, [callback](StatusOr<OpResult> result) {
-          callback(std::move(result), ConsistencyLevel::kStrong, ResponseKind::kValue);
-        });
+      if (levels.Contains(ConsistencyLevel::kStrong)) {
+        plan.AddStep(ConsistencyLevel::kStrong,
+                     [client = client_](const Operation& get, LevelEmitter emit) {
+                       client->ReadStrong(get.key,
+                                          EmitAt(std::move(emit), ConsistencyLevel::kStrong));
+                     });
       }
-      return;
-    case OpType::kPut: {
-      const ConsistencyLevel level =
-          strong ? ConsistencyLevel::kStrong : ConsistencyLevel::kWeak;
-      client_->Write(op.key, op.value, [callback, level](StatusOr<OpResult> result) {
-        callback(std::move(result), level, ResponseKind::kValue);
+      return plan;
+    case OpType::kPut:
+      plan.AddStep(levels.strongest(), [client = client_, level = levels.strongest()](
+                                           const Operation& put, LevelEmitter emit) {
+        client->Write(put.key, put.value, EmitAt(std::move(emit), level));
       });
-      return;
-    }
-    case OpType::kMultiGet:
-    case OpType::kEnqueue:
-    case OpType::kDequeue:
-    case OpType::kPeek:
-      callback(
-          Status::InvalidArgument("primary-backup binding supports key-value operations only"),
-          levels.back(), ResponseKind::kValue);
-      return;
+      return plan;
+    default:
+      return InvocationPlan::Rejected(
+          Status::InvalidArgument("primary-backup binding supports key-value operations only"));
   }
 }
 

@@ -27,8 +27,7 @@ class PrimaryBackupBinding : public Binding {
     return {ConsistencyLevel::kWeak, ConsistencyLevel::kStrong};
   }
 
-  void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
-                       ResponseCallback callback) override;
+  InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override;
 
  private:
   PbClient* client_;

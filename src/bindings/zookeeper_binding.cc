@@ -1,73 +1,61 @@
 #include "src/bindings/zookeeper_binding.h"
 
-#include <algorithm>
-
 namespace icg {
-namespace {
 
-bool Contains(const std::vector<ConsistencyLevel>& levels, ConsistencyLevel level) {
-  return std::find(levels.begin(), levels.end(), level) != levels.end();
-}
-
-}  // namespace
-
-void ZooKeeperBinding::SubmitOperation(const Operation& op,
-                                       const std::vector<ConsistencyLevel>& levels,
-                                       ResponseCallback callback) {
-  const bool weak = Contains(levels, ConsistencyLevel::kWeak);
-  const bool strong = Contains(levels, ConsistencyLevel::kStrong);
-  const bool icg = weak && strong;
-  const ConsistencyLevel final_level =
-      strong ? ConsistencyLevel::kStrong : ConsistencyLevel::kWeak;
-
-  auto forward = [callback, final_level](StatusOr<OpResult> result, bool is_final,
-                                         ResponseKind kind) {
-    const ConsistencyLevel level = is_final ? final_level : ConsistencyLevel::kWeak;
-    callback(std::move(result), level, kind);
-  };
-
+InvocationPlan ZooKeeperBinding::PlanInvocation(const Operation& op, const LevelSet& levels) {
+  const bool weak = levels.Contains(ConsistencyLevel::kWeak);
+  const bool strong = levels.Contains(ConsistencyLevel::kStrong);
+  InvocationPlan plan;
   switch (op.type) {
     case OpType::kEnqueue:
-      if (!strong && weak) {
-        // A weak-only enqueue still has to commit (there is no meaningful "eventual"
-        // enqueue in ZooKeeper); the weak level only controls which view is reported.
-        client_->Enqueue(op.key, op.value, /*icg=*/true,
-                         [callback](StatusOr<OpResult> result, bool is_final, ResponseKind kind) {
-                           if (!is_final) {
-                             callback(std::move(result), ConsistencyLevel::kWeak, kind);
-                           }
-                         });
-        return;
-      }
-      client_->Enqueue(op.key, op.value, icg, forward);
-      return;
     case OpType::kDequeue:
-      if (!strong && weak) {
-        client_->Dequeue(op.key, /*icg=*/true,
-                         [callback](StatusOr<OpResult> result, bool is_final, ResponseKind kind) {
-                           if (!is_final) {
-                             callback(std::move(result), ConsistencyLevel::kWeak, kind);
-                           }
-                         });
-        return;
-      }
-      client_->Dequeue(op.key, icg, forward);
-      return;
+      plan.AddSpan(levels.levels(), [client = client_, weak, strong](const Operation& qop,
+                                                                     LevelEmitter emit) {
+        if (!strong) {
+          // A weak-only queue write still has to commit (there is no meaningful
+          // "eventual" enqueue in ZooKeeper): issue the ICG path but surface only the
+          // fast local view; the commit lands in the background.
+          auto weak_only = [emit](StatusOr<OpResult> result, bool is_final,
+                                  ResponseKind kind) {
+            if (!is_final) {
+              emit(ConsistencyLevel::kWeak, std::move(result), kind);
+            }
+          };
+          if (qop.type == OpType::kEnqueue) {
+            client->Enqueue(qop.key, qop.value, /*icg=*/true, weak_only);
+          } else {
+            client->Dequeue(qop.key, /*icg=*/true, weak_only);
+          }
+          return;
+        }
+        const bool icg = weak && strong;  // CZK fast-path preliminary + atomic final
+        auto forward = [emit](StatusOr<OpResult> result, bool is_final, ResponseKind kind) {
+          emit(is_final ? ConsistencyLevel::kStrong : ConsistencyLevel::kWeak,
+               std::move(result), kind);
+        };
+        if (qop.type == OpType::kEnqueue) {
+          client->Enqueue(qop.key, qop.value, icg, forward);
+        } else {
+          client->Dequeue(qop.key, icg, forward);
+        }
+      });
+      return plan;
     case OpType::kPeek:
       // Local head read at the session server; inherently weak.
       if (strong) {
-        callback(Status::InvalidArgument("peek is only available at WEAK consistency"),
-                 levels.back(), ResponseKind::kValue);
-        return;
+        return InvocationPlan::Rejected(
+            Status::InvalidArgument("peek is only available at WEAK consistency"));
       }
-      client_->Peek(op.key, forward);
-      return;
-    case OpType::kGet:
-    case OpType::kMultiGet:
-    case OpType::kPut:
-      callback(Status::InvalidArgument("zookeeper binding supports queue operations only"),
-               levels.back(), ResponseKind::kValue);
-      return;
+      plan.AddStep(ConsistencyLevel::kWeak, [client = client_](const Operation& qop,
+                                                               LevelEmitter emit) {
+        client->Peek(qop.key, [emit](StatusOr<OpResult> result, bool, ResponseKind kind) {
+          emit(ConsistencyLevel::kWeak, std::move(result), kind);
+        });
+      });
+      return plan;
+    default:
+      return InvocationPlan::Rejected(
+          Status::InvalidArgument("zookeeper binding supports queue operations only"));
   }
 }
 

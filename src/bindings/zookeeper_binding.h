@@ -24,8 +24,7 @@ class ZooKeeperBinding : public Binding {
     return {ConsistencyLevel::kWeak, ConsistencyLevel::kStrong};
   }
 
-  void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
-                       ResponseCallback callback) override;
+  InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override;
 
  private:
   ZabClient* client_;

@@ -2,15 +2,18 @@
 // protocols implementing them (storage side).
 //
 // A binding encapsulates one concrete storage stack configuration. It advertises its
-// consistency levels and executes operations, invoking the callback once per requested
-// level, weakest first. The strongest requested level is the final response; it may be
-// delivered either as a full value or as a confirmation that the preliminary value was
-// correct (ResponseKind::kConfirmation, the §5.2 bandwidth optimization).
+// consistency levels and, for each invocation, *plans* how they are satisfied: which
+// store round-trips to issue and which levels each round-trip reports. Everything else —
+// weakest-first delivery, out-of-order suppression, the §5.2 digest-confirmation
+// optimization, client-cache write-through, error fan-in, and same-tick read coalescing —
+// is owned by the shared InvocationPipeline (src/correctables/invocation_pipeline.h), so
+// a new backend only declares levels and small LevelFetcher callables.
 #ifndef ICG_CORRECTABLES_BINDING_H_
 #define ICG_CORRECTABLES_BINDING_H_
 
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/status.h"
@@ -24,6 +27,98 @@ enum class ResponseKind {
   kConfirmation,  // response is a digest-only confirmation of the previous view
 };
 
+// A validated, ascending selection of consistency levels for one invocation. Wraps the
+// level vector with the membership/ordering queries plans are built from.
+class LevelSet {
+ public:
+  LevelSet() = default;
+  explicit LevelSet(std::vector<ConsistencyLevel> levels) : levels_(std::move(levels)) {}
+
+  bool Contains(ConsistencyLevel level) const {
+    for (const ConsistencyLevel l : levels_) {
+      if (l == level) {
+        return true;
+      }
+    }
+    return false;
+  }
+  ConsistencyLevel weakest() const { return levels_.front(); }
+  ConsistencyLevel strongest() const { return levels_.back(); }
+  bool single() const { return levels_.size() == 1; }
+  bool empty() const { return levels_.empty(); }
+  const std::vector<ConsistencyLevel>& levels() const { return levels_; }
+
+ private:
+  std::vector<ConsistencyLevel> levels_;
+};
+
+// Delivery handle a LevelFetcher uses to report responses. Cheap to copy into store
+// callbacks; may be invoked any number of times (streaming levels, e.g. blockchain
+// confirmation counts, emit repeatedly at the same level).
+class LevelEmitter {
+ public:
+  using Sink = std::function<void(ConsistencyLevel, StatusOr<OpResult>, ResponseKind)>;
+
+  explicit LevelEmitter(Sink sink) : sink_(std::move(sink)) {}
+
+  void operator()(ConsistencyLevel level, StatusOr<OpResult> result,
+                  ResponseKind kind = ResponseKind::kValue) const {
+    sink_(level, std::move(result), kind);
+  }
+
+ private:
+  Sink sink_;
+};
+
+// Adapter from a LevelEmitter to the single-response callback shape most store clients
+// take, reporting at a fixed `level`.
+inline std::function<void(StatusOr<OpResult>)> EmitAt(LevelEmitter emit,
+                                                      ConsistencyLevel level) {
+  return [emit = std::move(emit), level](StatusOr<OpResult> result) {
+    emit(level, std::move(result));
+  };
+}
+
+// Issues the store round-trip for one FetchStep, reporting responses through `emit`.
+using LevelFetcher = std::function<void(const Operation& op, LevelEmitter emit)>;
+
+// One store round-trip covering an ascending subset of the requested levels. A
+// single-level step emits exactly one response; a multi-level step (the single-request
+// ICG path) emits a preliminary at its weakest level and a final at its strongest.
+// The declaration is enforced: the executors drop emissions at undeclared levels.
+struct FetchStep {
+  std::vector<ConsistencyLevel> levels;
+  LevelFetcher fetch;
+};
+
+// Write-through hook the pipeline invokes with every successful full-value response, so
+// client caches stay coherent with the freshest view the store surfaced.
+using RefreshHook = std::function<void(const Operation&, const OpResult&, ConsistencyLevel)>;
+
+// How one invocation is satisfied: the fetch steps together cover the requested level
+// set exactly. Implementations are expected to exploit the level set — e.g. a
+// single-level request must not pay the multi-response protocol cost.
+struct InvocationPlan {
+  Status reject;           // non-OK: fail the invocation without issuing any request
+  std::vector<FetchStep> steps;
+  RefreshHook refresh;     // optional cache write-through
+
+  static InvocationPlan Rejected(Status status) {
+    InvocationPlan plan;
+    plan.reject = std::move(status);
+    return plan;
+  }
+
+  InvocationPlan& AddStep(ConsistencyLevel level, LevelFetcher fetch) {
+    steps.push_back(FetchStep{{level}, std::move(fetch)});
+    return *this;
+  }
+  InvocationPlan& AddSpan(std::vector<ConsistencyLevel> levels, LevelFetcher fetch) {
+    steps.push_back(FetchStep{std::move(levels), std::move(fetch)});
+    return *this;
+  }
+};
+
 class Binding {
  public:
   virtual ~Binding() = default;
@@ -33,17 +128,21 @@ class Binding {
   // Supported levels, ordered weakest to strongest. Must be non-empty and stable.
   virtual std::vector<ConsistencyLevel> SupportedLevels() const = 0;
 
-  // Called once per delivered view. For errors, `result` holds the status; `level`
-  // identifies which requested level the (non-)response corresponds to.
+  // Level-provider contract: describes how `op` is satisfied at `levels` (a validated,
+  // ascending subset of SupportedLevels()). Called once per invocation; the returned
+  // plan's fetchers are run by the InvocationPipeline.
+  virtual InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) = 0;
+
+  // Called once per raw response in the legacy fan-out shape; kept for binding-level
+  // tests and tools that drive a binding without a Correctable client.
   using ResponseCallback =
       std::function<void(StatusOr<OpResult> result, ConsistencyLevel level, ResponseKind kind)>;
 
-  // Executes `op` so that a view is produced for each entry of `levels` (a validated,
-  // ascending subset of SupportedLevels()), invoking `callback` per view, weakest first.
-  // Implementations are expected to exploit the level set: e.g., a single-level request
-  // must not pay the multi-response protocol cost.
-  virtual void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
-                               ResponseCallback callback) = 0;
+  // Convenience: plans `op` and runs the fetch steps, forwarding each raw response (and
+  // applying the plan's refresh hook). Ordering/confirmation semantics live in the
+  // stateful InvocationPipeline, not here. Implemented in invocation_pipeline.cc.
+  void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
+                       ResponseCallback callback);
 };
 
 }  // namespace icg

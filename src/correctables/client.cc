@@ -3,12 +3,10 @@
 #include <cassert>
 #include <utility>
 
-#include "src/common/logging.h"
-
 namespace icg {
 
 CorrectableClient::CorrectableClient(std::shared_ptr<Binding> binding, EventLoop* loop)
-    : binding_(std::move(binding)), loop_(loop) {
+    : binding_(std::move(binding)), loop_(loop), pipeline_(binding_.get(), loop, &stats_) {
   assert(binding_ != nullptr);
   assert(!binding_->SupportedLevels().empty());
 }
@@ -37,77 +35,7 @@ Correctable<OpResult> CorrectableClient::Invoke(Operation op,
 Correctable<OpResult> CorrectableClient::Submit(Operation op,
                                                 std::vector<ConsistencyLevel> levels) {
   stats_.invocations++;
-  if (!ValidLevelSelection(levels, binding_->SupportedLevels())) {
-    stats_.errors++;
-    return Correctable<OpResult>::Failed(Status::InvalidArgument(
-        "invalid consistency level selection " + LevelsToString(levels) + " for binding " +
-        binding_->Name()));
-  }
-
-  CorrectableSource<OpResult> source(loop_);
-  auto correctable = source.GetCorrectable();
-  const ConsistencyLevel strongest = levels.back();
-
-  // Arm the timeout before submitting so even a binding that never calls back is covered.
-  TimerId timer = 0;
-  if (timeout_ > 0 && loop_ != nullptr) {
-    timer = loop_->Schedule(timeout_, [this, source]() mutable {
-      if (source.Fail(Status::Timeout("no final view within timeout"))) {
-        stats_.timeouts++;
-      }
-    });
-  }
-
-  binding_->SubmitOperation(
-      op, levels,
-      [this, source, strongest, timer](StatusOr<OpResult> result, ConsistencyLevel level,
-                                       ResponseKind kind) mutable {
-        const bool is_final_level = (level == strongest);
-        if (!result.ok()) {
-          // Errors at preliminary levels are tolerated: a stronger view may still arrive.
-          if (is_final_level) {
-            stats_.errors++;
-            if (timer != 0 && loop_ != nullptr) {
-              loop_->Cancel(timer);
-            }
-            source.Fail(result.status());
-          } else {
-            ICG_DEBUG << "preliminary level " << ConsistencyLevelName(level)
-                      << " failed: " << result.status().ToString();
-          }
-          return;
-        }
-
-        if (!is_final_level) {
-          if (source.Update(std::move(result).value(), level)) {
-            stats_.views_delivered++;
-          } else {
-            stats_.stale_views_dropped++;
-          }
-          return;
-        }
-
-        if (timer != 0 && loop_ != nullptr) {
-          loop_->Cancel(timer);
-        }
-        if (kind == ResponseKind::kConfirmation) {
-          stats_.confirmations++;
-          if (source.CloseConfirmed(level)) {
-            stats_.views_delivered++;
-          }
-          return;
-        }
-        // A full final: if a preliminary was delivered and differs, record the divergence
-        // (this is the client-observable misspeculation signal of Figure 7).
-        auto handle = source.GetCorrectable();
-        if (handle.HasView() && !(handle.LatestView().value == result.value())) {
-          stats_.divergences++;
-        }
-        if (source.Close(std::move(result).value(), level)) {
-          stats_.views_delivered++;
-        }
-      });
-  return correctable;
+  return pipeline_.Submit(std::move(op), std::move(levels));
 }
 
 }  // namespace icg

@@ -5,9 +5,9 @@
 //   invoke(op)       -> incremental views at every supported level (ICG)
 //   invoke(op, lvls) -> incremental views at a chosen ascending subset of levels
 //
-// The client creates Correctables, translates binding responses into view transitions,
-// enforces level monotonicity, applies the confirmation optimization, and optionally
-// arms a timeout that fails the Correctable if the final view never arrives.
+// The client creates Correctables and counts invocation kinds; all per-level semantics
+// (view translation, monotonicity, confirmations, timeouts, read coalescing) are owned
+// by the shared InvocationPipeline it drives.
 #ifndef ICG_CORRECTABLES_CLIENT_H_
 #define ICG_CORRECTABLES_CLIENT_H_
 
@@ -16,23 +16,11 @@
 
 #include "src/correctables/binding.h"
 #include "src/correctables/correctable.h"
+#include "src/correctables/invocation_pipeline.h"
 #include "src/correctables/operation.h"
 #include "src/sim/event_loop.h"
 
 namespace icg {
-
-struct ClientStats {
-  int64_t invocations = 0;
-  int64_t weak_invocations = 0;
-  int64_t strong_invocations = 0;
-  int64_t icg_invocations = 0;
-  int64_t views_delivered = 0;
-  int64_t confirmations = 0;        // finals delivered as confirmations
-  int64_t divergences = 0;          // finals that differed from the last preliminary
-  int64_t stale_views_dropped = 0;  // out-of-order weaker views suppressed
-  int64_t errors = 0;
-  int64_t timeouts = 0;
-};
 
 class CorrectableClient {
  public:
@@ -41,7 +29,7 @@ class CorrectableClient {
   explicit CorrectableClient(std::shared_ptr<Binding> binding, EventLoop* loop = nullptr);
 
   // Fails invocations whose final view has not arrived within `timeout` (0 disables).
-  void SetTimeout(SimDuration timeout) { timeout_ = timeout; }
+  void SetTimeout(SimDuration timeout) { pipeline_.SetTimeout(timeout); }
 
   Correctable<OpResult> InvokeWeak(Operation op);
   Correctable<OpResult> InvokeStrong(Operation op);
@@ -62,8 +50,8 @@ class CorrectableClient {
 
   std::shared_ptr<Binding> binding_;
   EventLoop* loop_;
-  SimDuration timeout_ = 0;
   ClientStats stats_;
+  InvocationPipeline pipeline_;  // must follow binding_ and stats_ (init order)
 };
 
 }  // namespace icg

@@ -19,6 +19,7 @@
 #define ICG_CORRECTABLES_CORRECTABLE_H_
 
 #include <cassert>
+#include <concepts>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -56,6 +57,7 @@ struct CorrectableShared {
   // Strongest level delivered so far; updates below it are dropped (monotonicity).
   std::optional<ConsistencyLevel> strongest_delivered;
   EventLoop* loop = nullptr;  // for view timestamps; may be null
+  int firing_updates = 0;     // FireUpdate reentrancy depth (see ReleaseCallbacks)
 
   std::vector<std::function<void(const View<T>&)>> on_update;
   std::vector<std::function<void(const View<T>&)>> on_final;
@@ -64,20 +66,47 @@ struct CorrectableShared {
   SimTime NowOrZero() const { return loop != nullptr ? loop->Now() : 0; }
 
   void FireUpdate(const View<T>& v) {
-    // Index loop: a callback may attach further callbacks while we iterate.
-    for (size_t i = 0; i < on_update.size(); ++i) {
+    // Hot path: iterate the live list in place, but with a fixed bound — a callback
+    // that attaches another update callback must not cause a second delivery (attach
+    // already replays the latest view) — and a state check, so fan-out stops if a
+    // callback closes/fails the source. `firing_updates` defers the terminal clear of
+    // on_update (see ReleaseCallbacks): the closure currently executing must not be
+    // destroyed out from under its own stack frame.
+    ++firing_updates;
+    const size_t n = on_update.size();
+    for (size_t i = 0; i < n && state == CorrectableState::kUpdating; ++i) {
       on_update[i](v);
     }
+    if (--firing_updates == 0 && state != CorrectableState::kUpdating) {
+      on_update.clear();  // the deferred terminal release
+    }
   }
+  // Terminal fires consume the callback lists: once the state is terminal, late
+  // attaches replay immediately off `state` (promise semantics), so the stored
+  // closures — and whatever they capture (timers, caches, upstream sources) — must be
+  // released instead of kept alive for the Correctable's lifetime. The lists are moved
+  // out before invoking anything, so a callback that closes over this shared state
+  // cannot mutate the list being iterated.
   void FireFinal(const View<T>& v) {
-    for (size_t i = 0; i < on_final.size(); ++i) {
-      on_final[i](v);
+    auto cbs = std::move(on_final);
+    ReleaseCallbacks();
+    for (size_t i = 0; i < cbs.size(); ++i) {
+      cbs[i](v);
     }
   }
   void FireError(const Status& s) {
-    for (size_t i = 0; i < on_error.size(); ++i) {
-      on_error[i](s);
+    auto cbs = std::move(on_error);
+    ReleaseCallbacks();
+    for (size_t i = 0; i < cbs.size(); ++i) {
+      cbs[i](s);
     }
+  }
+  void ReleaseCallbacks() {
+    if (firing_updates == 0) {
+      on_update.clear();  // otherwise FireUpdate clears it once its frames unwind
+    }
+    on_final.clear();
+    on_error.clear();
   }
 };
 

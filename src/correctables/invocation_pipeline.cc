@@ -1,0 +1,293 @@
+#include "src/correctables/invocation_pipeline.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace icg {
+namespace {
+
+bool StepDeclares(const std::vector<ConsistencyLevel>& declared, ConsistencyLevel level) {
+  return std::find(declared.begin(), declared.end(), level) != declared.end();
+}
+
+// Coalescing key: operations join the same batch only if key and level set both match
+// (different level sets need different view sequences, so they cannot share responses).
+std::string BatchKey(const Operation& op, const std::vector<ConsistencyLevel>& levels) {
+  std::string key = op.key;
+  key.push_back('\0');
+  key += LevelsToString(levels);
+  return key;
+}
+
+// A plan whose steps never declare the strongest requested level could not possibly
+// close the Correctable; catch the binding bug up front instead of hanging forever.
+bool PlanCoversFinal(const InvocationPlan& plan, ConsistencyLevel strongest) {
+  for (const FetchStep& step : plan.steps) {
+    if (StepDeclares(step.levels, strongest)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Shared per-plan execution state, kept alive by the step emitters.
+struct PlanRun {
+  std::shared_ptr<const Operation> op;
+  RefreshHook refresh;
+  std::string binding_name;
+  LevelEmitter::Sink sink;  // receives declaration-checked, refresh-applied emissions
+};
+
+// The one definition of "run a plan", shared by the stateful pipeline and the raw
+// Binding::SubmitOperation path: runs every fetch step, enforcing the step's declared
+// levels (an emission at an undeclared level is a binding bug and is dropped) and
+// applying the plan's write-through refresh hook before forwarding to the sink.
+void RunPlanSteps(std::shared_ptr<PlanRun> run, std::vector<FetchStep> steps) {
+  for (FetchStep& step : steps) {
+    LevelEmitter emit([run, declared = std::move(step.levels)](
+                          ConsistencyLevel level, StatusOr<OpResult> result,
+                          ResponseKind kind) {
+      if (!StepDeclares(declared, level)) {
+        ICG_DEBUG << "binding " << run->binding_name << " emitted undeclared level "
+                  << ConsistencyLevelName(level) << "; dropped";
+        return;
+      }
+      if (run->refresh && result.ok() && kind == ResponseKind::kValue) {
+        run->refresh(*run->op, result.value(), level);
+      }
+      run->sink(level, std::move(result), kind);
+    });
+    step.fetch(*run->op, std::move(emit));
+  }
+}
+
+}  // namespace
+
+InvocationPipeline::InvocationPipeline(Binding* binding, EventLoop* loop, ClientStats* stats)
+    : binding_(binding), loop_(loop), stats_(stats) {
+  assert(binding_ != nullptr);
+  assert(stats_ != nullptr);
+}
+
+Correctable<OpResult> InvocationPipeline::Submit(Operation op,
+                                                 std::vector<ConsistencyLevel> levels) {
+  if (!ValidLevelSelection(levels, binding_->SupportedLevels())) {
+    stats_->errors++;
+    return Correctable<OpResult>::Failed(Status::InvalidArgument(
+        "invalid consistency level selection " + LevelsToString(levels) + " for binding " +
+        binding_->Name()));
+  }
+
+  auto inv = std::make_shared<Invocation>(loop_, levels.back());
+  auto correctable = inv->source.GetCorrectable();
+  // Arm the timeout before launching so even a binding that never emits is covered.
+  ArmTimeout(inv);
+
+  const bool coalescable = loop_ != nullptr && op.type == OpType::kGet;
+  std::string key;
+  if (coalescable) {
+    // Joinability ends with the tick: once virtual time advances, every remaining entry
+    // (e.g. a batch whose final response was lost) is dead weight — drop them all so the
+    // map never outgrows one tick's worth of distinct reads. In-flight batches keep
+    // living through the shared_ptrs captured in their emitters.
+    if (loop_->Now() != batch_tick_) {
+      batch_tick_ = loop_->Now();
+      open_batches_.clear();
+    }
+    key = BatchKey(op, levels);
+    auto it = open_batches_.find(key);
+    if (it != open_batches_.end()) {
+      const std::shared_ptr<Batch>& batch = it->second;
+      if (!batch->done) {
+        // Piggyback on the in-flight round-trip: no new store request is issued.
+        stats_->coalesced_reads++;
+        if (batch->waiters.size() == 1) {
+          stats_->batched_invocations++;
+        }
+        batch->waiters.push_back(inv);
+        // Catch up on anything the batch already surfaced this tick (synchronous
+        // levels, e.g. the client cache, resolve during the leader's submission).
+        for (const Batch::Emission& e : batch->history) {
+          Deliver(*inv, e.level, e.result, e.kind);
+        }
+        return correctable;
+      }
+      open_batches_.erase(it);
+    }
+  }
+
+  auto batch = std::make_shared<Batch>();
+  batch->op = std::move(op);
+  batch->level_set = LevelSet(std::move(levels));
+  batch->coalescable = coalescable;
+  batch->waiters.push_back(std::move(inv));
+  if (coalescable) {
+    batch->map_key = std::move(key);
+    open_batches_[batch->map_key] = batch;
+  }
+  Launch(batch);
+  return correctable;
+}
+
+void InvocationPipeline::ArmTimeout(const std::shared_ptr<Invocation>& inv) {
+  if (timeout_ <= 0 || loop_ == nullptr) {
+    return;
+  }
+  ClientStats* stats = stats_;
+  inv->timer = loop_->Schedule(timeout_, [stats, inv]() {
+    if (inv->source.Fail(Status::Timeout("no final view within timeout"))) {
+      stats->timeouts++;
+    }
+  });
+}
+
+void InvocationPipeline::CancelTimeout(Invocation& inv) {
+  if (inv.timer != 0 && loop_ != nullptr) {
+    loop_->Cancel(inv.timer);
+    inv.timer = 0;
+  }
+}
+
+void InvocationPipeline::Launch(const std::shared_ptr<Batch>& batch) {
+  InvocationPlan plan = binding_->PlanInvocation(batch->op, batch->level_set);
+  const ConsistencyLevel strongest = batch->level_set.strongest();
+  if (!plan.reject.ok()) {
+    OnEmission(batch, strongest, std::move(plan.reject), ResponseKind::kValue);
+    return;
+  }
+  if (!PlanCoversFinal(plan, strongest)) {
+    OnEmission(batch, strongest,
+               Status::Internal("plan from binding '" + binding_->Name() +
+                                "' does not cover the strongest requested level"),
+               ResponseKind::kValue);
+    return;
+  }
+  auto run = std::make_shared<PlanRun>();
+  // Aliasing constructor: the run shares the batch's operation instead of copying it.
+  run->op = std::shared_ptr<const Operation>(batch, &batch->op);
+  run->refresh = std::move(plan.refresh);
+  run->binding_name = binding_->Name();
+  run->sink = [this, batch](ConsistencyLevel level, StatusOr<OpResult> result,
+                            ResponseKind kind) {
+    OnEmission(batch, level, std::move(result), kind);
+  };
+  RunPlanSteps(std::move(run), std::move(plan.steps));
+}
+
+void InvocationPipeline::OnEmission(const std::shared_ptr<Batch>& batch,
+                                    ConsistencyLevel level, StatusOr<OpResult> result,
+                                    ResponseKind kind) {
+  if (!batch->level_set.Contains(level)) {
+    ICG_DEBUG << "binding " << binding_->Name() << " emitted unrequested level "
+              << ConsistencyLevelName(level) << "; dropped";
+    return;
+  }
+  if (level == batch->level_set.strongest()) {
+    batch->done = true;
+    if (!batch->map_key.empty()) {
+      auto it = open_batches_.find(batch->map_key);
+      if (it != open_batches_.end() && it->second == batch) {
+        open_batches_.erase(it);
+      }
+      batch->map_key.clear();
+    }
+  }
+  // Record for same-tick late joiners. The final emission itself is never recorded:
+  // setting `done` above just made joining impossible, so nobody could replay it — and
+  // streaming tails (e.g. blockchain confirmations) stop accumulating the same way.
+  if (batch->coalescable && !batch->done) {
+    batch->history.push_back(Batch::Emission{level, result, kind});
+  }
+  // Deliver to the waiters present when this response arrived. A callback may submit a
+  // new same-tick read that joins this batch mid-loop; such joiners already received
+  // this emission through the history replay, so the bound must not move. Copy the
+  // shared_ptr per iteration: push_back may reallocate the vector under us.
+  const size_t present = batch->waiters.size();
+  for (size_t i = 0; i < present; ++i) {
+    std::shared_ptr<Invocation> inv = batch->waiters[i];
+    Deliver(*inv, level, result, kind);
+  }
+}
+
+void InvocationPipeline::Deliver(Invocation& inv, ConsistencyLevel level,
+                                 const StatusOr<OpResult>& result, ResponseKind kind) {
+  const bool is_final_level = (level == inv.strongest);
+  if (!result.ok()) {
+    // Errors at preliminary levels are tolerated: a stronger view may still arrive.
+    if (!is_final_level) {
+      ICG_DEBUG << "preliminary level " << ConsistencyLevelName(level)
+                << " failed: " << result.status().ToString();
+      return;
+    }
+    if (inv.source.state() != CorrectableState::kUpdating) {
+      return;
+    }
+    stats_->errors++;
+    CancelTimeout(inv);
+    inv.source.Fail(result.status());
+    return;
+  }
+
+  if (!is_final_level) {
+    if (inv.source.Update(result.value(), level)) {
+      stats_->views_delivered++;
+    } else {
+      stats_->stale_views_dropped++;
+    }
+    return;
+  }
+
+  if (inv.source.state() != CorrectableState::kUpdating) {
+    return;  // duplicate finals (streaming levels after close) are ignored
+  }
+  CancelTimeout(inv);
+  if (kind == ResponseKind::kConfirmation) {
+    stats_->confirmations++;
+    if (inv.source.CloseConfirmed(level)) {
+      stats_->views_delivered++;
+    }
+    return;
+  }
+  // A full final: if a preliminary was delivered and differs, record the divergence
+  // (this is the client-observable misspeculation signal of Figure 7).
+  auto handle = inv.source.GetCorrectable();
+  if (handle.HasView() && !(handle.LatestView().value == result.value())) {
+    stats_->divergences++;
+  }
+  if (inv.source.Close(result.value(), level)) {
+    stats_->views_delivered++;
+  }
+}
+
+// Binding::SubmitOperation lives here rather than in a binding translation unit so the
+// raw fan-out path and the pipeline share RunPlanSteps, the one definition of "run a
+// plan" (rejection, coverage validation, declaration enforcement, refresh write-through).
+void Binding::SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
+                              ResponseCallback callback) {
+  LevelSet set(levels);
+  InvocationPlan plan = PlanInvocation(op, set);
+  if (!plan.reject.ok()) {
+    callback(std::move(plan.reject), set.strongest(), ResponseKind::kValue);
+    return;
+  }
+  if (!PlanCoversFinal(plan, set.strongest())) {
+    callback(Status::Internal("plan from binding '" + Name() +
+                              "' does not cover the strongest requested level"),
+             set.strongest(), ResponseKind::kValue);
+    return;
+  }
+  auto run = std::make_shared<PlanRun>();
+  run->op = std::make_shared<const Operation>(op);
+  run->refresh = std::move(plan.refresh);
+  run->binding_name = Name();
+  run->sink = [callback](ConsistencyLevel level, StatusOr<OpResult> result,
+                         ResponseKind kind) {
+    callback(std::move(result), level, kind);
+  };
+  RunPlanSteps(std::move(run), std::move(plan.steps));
+}
+
+}  // namespace icg

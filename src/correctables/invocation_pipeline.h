@@ -1,0 +1,112 @@
+// InvocationPipeline: the shared per-invocation engine behind every binding.
+//
+// The paper's claim is that incremental consistency guarantees are *one* abstraction
+// regardless of the storage stack behind it. The pipeline is where that abstraction's
+// semantics live, so concrete bindings stay thin level providers:
+//
+//   * level-set validation and weakest-first delivery;
+//   * out-of-order suppression (a weaker view arriving after a stronger one is dropped,
+//     keeping the Correctable's level sequence monotone even against misbehaving
+//     storage);
+//   * the §5.2 digest-confirmation optimization (a confirmation final closes the
+//     Correctable with the preliminary value);
+//   * client-cache write-through via the plan's RefreshHook;
+//   * error fan-in (preliminary-level errors are tolerated while a stronger view may
+//     still arrive; final-level errors fail the Correctable) and timeout arming;
+//   * read coalescing: same-key reads with the same level set submitted within one
+//     event-loop tick share a single store round-trip, its responses fanned back out to
+//     every waiting Correctable.
+#ifndef ICG_CORRECTABLES_INVOCATION_PIPELINE_H_
+#define ICG_CORRECTABLES_INVOCATION_PIPELINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/correctables/binding.h"
+#include "src/correctables/correctable.h"
+#include "src/sim/event_loop.h"
+
+namespace icg {
+
+// Counters surfaced through CorrectableClient::stats(). The invocation-kind counters are
+// maintained by the client; everything from views_delivered down by the pipeline.
+struct ClientStats {
+  int64_t invocations = 0;
+  int64_t weak_invocations = 0;
+  int64_t strong_invocations = 0;
+  int64_t icg_invocations = 0;
+  int64_t views_delivered = 0;
+  int64_t confirmations = 0;         // finals delivered as confirmations
+  int64_t divergences = 0;           // finals that differed from the last preliminary
+  int64_t stale_views_dropped = 0;   // out-of-order weaker views suppressed
+  int64_t errors = 0;
+  int64_t timeouts = 0;
+  int64_t batched_invocations = 0;   // read batches that served more than one invocation
+  int64_t coalesced_reads = 0;       // reads served by joining a same-tick batch
+};
+
+class InvocationPipeline {
+ public:
+  // `loop` may be null (synchronous unit tests): timeouts cannot be armed, view
+  // timestamps read as zero, and read coalescing is disabled (there is no tick).
+  // `binding` and `stats` must outlive the pipeline.
+  InvocationPipeline(Binding* binding, EventLoop* loop, ClientStats* stats);
+
+  // Fails invocations whose final view has not arrived within `timeout` (0 disables).
+  void SetTimeout(SimDuration timeout) { timeout_ = timeout; }
+
+  // Validates `levels`, plans `op` with the binding, and drives a Correctable through
+  // one view per requested level, weakest first. Same-key kGet submissions with the same
+  // level set within one event-loop tick coalesce onto the first submission's round-trip.
+  Correctable<OpResult> Submit(Operation op, std::vector<ConsistencyLevel> levels);
+
+ private:
+  // Per-waiter delivery state: one per submitted Correctable.
+  struct Invocation {
+    Invocation(EventLoop* loop, ConsistencyLevel strongest)
+        : source(loop), strongest(strongest) {}
+    CorrectableSource<OpResult> source;
+    ConsistencyLevel strongest;
+    TimerId timer = 0;
+  };
+
+  // One planned store round-trip set, fanned out to one or more waiters.
+  struct Batch {
+    Operation op;
+    LevelSet level_set;
+    bool coalescable = false;
+    bool done = false;           // strongest-level response delivered
+    std::string map_key;         // open_batches_ entry while joinable
+    std::vector<std::shared_ptr<Invocation>> waiters;
+    struct Emission {
+      ConsistencyLevel level;
+      StatusOr<OpResult> result;
+      ResponseKind kind;
+    };
+    std::vector<Emission> history;  // replayed to late same-tick joiners
+  };
+
+  void ArmTimeout(const std::shared_ptr<Invocation>& inv);
+  void CancelTimeout(Invocation& inv);
+  void Launch(const std::shared_ptr<Batch>& batch);
+  void OnEmission(const std::shared_ptr<Batch>& batch, ConsistencyLevel level,
+                  StatusOr<OpResult> result, ResponseKind kind);
+  // Translates one raw response into a view transition on one waiter.
+  void Deliver(Invocation& inv, ConsistencyLevel level, const StatusOr<OpResult>& result,
+               ResponseKind kind);
+
+  Binding* binding_;
+  EventLoop* loop_;
+  ClientStats* stats_;
+  SimDuration timeout_ = 0;
+  // Joinable read batches of the current submission tick; wholesale-cleared when the
+  // tick advances (entries for lost responses must not accumulate).
+  SimTime batch_tick_ = 0;
+  std::map<std::string, std::shared_ptr<Batch>> open_batches_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_CORRECTABLES_INVOCATION_PIPELINE_H_

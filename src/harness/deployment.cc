@@ -65,4 +65,18 @@ NewsStack MakeNewsStack(SimWorld& world, PbConfig pb_config, Region client_regio
   return stack;
 }
 
+CausalStack MakeCausalStack(SimWorld& world, CausalConfig causal_config, Region client_region,
+                            Region replica_region, std::vector<Region> store_regions) {
+  CausalStack stack;
+  stack.config = std::make_unique<CausalConfig>(causal_config);
+  stack.cluster = std::make_unique<CausalCluster>(&world.network(), &world.topology(),
+                                                  stack.config.get(), store_regions);
+  stack.causal_client = stack.cluster->MakeClient(client_region, replica_region);
+  stack.cache = std::make_unique<ClientCache>();
+  stack.binding =
+      std::make_shared<CachedCausalBinding>(stack.causal_client.get(), stack.cache.get());
+  stack.client = std::make_unique<CorrectableClient>(stack.binding, &world.loop());
+  return stack;
+}
+
 }  // namespace icg

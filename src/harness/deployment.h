@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/bindings/cached_causal_binding.h"
 #include "src/bindings/cached_pb_binding.h"
 #include "src/bindings/cassandra_binding.h"
 #include "src/bindings/zookeeper_binding.h"
@@ -105,6 +106,24 @@ NewsStack MakeNewsStack(SimWorld& world, PbConfig pb_config,
                         std::vector<Region> store_regions = {Region::kVirginia,
                                                              Region::kIreland,
                                                              Region::kFrankfurt});
+
+// Cached-causal deployment (the mobile/disconnected scenario): causally consistent
+// geo-replicated store + client-side cache, two-level binding.
+struct CausalStack {
+  std::unique_ptr<CausalConfig> config;
+  std::unique_ptr<CausalCluster> cluster;
+  std::unique_ptr<CausalClient> causal_client;
+  std::unique_ptr<ClientCache> cache;
+  std::shared_ptr<CachedCausalBinding> binding;
+  std::unique_ptr<CorrectableClient> client;
+};
+
+CausalStack MakeCausalStack(SimWorld& world, CausalConfig causal_config,
+                            Region client_region = Region::kIreland,
+                            Region replica_region = Region::kIreland,
+                            std::vector<Region> store_regions = {Region::kIreland,
+                                                                 Region::kFrankfurt,
+                                                                 Region::kVirginia});
 
 }  // namespace icg
 

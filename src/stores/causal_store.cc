@@ -139,6 +139,14 @@ void ClientCache::Put(const std::string& key, const OpResult& result) {
   EvictIfNeeded();
 }
 
+void ClientCache::Refresh(const std::string& key, const OpResult& result) {
+  auto it = entries_.find(key);
+  if (it != entries_.end() && it->second.found && it->second.version > result.version) {
+    return;  // cached entry is fresher; a reordered weaker view must not regress it
+  }
+  Put(key, result);
+}
+
 void ClientCache::Invalidate(const std::string& key) { entries_.erase(key); }
 
 void ClientCache::Clear() {

@@ -97,6 +97,9 @@ class ClientCache {
 
   std::optional<OpResult> Get(const std::string& key);
   void Put(const std::string& key, const OpResult& result);
+  // Version-aware write-through: installs `result` unless the cached entry is already
+  // strictly fresher, so a reordered weak view can never regress a stronger one.
+  void Refresh(const std::string& key, const OpResult& result);
   void Invalidate(const std::string& key);
   void Clear();
 

@@ -11,21 +11,29 @@
 namespace icg {
 namespace {
 
-// A binding whose responses are scripted by the test.
+// A binding whose responses are scripted by the test: the plan's single fetch step
+// records the emitter so the test can deliver responses (including adversarially
+// reordered ones) whenever it wants.
 class MockBinding : public Binding {
  public:
   struct Call {
     Operation op;
     std::vector<ConsistencyLevel> levels;
-    ResponseCallback callback;
+    LevelEmitter emit;
   };
 
   std::string Name() const override { return "mock"; }
   std::vector<ConsistencyLevel> SupportedLevels() const override { return supported_; }
 
-  void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
-                       ResponseCallback callback) override {
-    calls_.push_back(Call{op, levels, std::move(callback)});
+  InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override {
+    InvocationPlan plan;
+    plan.AddSpan(levels.levels(),
+                 [this, requested = levels.levels()](const Operation& planned,
+                                                     LevelEmitter emit) {
+                   calls_.push_back(Call{planned, requested, std::move(emit)});
+                 });
+    (void)op;
+    return plan;
   }
 
   Call& last() { return calls_.back(); }
@@ -98,10 +106,10 @@ TEST_F(ClientTest, EmptyLevelSelectionFailsFast) {
 TEST_F(ClientTest, PreliminaryThenFinalViews) {
   auto c = client_.Invoke(Operation::Get("k"));
   auto& call = binding_->last();
-  call.callback(Result("v1"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  call.emit(ConsistencyLevel::kWeak, Result("v1"));
   EXPECT_EQ(c.state(), CorrectableState::kUpdating);
   EXPECT_EQ(c.LatestView().value.value, "v1");
-  call.callback(Result("v2"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  call.emit(ConsistencyLevel::kStrong, Result("v2"));
   EXPECT_EQ(c.state(), CorrectableState::kFinal);
   EXPECT_EQ(c.Final().value().value, "v2");
   EXPECT_EQ(client_.stats().views_delivered, 2);
@@ -110,8 +118,8 @@ TEST_F(ClientTest, PreliminaryThenFinalViews) {
 TEST_F(ClientTest, ConfirmationClosesWithPreliminaryValue) {
   auto c = client_.Invoke(Operation::Get("k"));
   auto& call = binding_->last();
-  call.callback(Result("v1"), ConsistencyLevel::kWeak, ResponseKind::kValue);
-  call.callback(OpResult{}, ConsistencyLevel::kStrong, ResponseKind::kConfirmation);
+  call.emit(ConsistencyLevel::kWeak, Result("v1"));
+  call.emit(ConsistencyLevel::kStrong, OpResult{}, ResponseKind::kConfirmation);
   ASSERT_EQ(c.state(), CorrectableState::kFinal);
   EXPECT_EQ(c.Final().value().value, "v1");
   EXPECT_TRUE(c.LatestView().confirmed_preliminary);
@@ -122,8 +130,8 @@ TEST_F(ClientTest, ConfirmationClosesWithPreliminaryValue) {
 TEST_F(ClientTest, DivergenceCounted) {
   auto c = client_.Invoke(Operation::Get("k"));
   auto& call = binding_->last();
-  call.callback(Result("stale"), ConsistencyLevel::kWeak, ResponseKind::kValue);
-  call.callback(Result("fresh"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  call.emit(ConsistencyLevel::kWeak, Result("stale"));
+  call.emit(ConsistencyLevel::kStrong, Result("fresh"));
   EXPECT_EQ(client_.stats().divergences, 1);
   EXPECT_EQ(c.Final().value().value, "fresh");
 }
@@ -131,14 +139,14 @@ TEST_F(ClientTest, DivergenceCounted) {
 TEST_F(ClientTest, MatchingFullFinalIsNotDivergence) {
   client_.Invoke(Operation::Get("k"));
   auto& call = binding_->last();
-  call.callback(Result("same"), ConsistencyLevel::kWeak, ResponseKind::kValue);
-  call.callback(Result("same"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  call.emit(ConsistencyLevel::kWeak, Result("same"));
+  call.emit(ConsistencyLevel::kStrong, Result("same"));
   EXPECT_EQ(client_.stats().divergences, 0);
 }
 
 TEST_F(ClientTest, WeakOnlyClosesAtWeakLevel) {
   auto c = client_.InvokeWeak(Operation::Get("k"));
-  binding_->last().callback(Result("v"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  binding_->last().emit(ConsistencyLevel::kWeak, Result("v"));
   EXPECT_EQ(c.state(), CorrectableState::kFinal);
   EXPECT_EQ(c.LatestView().level, ConsistencyLevel::kWeak);
 }
@@ -146,9 +154,8 @@ TEST_F(ClientTest, WeakOnlyClosesAtWeakLevel) {
 TEST_F(ClientTest, ErrorOnFinalLevelFailsCorrectable) {
   auto c = client_.Invoke(Operation::Get("k"));
   auto& call = binding_->last();
-  call.callback(Result("v1"), ConsistencyLevel::kWeak, ResponseKind::kValue);
-  call.callback(Status::Unavailable("no quorum"), ConsistencyLevel::kStrong,
-                ResponseKind::kValue);
+  call.emit(ConsistencyLevel::kWeak, Result("v1"));
+  call.emit(ConsistencyLevel::kStrong, Status::Unavailable("no quorum"));
   EXPECT_EQ(c.state(), CorrectableState::kError);
   EXPECT_EQ(client_.stats().errors, 1);
 }
@@ -156,10 +163,9 @@ TEST_F(ClientTest, ErrorOnFinalLevelFailsCorrectable) {
 TEST_F(ClientTest, ErrorOnPreliminaryLevelIsTolerated) {
   auto c = client_.Invoke(Operation::Get("k"));
   auto& call = binding_->last();
-  call.callback(Status::Unavailable("replica slow"), ConsistencyLevel::kWeak,
-                ResponseKind::kValue);
+  call.emit(ConsistencyLevel::kWeak, Status::Unavailable("replica slow"));
   EXPECT_EQ(c.state(), CorrectableState::kUpdating);  // still waiting for the final
-  call.callback(Result("v"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  call.emit(ConsistencyLevel::kStrong, Result("v"));
   EXPECT_EQ(c.state(), CorrectableState::kFinal);
   EXPECT_EQ(client_.stats().errors, 0);
 }
@@ -168,9 +174,9 @@ TEST_F(ClientTest, ReorderedWeakerViewDropped) {
   // A misbehaving binding delivers the strong view, then a stale weak view.
   auto c = client_.Invoke(Operation::Get("k"));
   auto& call = binding_->last();
-  call.callback(Result("strong"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  call.emit(ConsistencyLevel::kStrong, Result("strong"));
   EXPECT_EQ(c.state(), CorrectableState::kFinal);
-  call.callback(Result("weak-late"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  call.emit(ConsistencyLevel::kWeak, Result("weak-late"));
   EXPECT_EQ(c.Final().value().value, "strong");  // unchanged
   EXPECT_EQ(client_.stats().stale_views_dropped, 1);
 }
@@ -200,7 +206,7 @@ TEST(ClientTimeout, FailsWhenNoFinalArrives) {
 
   auto c = client.Invoke(Operation::Get("k"));
   // Only a preliminary ever arrives.
-  binding->last().callback(Result("v1"), ConsistencyLevel::kWeak, ResponseKind::kValue);
+  binding->last().emit(ConsistencyLevel::kWeak, Result("v1"));
   loop.RunFor(Millis(200));
   EXPECT_EQ(c.state(), CorrectableState::kError);
   EXPECT_EQ(c.Final().status().code(), StatusCode::kTimeout);
@@ -214,7 +220,7 @@ TEST(ClientTimeout, CancelledWhenFinalArrives) {
   client.SetTimeout(Millis(100));
 
   auto c = client.Invoke(Operation::Get("k"));
-  binding->last().callback(Result("v"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  binding->last().emit(ConsistencyLevel::kStrong, Result("v"));
   loop.RunFor(Millis(200));
   EXPECT_EQ(c.state(), CorrectableState::kFinal);
   EXPECT_EQ(client.stats().timeouts, 0);
@@ -226,7 +232,7 @@ TEST(ClientTimeout, ViewTimestampsComeFromLoop) {
   CorrectableClient client(binding, &loop);
   auto c = client.Invoke(Operation::Get("k"));
   loop.RunFor(Millis(7));
-  binding->last().callback(Result("v"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  binding->last().emit(ConsistencyLevel::kStrong, Result("v"));
   EXPECT_EQ(c.LatestView().delivered_at, Millis(7));
 }
 
@@ -240,12 +246,64 @@ TEST(ClientThreeLevels, AllLevelsDeliveredInOrder) {
   std::vector<ConsistencyLevel> seen;
   c.OnUpdate([&](const View<OpResult>& v) { seen.push_back(v.level); });
   c.OnFinal([&](const View<OpResult>& v) { seen.push_back(v.level); });
-  call.callback(Result("a"), ConsistencyLevel::kCache, ResponseKind::kValue);
-  call.callback(Result("b"), ConsistencyLevel::kWeak, ResponseKind::kValue);
-  call.callback(Result("c"), ConsistencyLevel::kStrong, ResponseKind::kValue);
+  call.emit(ConsistencyLevel::kCache, Result("a"));
+  call.emit(ConsistencyLevel::kWeak, Result("b"));
+  call.emit(ConsistencyLevel::kStrong, Result("c"));
   EXPECT_EQ(seen, (std::vector<ConsistencyLevel>{ConsistencyLevel::kCache,
                                                  ConsistencyLevel::kWeak,
                                                  ConsistencyLevel::kStrong}));
+}
+
+// Adversarial response reordering: a misbehaving binding delivers STRONG before the
+// weaker levels. The pipeline must surface exactly one view per level actually
+// deliverable (only STRONG here), suppress the late weaker views, and never regress
+// the delivered level.
+TEST(ClientReordering, StrongFirstYieldsOneViewPerSurfacedLevel) {
+  auto binding = std::make_shared<MockBinding>();
+  binding->supported_ = {ConsistencyLevel::kCache, ConsistencyLevel::kWeak,
+                         ConsistencyLevel::kStrong};
+  CorrectableClient client(binding);
+  auto c = client.Invoke(Operation::Get("k"));
+
+  std::vector<ConsistencyLevel> surfaced;
+  c.OnUpdate([&](const View<OpResult>& v) { surfaced.push_back(v.level); });
+  c.OnFinal([&](const View<OpResult>& v) { surfaced.push_back(v.level); });
+
+  auto& call = binding->last();
+  call.emit(ConsistencyLevel::kStrong, Result("strong"));
+  call.emit(ConsistencyLevel::kWeak, Result("weak-late"));
+  call.emit(ConsistencyLevel::kCache, Result("cache-late"));
+
+  EXPECT_EQ(surfaced, (std::vector<ConsistencyLevel>{ConsistencyLevel::kStrong}));
+  EXPECT_EQ(client.stats().views_delivered, 1);
+  EXPECT_EQ(client.stats().stale_views_dropped, 2);
+  EXPECT_EQ(c.state(), CorrectableState::kFinal);
+  EXPECT_EQ(c.LatestView().level, ConsistencyLevel::kStrong);  // no regression
+  EXPECT_EQ(c.Final().value().value, "strong");
+}
+
+// Partial reorder: WEAK lands, then STRONG, then the stale CACHE view. Every level that
+// can legally surface does so exactly once, in ascending order.
+TEST(ClientReordering, LateCacheViewAfterWeakAndStrongIsDropped) {
+  auto binding = std::make_shared<MockBinding>();
+  binding->supported_ = {ConsistencyLevel::kCache, ConsistencyLevel::kWeak,
+                         ConsistencyLevel::kStrong};
+  CorrectableClient client(binding);
+  auto c = client.Invoke(Operation::Get("k"));
+
+  std::vector<ConsistencyLevel> surfaced;
+  c.OnUpdate([&](const View<OpResult>& v) { surfaced.push_back(v.level); });
+  c.OnFinal([&](const View<OpResult>& v) { surfaced.push_back(v.level); });
+
+  auto& call = binding->last();
+  call.emit(ConsistencyLevel::kWeak, Result("w"));
+  call.emit(ConsistencyLevel::kCache, Result("stale-cache"));  // regressed: dropped
+  call.emit(ConsistencyLevel::kStrong, Result("s"));
+
+  EXPECT_EQ(surfaced, (std::vector<ConsistencyLevel>{ConsistencyLevel::kWeak,
+                                                     ConsistencyLevel::kStrong}));
+  EXPECT_EQ(client.stats().stale_views_dropped, 1);
+  EXPECT_EQ(client.stats().views_delivered, 2);
 }
 
 }  // namespace

@@ -334,5 +334,109 @@ TEST(WhenAll, ErrorFailsAggregate) {
   EXPECT_EQ(all.state(), CorrectableState::kError);
 }
 
+// --- Terminal-state callback hardening ------------------------------------------------
+// Callbacks attached after a final/error must fire immediately with the terminal view
+// (promise semantics), and the terminal transition must release every stored callback so
+// captured resources do not outlive the invocation.
+
+TEST(CorrectableTerminal, AttachAfterFinalFiresImmediatelyWithTerminalView) {
+  CorrectableSource<int> src;
+  auto c = src.GetCorrectable();
+  src.Update(1, ConsistencyLevel::kWeak);
+  src.Close(2, ConsistencyLevel::kStrong);
+
+  int final_value = -1;
+  ConsistencyLevel final_level = ConsistencyLevel::kCache;
+  bool was_final = false;
+  c.OnFinal([&](const View<int>& v) {
+    final_value = v.value;
+    final_level = v.level;
+    was_final = v.is_final;
+  });
+  EXPECT_EQ(final_value, 2);
+  EXPECT_EQ(final_level, ConsistencyLevel::kStrong);
+  EXPECT_TRUE(was_final);
+
+  // OnUpdate after close must NOT fire: there will never be another preliminary.
+  int updates = 0;
+  c.OnUpdate([&](const View<int>&) { updates++; });
+  EXPECT_EQ(updates, 0);
+}
+
+TEST(CorrectableTerminal, SetCallbacksAfterErrorFiresOnlyErrorCallback) {
+  CorrectableSource<int> src;
+  auto c = src.GetCorrectable();
+  src.Update(1, ConsistencyLevel::kWeak);
+  src.Fail(Status::Unavailable("down"));
+
+  int updates = 0;
+  int finals = 0;
+  Status seen;
+  c.SetCallbacks([&](const View<int>&) { updates++; }, [&](const View<int>&) { finals++; },
+                 [&](const Status& s) { seen = s; });
+  EXPECT_EQ(updates, 0);
+  EXPECT_EQ(finals, 0);
+  EXPECT_EQ(seen.code(), StatusCode::kUnavailable);
+}
+
+TEST(CorrectableTerminal, CloseReleasesStoredCallbacks) {
+  auto resource = std::make_shared<int>(7);
+  CorrectableSource<int> src;
+  auto c = src.GetCorrectable();
+  c.OnUpdate([resource](const View<int>&) {});
+  c.OnFinal([resource](const View<int>&) {});
+  c.OnError([resource](const Status&) {});
+  EXPECT_EQ(resource.use_count(), 4);
+
+  src.Close(1, ConsistencyLevel::kStrong);
+  // All three lists were consumed; only the local handle keeps the resource alive.
+  EXPECT_EQ(resource.use_count(), 1);
+}
+
+TEST(CorrectableTerminal, FailReleasesStoredCallbacks) {
+  auto resource = std::make_shared<int>(7);
+  CorrectableSource<int> src;
+  auto c = src.GetCorrectable();
+  c.OnUpdate([resource](const View<int>&) {});
+  c.OnFinal([resource](const View<int>&) {});
+  src.Fail(Status::Timeout());
+  EXPECT_EQ(resource.use_count(), 1);
+}
+
+TEST(CorrectableTerminal, CallbackAttachedDuringFinalFireRunsExactlyOnce) {
+  CorrectableSource<int> src;
+  auto c = src.GetCorrectable();
+  int inner = 0;
+  c.OnFinal([&](const View<int>&) {
+    c.OnFinal([&](const View<int>&) { inner++; });  // attach while terminal fire runs
+  });
+  src.Close(1, ConsistencyLevel::kStrong);
+  EXPECT_EQ(inner, 1);
+}
+
+TEST(CorrectableTerminal, UpdateCallbackAttachedDuringUpdateFiresOnce) {
+  CorrectableSource<int> src;
+  auto c = src.GetCorrectable();
+  int inner = 0;
+  c.OnUpdate([&](const View<int>&) {
+    c.OnUpdate([&](const View<int>&) { inner++; });  // replays the pending view at attach
+  });
+  src.Update(1, ConsistencyLevel::kWeak);
+  EXPECT_EQ(inner, 1);  // exactly once: attach-replay, not a second live delivery
+}
+
+TEST(CorrectableTerminal, CallbackFailingSourceDuringUpdateIsSafe) {
+  CorrectableSource<int> src;
+  auto c = src.GetCorrectable();
+  int errors = 0;
+  c.OnError([&](const Status&) { errors++; });
+  c.OnUpdate([&](const View<int>&) { src.Fail(Status::Aborted("mid-update")); });
+  src.Update(1, ConsistencyLevel::kWeak);
+  EXPECT_EQ(c.state(), CorrectableState::kError);
+  EXPECT_EQ(errors, 1);
+  // The error fire consumed the callback lists; a second Fail is a no-op.
+  EXPECT_FALSE(src.Fail(Status::Internal("late")));
+}
+
 }  // namespace
 }  // namespace icg
