@@ -1,11 +1,15 @@
 // Shared output helpers for the figure-reproduction benchmarks: aligned tables with a
-// header naming the paper figure being regenerated.
+// header naming the paper figure being regenerated, plus machine-readable JSON summaries
+// (BENCH_<name>.json) so CI and perf-trajectory tooling can consume bench results
+// without parsing tables.
 #ifndef ICG_BENCH_BENCH_UTIL_H_
 #define ICG_BENCH_BENCH_UTIL_H_
 
 #include <cstdio>
 #include <string>
 #include <vector>
+
+#include "src/common/histogram.h"
 
 namespace icg::bench {
 
@@ -63,6 +67,90 @@ inline std::string Fmt(double value, int decimals = 1) {
   std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
   return buf;
 }
+
+// Accumulates a flat set of metrics and writes them as BENCH_<name>.json next to the
+// working directory (one file per bench target, overwritten per run). Nesting is
+// expressed with dotted keys ("coords3.final.p99_ms"), which keeps the format trivially
+// greppable and diffable across runs.
+class JsonSummary {
+ public:
+  explicit JsonSummary(std::string bench_name) : name_(std::move(bench_name)) {}
+
+  void Add(const std::string& key, double value, int decimals = 3) {
+    entries_.push_back({key, Fmt(value, decimals)});
+  }
+  void Add(const std::string& key, int64_t value) {
+    entries_.push_back({key, std::to_string(value)});
+  }
+  void AddString(const std::string& key, const std::string& value) {
+    entries_.push_back({key, "\"" + Escape(value) + "\""});
+  }
+
+  // The standard per-trial block: throughput plus p50/p99 of the preliminary and final
+  // latency distributions, under `prefix.`.
+  void AddLatencies(const std::string& prefix, double throughput_ops,
+                    const LatencySummary& preliminary, const LatencySummary& final_view) {
+    Add(prefix + ".throughput_ops", throughput_ops, 1);
+    Add(prefix + ".final.p50_ms", final_view.p50_ms());
+    Add(prefix + ".final.p99_ms", final_view.p99_ms());
+    if (preliminary.count > 0) {
+      Add(prefix + ".preliminary.p50_ms", preliminary.p50_ms());
+      Add(prefix + ".preliminary.p99_ms", preliminary.p99_ms());
+    }
+  }
+
+  // Writes BENCH_<name>.json and reports the path on stdout. Returns false (with a
+  // warning) if the file cannot be opened; benches never fail on summary IO.
+  bool Write() const {
+    const std::string path = "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\"", Escape(name_).c_str());
+    for (const auto& [key, value] : entries_) {
+      std::fprintf(f, ",\n  \"%s\": %s", Escape(key).c_str(), value.c_str());
+    }
+    std::fprintf(f, "\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;  // pre-rendered JSON value
+  };
+
+  static std::string Escape(const std::string& raw) {
+    std::string out;
+    out.reserve(raw.size());
+    for (const char c : raw) {
+      switch (c) {
+        case '"':
+          out += "\\\"";
+          break;
+        case '\\':
+          out += "\\\\";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out += buf;
+          } else {
+            out += c;
+          }
+      }
+    }
+    return out;
+  }
+
+  std::string name_;
+  std::vector<Entry> entries_;
+};
 
 }  // namespace icg::bench
 

@@ -21,15 +21,9 @@ namespace {
 
 constexpr int64_t kRecords = 10000;
 
-struct SweepPoint {
-  double throughput = 0;
-  double prelim_ms = 0;
-  double final_ms = 0;
-};
-
 // One trial: three clients (IRL->FRK, FRK->VRG, VRG->IRL), report the IRL client.
-SweepPoint RunTrial(const WorkloadConfig& workload_config, KvMode mode, int threads_per_client,
-                    uint64_t seed) {
+RunnerResult RunTrial(const WorkloadConfig& workload_config, KvMode mode, int threads_per_client,
+                      uint64_t seed) {
   SimWorld world(seed);
   CassandraBindingConfig binding;
   binding.strong_read_quorum = 2;
@@ -61,28 +55,29 @@ SweepPoint RunTrial(const WorkloadConfig& workload_config, KvMode mode, int thre
   vrg.Begin();
   world.loop().RunUntil(world.loop().Now() + runner_config.duration + Seconds(5));
 
-  const RunnerResult result = irl.Collect();
-  SweepPoint point;
-  point.throughput = result.throughput_ops;
-  point.final_ms = result.final_view.mean_ms();
-  point.prelim_ms = result.preliminary.count > 0 ? result.preliminary.mean_ms() : 0;
-  return point;
+  return irl.Collect();
 }
 
-void RunWorkload(const std::string& name, const WorkloadConfig& config) {
+void RunWorkload(const std::string& name, const std::string& key, const WorkloadConfig& config,
+                 bench::JsonSummary& json) {
   const std::vector<int> thread_sweep = {2, 4, 8, 16, 24, 32, 48, 64};
   bench::Table table({"threads/client", "system", "throughput (ops/s)", "avg latency (ms)",
                       "preliminary (ms)"});
   for (const int threads : thread_sweep) {
-    const SweepPoint c1 = RunTrial(config, KvMode::kWeakOnly, threads, 101);
-    const SweepPoint c2 = RunTrial(config, KvMode::kStrongOnly, threads, 102);
-    const SweepPoint cc2 = RunTrial(config, KvMode::kIcg, threads, 103);
-    table.AddRow({std::to_string(threads), "C1 (R=1)", bench::Fmt(c1.throughput, 0),
-                  bench::Fmt(c1.final_ms), "-"});
-    table.AddRow({std::to_string(threads), "C2 (R=2)", bench::Fmt(c2.throughput, 0),
-                  bench::Fmt(c2.final_ms), "-"});
-    table.AddRow({std::to_string(threads), "CC2 (R={1,2})", bench::Fmt(cc2.throughput, 0),
-                  bench::Fmt(cc2.final_ms), bench::Fmt(cc2.prelim_ms)});
+    const RunnerResult c1 = RunTrial(config, KvMode::kWeakOnly, threads, 101);
+    const RunnerResult c2 = RunTrial(config, KvMode::kStrongOnly, threads, 102);
+    const RunnerResult cc2 = RunTrial(config, KvMode::kIcg, threads, 103);
+    table.AddRow({std::to_string(threads), "C1 (R=1)", bench::Fmt(c1.throughput_ops, 0),
+                  bench::Fmt(c1.final_view.mean_ms()), "-"});
+    table.AddRow({std::to_string(threads), "C2 (R=2)", bench::Fmt(c2.throughput_ops, 0),
+                  bench::Fmt(c2.final_view.mean_ms()), "-"});
+    table.AddRow({std::to_string(threads), "CC2 (R={1,2})", bench::Fmt(cc2.throughput_ops, 0),
+                  bench::Fmt(cc2.final_view.mean_ms()),
+                  cc2.preliminary.count > 0 ? bench::Fmt(cc2.preliminary.mean_ms()) : "-"});
+    const std::string prefix = key + ".t" + std::to_string(threads);
+    json.AddLatencies(prefix + ".C1", c1.throughput_ops, c1.preliminary, c1.final_view);
+    json.AddLatencies(prefix + ".C2", c2.throughput_ops, c2.preliminary, c2.final_view);
+    json.AddLatencies(prefix + ".CC2", cc2.throughput_ops, cc2.preliminary, cc2.final_view);
   }
   std::printf("--- Workload %s ---\n", name.c_str());
   table.Print();
@@ -99,10 +94,13 @@ int main() {
       "Paper's shape: CC2 preliminary tracks C1 (~20 ms), CC2 final tracks C2 (~40 ms);\n"
       "CC trades in some throughput (saturates slightly before the baselines).");
 
-  RunWorkload("A (50:50 read/write)",
-              WorkloadConfig::YcsbA(RequestDistribution::kZipfian, kRecords));
-  RunWorkload("B (95:5 read/write)",
-              WorkloadConfig::YcsbB(RequestDistribution::kZipfian, kRecords));
-  RunWorkload("C (read-only)", WorkloadConfig::YcsbC(RequestDistribution::kZipfian, kRecords));
+  bench::JsonSummary json("fig06_load_latency");
+  RunWorkload("A (50:50 read/write)", "A",
+              WorkloadConfig::YcsbA(RequestDistribution::kZipfian, kRecords), json);
+  RunWorkload("B (95:5 read/write)", "B",
+              WorkloadConfig::YcsbB(RequestDistribution::kZipfian, kRecords), json);
+  RunWorkload("C (read-only)", "C",
+              WorkloadConfig::YcsbC(RequestDistribution::kZipfian, kRecords), json);
+  json.Write();
   return 0;
 }

@@ -133,6 +133,16 @@ class Binding {
   // plan's fetchers are run by the InvocationPipeline.
   virtual InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) = 0;
 
+  // Routing scope of `op` for read coalescing: two operations may share one store
+  // round-trip only if their scopes match. Flat bindings use the default (everything in
+  // one scope); a routing binding returns the shard so reads that would hit different
+  // coordinators never join the same batch — even if a rebalance moves the key's shard
+  // between two submissions of the same tick.
+  virtual std::string CoalescingScope(const Operation& op) const {
+    (void)op;
+    return std::string();
+  }
+
   // Called once per raw response in the legacy fan-out shape; kept for binding-level
   // tests and tools that drive a binding without a Correctable client.
   using ResponseCallback =

@@ -1,0 +1,239 @@
+#include "src/correctables/binding_router.h"
+
+#include <cassert>
+#include <map>
+#include <optional>
+#include <utility>
+
+namespace icg {
+namespace {
+
+// One shard's slice of a cross-shard multiget: the sub-keys it owns and their positions
+// in the original key list (for reassembling the merged payload in request order).
+struct ShardSlice {
+  size_t shard = 0;
+  std::vector<std::string> keys;
+  std::vector<size_t> positions;
+};
+
+std::vector<ShardSlice> SliceByShard(const BindingRouter& router,
+                                     const std::vector<std::string>& keys) {
+  std::vector<ShardSlice> slices;
+  std::map<size_t, size_t> slice_of_shard;  // shard index -> slices_ position
+  for (size_t pos = 0; pos < keys.size(); ++pos) {
+    const size_t shard = router.ShardIndexFor(keys[pos]);
+    auto [it, inserted] = slice_of_shard.emplace(shard, slices.size());
+    if (inserted) {
+      slices.push_back(ShardSlice{shard, {}, {}});
+    }
+    slices[it->second].keys.push_back(keys[pos]);
+    slices[it->second].positions.push_back(pos);
+  }
+  return slices;
+}
+
+// Splits a multiget result payload into exactly `count` per-key parts. The wire format
+// joins parts with kMultiValueSeparator (missing keys contribute an empty part).
+std::vector<std::string> SplitMultiValue(const std::string& value, size_t count) {
+  std::vector<std::string> parts;
+  parts.reserve(count);
+  size_t start = 0;
+  while (parts.size() + 1 < count) {
+    const size_t sep = value.find(kMultiValueSeparator, start);
+    if (sep == std::string::npos) {
+      break;
+    }
+    parts.push_back(value.substr(start, sep - start));
+    start = sep + 1;
+  }
+  parts.push_back(value.substr(start));
+  parts.resize(count);
+  return parts;
+}
+
+// Per-level merge state of one scatter-gather: every shard's response at that level,
+// completed (and emitted) once no slot is outstanding.
+struct LevelGather {
+  std::vector<std::optional<StatusOr<OpResult>>> slots;  // per slice
+  std::vector<bool> confirmed;
+  size_t outstanding = 0;
+};
+
+// Shared state of one cross-shard multiget, kept alive by the per-shard callbacks.
+struct GatherState {
+  std::vector<ShardSlice> slices;
+  size_t total_keys = 0;
+  LevelEmitter emit;
+  std::map<ConsistencyLevel, LevelGather> levels;
+  // Latest full value per slice, for reconstructing a shard's confirmation final (§5.2:
+  // a confirmation promises the final equals the preliminary this shard already sent).
+  std::vector<std::optional<OpResult>> latest_value;
+
+  GatherState(std::vector<ShardSlice> s, size_t keys, const std::vector<ConsistencyLevel>& lvls,
+              LevelEmitter e)
+      : slices(std::move(s)), total_keys(keys), emit(std::move(e)),
+        latest_value(slices.size()) {
+    for (const ConsistencyLevel level : lvls) {
+      LevelGather& gather = levels[level];
+      gather.slots.resize(slices.size());
+      gather.confirmed.resize(slices.size(), false);
+      gather.outstanding = slices.size();
+    }
+  }
+};
+
+// Merges the completed level and reports it through the plan's emitter.
+void EmitMergedLevel(GatherState& state, ConsistencyLevel level, const LevelGather& gather) {
+  bool all_confirmed = true;
+  for (size_t i = 0; i < state.slices.size(); ++i) {
+    const StatusOr<OpResult>& slot = *gather.slots[i];
+    if (!slot.ok()) {
+      // Any failed shard fails the merged level; the pipeline decides whether that is
+      // tolerable (preliminary) or terminal (final).
+      state.emit(level, slot.status());
+      return;
+    }
+    if (!gather.confirmed[i]) {
+      all_confirmed = false;
+    }
+  }
+  if (all_confirmed) {
+    // Every shard confirmed its preliminary, so the merged final is the merged
+    // preliminary too — surface it as a confirmation and let the pipeline close the
+    // Correctable with the value it already delivered.
+    state.emit(level, OpResult{}, ResponseKind::kConfirmation);
+    return;
+  }
+
+  std::vector<std::string> parts(state.total_keys);
+  OpResult merged;
+  merged.found = true;
+  merged.seqno = 0;
+  for (size_t i = 0; i < state.slices.size(); ++i) {
+    const ShardSlice& slice = state.slices[i];
+    // A confirmed shard did not resend its payload; its final is its recorded
+    // preliminary.
+    const OpResult& result =
+        gather.confirmed[i] ? *state.latest_value[i] : gather.slots[i]->value();
+    const std::vector<std::string> shard_parts = SplitMultiValue(result.value, slice.keys.size());
+    for (size_t k = 0; k < slice.keys.size(); ++k) {
+      parts[slice.positions[k]] = shard_parts[k];
+    }
+    merged.found = merged.found && result.found;
+    merged.seqno += result.seqno > 0 ? result.seqno : 0;
+    if (merged.version < result.version) {
+      merged.version = result.version;
+    }
+  }
+  for (size_t pos = 0; pos < parts.size(); ++pos) {
+    if (pos > 0) {
+      merged.value += kMultiValueSeparator;
+    }
+    merged.value += parts[pos];
+  }
+  state.emit(level, std::move(merged));
+}
+
+void OnShardResponse(const std::shared_ptr<GatherState>& state, size_t slice_index,
+                     StatusOr<OpResult> result, ConsistencyLevel level, ResponseKind kind) {
+  auto it = state->levels.find(level);
+  if (it == state->levels.end()) {
+    return;  // level not part of this request; child declaration checks already warned
+  }
+  LevelGather& gather = it->second;
+  if (gather.slots[slice_index].has_value()) {
+    return;  // duplicate emission at this level (streaming shard); first one wins
+  }
+  if (kind == ResponseKind::kConfirmation && !state->latest_value[slice_index].has_value()) {
+    // A confirmation with no recorded preliminary cannot be reconstructed; treat as a
+    // shard protocol error rather than fabricating a value.
+    result = Status::Internal("shard confirmation arrived before any preliminary value");
+    kind = ResponseKind::kValue;
+  }
+  if (result.ok() && kind == ResponseKind::kValue) {
+    state->latest_value[slice_index] = result.value();
+  }
+  gather.confirmed[slice_index] = (kind == ResponseKind::kConfirmation);
+  gather.slots[slice_index] = std::move(result);
+  gather.outstanding--;
+  if (gather.outstanding == 0) {
+    EmitMergedLevel(*state, level, gather);
+  }
+}
+
+}  // namespace
+
+BindingRouter::BindingRouter(std::vector<std::shared_ptr<Binding>> shards, ShardFn shard_of)
+    : shards_(std::move(shards)), shard_of_(std::move(shard_of)) {
+  assert(!shards_.empty());
+  assert(shard_of_ != nullptr);
+#ifndef NDEBUG
+  const std::vector<ConsistencyLevel> levels = shards_.front()->SupportedLevels();
+  for (const auto& shard : shards_) {
+    assert(shard->SupportedLevels() == levels &&
+           "router shards must support identical level vectors");
+  }
+#endif
+}
+
+std::string BindingRouter::Name() const {
+  return "router(" + shards_.front()->Name() + " x" + std::to_string(shards_.size()) + ")";
+}
+
+std::vector<ConsistencyLevel> BindingRouter::SupportedLevels() const {
+  return shards_.front()->SupportedLevels();
+}
+
+size_t BindingRouter::ShardIndexFor(const std::string& key) const {
+  const size_t index = shard_of_(key);
+  assert(index < shards_.size());
+  return index < shards_.size() ? index : 0;
+}
+
+std::string BindingRouter::CoalescingScope(const Operation& op) const {
+  return std::to_string(ShardIndexFor(op.key));
+}
+
+InvocationPlan BindingRouter::PlanInvocation(const Operation& op, const LevelSet& levels) {
+  if (op.type != OpType::kMultiGet) {
+    // Single-key operations (and queue ops, routed by queue name) delegate wholesale:
+    // the owning shard's plan *is* the router's plan, so refresh hooks, span steps, and
+    // confirmation behaviour pass through untouched.
+    return shards_[ShardIndexFor(op.key)]->PlanInvocation(op, levels);
+  }
+
+  if (op.keys.empty()) {
+    return InvocationPlan::Rejected(
+        Status::InvalidArgument("multiget through the router needs at least one key"));
+  }
+  std::vector<ShardSlice> slices = SliceByShard(*this, op.keys);
+  if (slices.size() == 1) {
+    return shards_[slices.front().shard]->PlanInvocation(op, levels);
+  }
+
+  // Cross-shard scatter-gather: one span step covering every requested level. Each
+  // shard runs its own sub-plan (via SubmitOperation, the raw fan-out path, which also
+  // applies that shard's refresh hook); the gather emits the merged view for a level
+  // once all shards reported at it, keeping the merged sequence monotone.
+  InvocationPlan plan;
+  const size_t total_keys = op.keys.size();
+  plan.AddSpan(levels.levels(),
+               [shards = shards_, slices = std::move(slices), total_keys,
+                request_levels = levels.levels()](const Operation& read, LevelEmitter emit) {
+                 (void)read;  // sub-operations are rebuilt from the captured slices
+                 auto state = std::make_shared<GatherState>(slices, total_keys,
+                                                            request_levels, std::move(emit));
+                 for (size_t i = 0; i < state->slices.size(); ++i) {
+                   const ShardSlice& slice = state->slices[i];
+                   shards[slice.shard]->SubmitOperation(
+                       Operation::MultiGet(slice.keys), request_levels,
+                       [state, i](StatusOr<OpResult> result, ConsistencyLevel level,
+                                  ResponseKind kind) {
+                         OnShardResponse(state, i, std::move(result), level, kind);
+                       });
+                 }
+               });
+  return plan;
+}
+
+}  // namespace icg

@@ -1,0 +1,57 @@
+// BindingRouter: per-key routing across sharded storage endpoints (Dynamo/Cassandra
+// style), expressed as a Binding so the whole Correctables stack works unchanged on top.
+//
+// The router owns N child bindings — one per coordinator endpoint — and delegates each
+// invocation to the shard owning its key. Because routing stays per-key, every guarantee
+// the InvocationPipeline enforces per Correctable (weakest-first monotone views, §5.2
+// confirmations, timeouts) survives partitioned traffic: an invocation only ever talks
+// to one shard's endpoint, whose level sequence is exactly a flat binding's. The two
+// cross-shard concerns are handled here:
+//
+//   * multiget scatter-gather: a kMultiGet whose keys span shards is split into per-shard
+//     sub-reads; the router merges per-level, emitting the merged view for level L only
+//     once every shard reported at L, so the merged sequence is still monotone. Per-shard
+//     digest confirmations are reconstructed from that shard's preliminary; the merged
+//     final is itself a confirmation only if every shard confirmed.
+//   * coalescing scope: CoalescingScope() returns the key's shard, so the pipeline never
+//     lets reads bound for different coordinators share one batch.
+#ifndef ICG_CORRECTABLES_BINDING_ROUTER_H_
+#define ICG_CORRECTABLES_BINDING_ROUTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/correctables/binding.h"
+
+namespace icg {
+
+// Maps a key to the index of the shard (child binding) owning it. Must return a value in
+// [0, num_shards) and be stable for the lifetime of the router.
+using ShardFn = std::function<size_t(const std::string& key)>;
+
+class BindingRouter : public Binding {
+ public:
+  // All shards must support an identical level vector (the router advertises it as its
+  // own); `shard_of` must map every key into [0, shards.size()).
+  BindingRouter(std::vector<std::shared_ptr<Binding>> shards, ShardFn shard_of);
+
+  std::string Name() const override;
+  std::vector<ConsistencyLevel> SupportedLevels() const override;
+  InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override;
+  std::string CoalescingScope(const Operation& op) const override;
+
+  size_t num_shards() const { return shards_.size(); }
+  // The shard index `key` routes to (bounds-checked against num_shards()).
+  size_t ShardIndexFor(const std::string& key) const;
+  Binding& shard(size_t index) const { return *shards_.at(index); }
+
+ private:
+  std::vector<std::shared_ptr<Binding>> shards_;
+  ShardFn shard_of_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_CORRECTABLES_BINDING_ROUTER_H_

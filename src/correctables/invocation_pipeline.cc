@@ -13,10 +13,15 @@ bool StepDeclares(const std::vector<ConsistencyLevel>& declared, ConsistencyLeve
   return std::find(declared.begin(), declared.end(), level) != declared.end();
 }
 
-// Coalescing key: operations join the same batch only if key and level set both match
-// (different level sets need different view sequences, so they cannot share responses).
-std::string BatchKey(const Operation& op, const std::vector<ConsistencyLevel>& levels) {
-  std::string key = op.key;
+// Coalescing key: operations join the same batch only if key, level set, and the
+// binding's routing scope all match (different level sets need different view
+// sequences; different scopes mean different store endpoints, so sharing a round-trip
+// would send one waiter's read to the wrong coordinator).
+std::string BatchKey(const Binding& binding, const Operation& op,
+                     const std::vector<ConsistencyLevel>& levels) {
+  std::string key = binding.CoalescingScope(op);
+  key.push_back('\0');
+  key += op.key;
   key.push_back('\0');
   key += LevelsToString(levels);
   return key;
@@ -97,7 +102,7 @@ Correctable<OpResult> InvocationPipeline::Submit(Operation op,
       batch_tick_ = loop_->Now();
       open_batches_.clear();
     }
-    key = BatchKey(op, levels);
+    key = BatchKey(*binding_, op, levels);
     auto it = open_batches_.find(key);
     if (it != open_batches_.end()) {
       const std::shared_ptr<Batch>& batch = it->second;

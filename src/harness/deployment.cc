@@ -1,5 +1,6 @@
 #include "src/harness/deployment.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace icg {
@@ -26,6 +27,86 @@ CassandraClientEndpoint AddCassandraClient(SimWorld& world, CassandraStack& stac
       std::make_shared<CassandraBinding>(endpoint.kv_client.get(), binding_config);
   endpoint.client = std::make_unique<CorrectableClient>(endpoint.binding, &world.loop());
   return endpoint;
+}
+
+namespace {
+
+// Key -> shard index through the stack's coordinator ring. The Partitioner lives behind
+// a unique_ptr (stable across the stack being moved out of MakeShardedCassandraStack);
+// the id list is copied into the lambda so nothing points at the local struct.
+ShardFn RingShardFn(const Partitioner* ring, std::vector<NodeId> coordinators) {
+  return [ring, coordinators = std::move(coordinators)](const std::string& key) -> size_t {
+    const NodeId primary = ring->PrimaryFor(key);
+    for (size_t i = 0; i < coordinators.size(); ++i) {
+      if (coordinators[i] == primary) {
+        return i;
+      }
+    }
+    return 0;  // unreachable: the ring only contains coordinator ids
+  };
+}
+
+// One client connection + binding per coordinator, assembled into a router.
+ShardedCassandraClientEndpoint WireShardedEndpoint(SimWorld& world,
+                                                   ShardedCassandraStack& stack,
+                                                   CassandraBindingConfig binding_config,
+                                                   Region client_region) {
+  ShardedCassandraClientEndpoint endpoint;
+  std::vector<std::shared_ptr<Binding>> shards;
+  const NodeId client_node = world.topology().AddNode(
+      client_region, std::string("client-") + RegionName(client_region));
+  for (const NodeId coordinator_id : stack.coordinator_ids) {
+    KvReplica* coordinator = nullptr;
+    for (const auto& replica : stack.cluster->replicas()) {
+      if (replica->id() == coordinator_id) {
+        coordinator = replica.get();
+      }
+    }
+    endpoint.kv_clients.push_back(
+        std::make_unique<KvClient>(&world.network(), client_node, coordinator));
+    endpoint.shard_bindings.push_back(
+        std::make_shared<CassandraBinding>(endpoint.kv_clients.back().get(), binding_config));
+    shards.push_back(endpoint.shard_bindings.back());
+  }
+  endpoint.router = std::make_shared<BindingRouter>(
+      std::move(shards), RingShardFn(stack.shard_map.get(), stack.coordinator_ids));
+  endpoint.client = std::make_unique<CorrectableClient>(endpoint.router, &world.loop());
+  return endpoint;
+}
+
+}  // namespace
+
+ShardedCassandraStack MakeShardedCassandraStack(SimWorld& world, int n_coordinators,
+                                                KvConfig kv_config,
+                                                CassandraBindingConfig binding_config,
+                                                Region client_region,
+                                                std::vector<Region> replica_regions) {
+  ShardedCassandraStack stack;
+  stack.config = std::make_unique<KvConfig>(kv_config);
+  stack.cluster = std::make_unique<KvCluster>(&world.network(), &world.topology(),
+                                              stack.config.get(), replica_regions);
+  const auto& replicas = stack.cluster->replicas();
+  const size_t coordinators =
+      std::min(replicas.size(), static_cast<size_t>(std::max(n_coordinators, 1)));
+  for (size_t i = 0; i < coordinators; ++i) {
+    stack.coordinator_ids.push_back(replicas[i]->id());
+  }
+  stack.shard_map = std::make_unique<Partitioner>(stack.coordinator_ids,
+                                                  /*replication_factor=*/1);
+  ShardedCassandraClientEndpoint endpoint =
+      WireShardedEndpoint(world, stack, binding_config, client_region);
+  stack.kv_clients = std::move(endpoint.kv_clients);
+  stack.shard_bindings = std::move(endpoint.shard_bindings);
+  stack.router = std::move(endpoint.router);
+  stack.client = std::move(endpoint.client);
+  return stack;
+}
+
+ShardedCassandraClientEndpoint AddShardedCassandraClient(SimWorld& world,
+                                                         ShardedCassandraStack& stack,
+                                                         CassandraBindingConfig binding_config,
+                                                         Region client_region) {
+  return WireShardedEndpoint(world, stack, binding_config, client_region);
 }
 
 ZooKeeperStack MakeZooKeeperStack(SimWorld& world, ZabConfig zab_config, Region client_region,

@@ -11,6 +11,7 @@
 #include "src/bindings/cached_pb_binding.h"
 #include "src/bindings/cassandra_binding.h"
 #include "src/bindings/zookeeper_binding.h"
+#include "src/correctables/binding_router.h"
 #include "src/correctables/client.h"
 #include "src/kvstore/cluster.h"
 #include "src/sim/event_loop.h"
@@ -65,6 +66,45 @@ struct CassandraClientEndpoint {
 CassandraClientEndpoint AddCassandraClient(SimWorld& world, CassandraStack& stack,
                                            CassandraBindingConfig binding_config,
                                            Region client_region, Region coordinator_region);
+
+// Sharded Cassandra deployment: the same replica cluster, but per-key client traffic is
+// routed across `n_coordinators` coordinator replicas through a BindingRouter — one
+// CassandraBinding (over its own client<->coordinator connection) per coordinator, with
+// a dedicated consistent-hash ring over the coordinator ids deciding key ownership. The
+// application still sees a single CorrectableClient.
+struct ShardedCassandraStack {
+  std::unique_ptr<KvConfig> config;
+  std::unique_ptr<KvCluster> cluster;
+  std::vector<NodeId> coordinator_ids;     // replicas acting as coordinators, ring order
+  std::unique_ptr<Partitioner> shard_map;  // RF=1 ring over coordinator_ids
+  std::vector<std::unique_ptr<KvClient>> kv_clients;  // one connection per coordinator
+  std::vector<std::shared_ptr<CassandraBinding>> shard_bindings;
+  std::shared_ptr<BindingRouter> router;
+  std::unique_ptr<CorrectableClient> client;
+};
+
+// Builds a cluster with one replica per `replica_regions` entry and routes traffic
+// across the first `n_coordinators` of them (clamped to [1, #replicas]).
+ShardedCassandraStack MakeShardedCassandraStack(
+    SimWorld& world, int n_coordinators, KvConfig kv_config,
+    CassandraBindingConfig binding_config, Region client_region = Region::kIreland,
+    std::vector<Region> replica_regions = {Region::kFrankfurt, Region::kIreland,
+                                           Region::kVirginia});
+
+// Another routed client (own per-coordinator connections + router + library instance)
+// against an existing sharded deployment; shares the stack's shard ring so every client
+// agrees on key ownership. The stack must outlive the endpoint.
+struct ShardedCassandraClientEndpoint {
+  std::vector<std::unique_ptr<KvClient>> kv_clients;
+  std::vector<std::shared_ptr<CassandraBinding>> shard_bindings;
+  std::shared_ptr<BindingRouter> router;
+  std::unique_ptr<CorrectableClient> client;
+};
+
+ShardedCassandraClientEndpoint AddShardedCassandraClient(SimWorld& world,
+                                                         ShardedCassandraStack& stack,
+                                                         CassandraBindingConfig binding_config,
+                                                         Region client_region);
 
 // ZooKeeper-like deployment: ensemble (leader region configurable), one session client.
 struct ZooKeeperStack {

@@ -1,0 +1,42 @@
+#include "src/ycsb/multi_runner.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace icg {
+
+void MultiRunner::AddClient(const WorkloadConfig& workload, uint64_t seed,
+                            OpExecutor executor) {
+  workloads_.push_back(std::make_unique<CoreWorkload>(workload, seed));
+  runners_.push_back(std::make_unique<LoadRunner>(loop_, workloads_.back().get(),
+                                                  std::move(executor), config_));
+}
+
+void MultiRunner::Begin() {
+  assert(!runners_.empty());
+  for (auto& runner : runners_) {
+    runner->Begin();
+  }
+}
+
+RunnerResult MultiRunner::Collect() const {
+  std::vector<RunnerResult> results;
+  results.reserve(runners_.size());
+  for (const auto& runner : runners_) {
+    results.push_back(runner->Collect());
+  }
+  return MergeRunnerResults(results);
+}
+
+RunnerResult MultiRunner::Run() {
+  Begin();
+  SimTime latest_end = 0;
+  for (const auto& runner : runners_) {
+    latest_end = std::max(latest_end, runner->end_time());
+  }
+  loop_->RunUntil(latest_end + Seconds(5));
+  return Collect();
+}
+
+}  // namespace icg

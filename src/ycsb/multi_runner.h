@@ -1,0 +1,49 @@
+// Multi-client load harness: several closed-loop LoadRunners — one per client endpoint,
+// each with its own workload stream and executor — driven over one shared SimWorld and
+// collected into a single merged RunnerResult. This is the paper's "3 clients, one per
+// region" methodology generalized to any client count, and the measurement side of the
+// sharded deployments (every client routes per-key across the same coordinator set).
+#ifndef ICG_YCSB_MULTI_RUNNER_H_
+#define ICG_YCSB_MULTI_RUNNER_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ycsb/runner.h"
+#include "src/ycsb/workload.h"
+
+namespace icg {
+
+class MultiRunner {
+ public:
+  // All clients share the trial window (`config.duration` etc.) and the loop's virtual
+  // time; per-client thread counts come from `config.threads`.
+  MultiRunner(EventLoop* loop, RunnerConfig config) : loop_(loop), config_(config) {}
+
+  // Registers one closed-loop client. The workload generator is owned here (each client
+  // needs its own generator state so streams are independent); the executor captures
+  // whatever stack endpoint it drives.
+  void AddClient(const WorkloadConfig& workload, uint64_t seed, OpExecutor executor);
+
+  // Begins every client, drives the loop past the common trial end (plus drain time for
+  // in-flight completions), and returns the merged system-wide result.
+  RunnerResult Run();
+
+  // Phased variant for callers interleaving other activity on the loop.
+  void Begin();
+  RunnerResult Collect() const;
+
+  size_t num_clients() const { return runners_.size(); }
+  // Per-client view of the same trial (e.g. to report one region's client alone).
+  RunnerResult CollectClient(size_t index) const { return runners_.at(index)->Collect(); }
+
+ private:
+  EventLoop* loop_;
+  RunnerConfig config_;
+  std::vector<std::unique_ptr<CoreWorkload>> workloads_;
+  std::vector<std::unique_ptr<LoadRunner>> runners_;
+};
+
+}  // namespace icg
+
+#endif  // ICG_YCSB_MULTI_RUNNER_H_

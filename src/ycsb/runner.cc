@@ -64,6 +64,8 @@ RunnerResult LoadRunner::Collect() const {
   RunnerResult result;
   result.preliminary = preliminary_.Summarize();
   result.final_view = final_view_.Summarize();
+  result.preliminary_samples = preliminary_;
+  result.final_samples = final_view_;
   result.measured_ops = measured_ops_;
   result.ops_with_preliminary = ops_with_preliminary_;
   result.divergences = divergences_;
@@ -71,6 +73,22 @@ RunnerResult LoadRunner::Collect() const {
   const SimDuration window = config_.duration - config_.warmup - config_.cooldown;
   result.throughput_ops = window > 0 ? static_cast<double>(measured_ops_) / ToSeconds(window) : 0;
   return result;
+}
+
+RunnerResult MergeRunnerResults(const std::vector<RunnerResult>& results) {
+  RunnerResult merged;
+  for (const RunnerResult& r : results) {
+    merged.preliminary_samples.Merge(r.preliminary_samples);
+    merged.final_samples.Merge(r.final_samples);
+    merged.measured_ops += r.measured_ops;
+    merged.ops_with_preliminary += r.ops_with_preliminary;
+    merged.divergences += r.divergences;
+    merged.errors += r.errors;
+    merged.throughput_ops += r.throughput_ops;
+  }
+  merged.preliminary = merged.preliminary_samples.Summarize();
+  merged.final_view = merged.final_samples.Summarize();
+  return merged;
 }
 
 }  // namespace icg

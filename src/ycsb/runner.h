@@ -38,6 +38,11 @@ struct RunnerConfig {
 struct RunnerResult {
   LatencySummary preliminary;
   LatencySummary final_view;
+  // The raw samples behind the summaries, carried so several runners' results can be
+  // merged histogram-aware (exact percentiles over the union of samples, rather than
+  // meaningless averages of per-runner percentiles).
+  LatencyRecorder preliminary_samples;
+  LatencyRecorder final_samples;
   int64_t measured_ops = 0;
   int64_t ops_with_preliminary = 0;
   int64_t divergences = 0;
@@ -51,6 +56,11 @@ struct RunnerResult {
                      static_cast<double>(ops_with_preliminary);
   }
 };
+
+// Aggregates per-client results from concurrent runners over one trial window into one
+// system-wide result: counters and throughput add up, latency distributions are merged
+// at the sample level and re-summarized (p50/p99 of the union).
+RunnerResult MergeRunnerResults(const std::vector<RunnerResult>& results);
 
 class LoadRunner {
  public:

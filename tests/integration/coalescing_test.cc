@@ -99,5 +99,72 @@ TEST(CoalescingCausal, CachedCausalStackCoalescesAndStaysCoherent) {
   EXPECT_EQ(stack.cache->Get("k")->value, "v");  // refresh hook ran
 }
 
+// --- Timeout / shared-batch interaction -------------------------------------------------
+// A waiter timing out inside a shared batch must fail alone: its timer closes only its
+// own Correctable, while the batch keeps delivering the remaining views to every other
+// same-tick joiner. (Timings below: IRL client <-> FRK coordinator is a 20 ms RTT, so
+// the preliminary lands at ~21 ms and the quorum final at ~40 ms of virtual time.)
+
+TEST(CoalescingTimeouts, LeaderTimeoutDoesNotPoisonTheBatch) {
+  SimWorld world(1, 0.0);
+  auto stack = MakeCassandraStack(world, KvConfig{}, CassandraBindingConfig{});
+  stack.cluster->Preload("k", "v");
+
+  stack.client->SetTimeout(Millis(15));  // fires before even the preliminary arrives
+  auto leader = stack.client->Invoke(Operation::Get("k"));
+  stack.client->SetTimeout(0);
+  auto joiner = stack.client->Invoke(Operation::Get("k"));  // same tick: joins the batch
+  world.loop().Run();
+
+  ASSERT_EQ(leader.state(), CorrectableState::kError);
+  EXPECT_EQ(leader.error().code(), StatusCode::kTimeout);
+  ASSERT_EQ(joiner.state(), CorrectableState::kFinal);
+  EXPECT_EQ(joiner.Final().value().value, "v");
+  EXPECT_EQ(joiner.views_delivered(), 2);
+
+  const ClientStats& stats = stack.client->stats();
+  EXPECT_EQ(stats.timeouts, 1);
+  EXPECT_EQ(stats.coalesced_reads, 1);
+  EXPECT_EQ(stats.views_delivered, 2);  // only the surviving joiner's views count
+}
+
+TEST(CoalescingTimeouts, JoinerTimeoutFailsAlone) {
+  SimWorld world(1, 0.0);
+  auto stack = MakeCassandraStack(world, KvConfig{}, CassandraBindingConfig{});
+  stack.cluster->Preload("k", "v");
+
+  stack.client->SetTimeout(0);
+  auto leader = stack.client->Invoke(Operation::Get("k"));
+  stack.client->SetTimeout(Millis(15));
+  auto joiner = stack.client->Invoke(Operation::Get("k"));
+  world.loop().Run();
+
+  ASSERT_EQ(leader.state(), CorrectableState::kFinal);
+  EXPECT_EQ(leader.Final().value().value, "v");
+  EXPECT_EQ(leader.views_delivered(), 2);
+  ASSERT_EQ(joiner.state(), CorrectableState::kError);
+  EXPECT_EQ(joiner.error().code(), StatusCode::kTimeout);
+  EXPECT_EQ(stack.client->stats().timeouts, 1);
+}
+
+TEST(CoalescingTimeouts, TimeoutBetweenPreliminaryAndFinalKeepsOthersComplete) {
+  SimWorld world(1, 0.0);
+  auto stack = MakeCassandraStack(world, KvConfig{}, CassandraBindingConfig{});
+  stack.cluster->Preload("k", "v");
+
+  stack.client->SetTimeout(Millis(30));  // after the ~21 ms preliminary, before ~40 ms final
+  auto doomed = stack.client->Invoke(Operation::Get("k"));
+  stack.client->SetTimeout(0);
+  auto survivor = stack.client->Invoke(Operation::Get("k"));
+  world.loop().Run();
+
+  ASSERT_EQ(doomed.state(), CorrectableState::kError);
+  EXPECT_EQ(doomed.error().code(), StatusCode::kTimeout);
+  EXPECT_EQ(doomed.views_delivered(), 1);  // it did see the preliminary before timing out
+  ASSERT_EQ(survivor.state(), CorrectableState::kFinal);
+  EXPECT_EQ(survivor.views_delivered(), 2);
+  EXPECT_EQ(survivor.Final().value().value, "v");
+}
+
 }  // namespace
 }  // namespace icg

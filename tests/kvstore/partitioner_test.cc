@@ -82,5 +82,53 @@ TEST(Partitioner, SingleNodeOwnsEverything) {
   EXPECT_EQ(p.ReplicasFor("anything"), std::vector<NodeId>{7});
 }
 
+// --- Ring-rebalance stability: the property sharded routing depends on ------------------
+// Consistent hashing's contract is that membership changes move only the departing or
+// arriving node's share of primary ownership (~1/N), never reshuffling keys between
+// surviving nodes. This is what makes adding a coordinator to a BindingRouter ring cheap.
+
+TEST(Partitioner, AddingOneNodeStealsOnlyItsShare) {
+  constexpr int kKeys = 20000;
+  const Partitioner before({0, 1, 2, 3}, 1, /*vnodes_per_node=*/64);
+  const Partitioner after({0, 1, 2, 3, 4}, 1, /*vnodes_per_node=*/64);
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const NodeId pb = before.PrimaryFor(key);
+    const NodeId pa = after.PrimaryFor(key);
+    if (pb != pa) {
+      moved++;
+      // Every move must be a capture by the new node; two old nodes never trade keys.
+      EXPECT_EQ(pa, 4) << key << " moved between surviving nodes";
+    }
+  }
+  // Ideal share is 1/5 of the keyspace; allow vnode-placement skew around it.
+  const double fraction = static_cast<double>(moved) / kKeys;
+  EXPECT_GT(fraction, 0.10);
+  EXPECT_LT(fraction, 0.35);
+}
+
+TEST(Partitioner, RemovingOneNodeRedistributesOnlyItsKeys) {
+  constexpr int kKeys = 20000;
+  const Partitioner before({0, 1, 2, 3, 4}, 1, /*vnodes_per_node=*/64);
+  const Partitioner after({0, 1, 2, 3}, 1, /*vnodes_per_node=*/64);
+  int orphaned = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const NodeId pb = before.PrimaryFor(key);
+    const NodeId pa = after.PrimaryFor(key);
+    if (pb == 4) {
+      orphaned++;
+      EXPECT_NE(pa, 4) << key;
+    } else {
+      // Keys not owned by the removed node keep their primary untouched.
+      EXPECT_EQ(pa, pb) << key << " reshuffled between surviving nodes";
+    }
+  }
+  const double fraction = static_cast<double>(orphaned) / kKeys;
+  EXPECT_GT(fraction, 0.10);
+  EXPECT_LT(fraction, 0.35);
+}
+
 }  // namespace
 }  // namespace icg

@@ -1,8 +1,10 @@
-// Closed-loop runner semantics: throughput math, warmup/cooldown elision, and outcome
-// accounting, using a synthetic constant-latency executor.
+// Closed-loop runner semantics: throughput math, warmup/cooldown elision, outcome
+// accounting, and multi-client aggregation, using synthetic constant-latency executors.
 #include "src/ycsb/runner.h"
 
 #include <gtest/gtest.h>
+
+#include "src/ycsb/multi_runner.h"
 
 namespace icg {
 namespace {
@@ -113,6 +115,89 @@ TEST(LoadRunner, ConcurrentRunnersShareOneLoop) {
   loop.RunUntil(loop.Now() + config.duration + Seconds(5));
   EXPECT_NEAR(r1.Collect().throughput_ops, 20.0, 2.0);
   EXPECT_NEAR(r2.Collect().throughput_ops, 20.0, 2.0);
+}
+
+// --- MergeRunnerResults: histogram-aware aggregation ------------------------------------
+
+RunnerResult SyntheticResult(int samples, SimDuration latency, double throughput) {
+  RunnerResult r;
+  for (int i = 0; i < samples; ++i) {
+    r.final_samples.Record(latency);
+    r.preliminary_samples.Record(latency / 2);
+  }
+  r.final_view = r.final_samples.Summarize();
+  r.preliminary = r.preliminary_samples.Summarize();
+  r.measured_ops = samples;
+  r.ops_with_preliminary = samples;
+  r.throughput_ops = throughput;
+  return r;
+}
+
+TEST(MergeRunnerResults, PercentilesComeFromTheUnionNotFromAverages) {
+  // 300 fast ops and 100 slow ops: the merged p50 must stay at the fast latency (the
+  // union's median), where averaging per-runner summaries would report 30 ms.
+  const RunnerResult fast = SyntheticResult(300, Millis(10), 30.0);
+  const RunnerResult slow = SyntheticResult(100, Millis(50), 10.0);
+  const RunnerResult merged = MergeRunnerResults({fast, slow});
+
+  EXPECT_EQ(merged.final_view.count, 400);
+  EXPECT_EQ(merged.final_view.p50_us, Millis(10));
+  EXPECT_EQ(merged.final_view.p99_us, Millis(50));
+  EXPECT_EQ(merged.preliminary.p50_us, Millis(5));
+  EXPECT_NEAR(merged.final_view.mean_ms(), 20.0, 0.1);  // (300*10 + 100*50) / 400
+}
+
+TEST(MergeRunnerResults, CountersAndThroughputAdd) {
+  RunnerResult a = SyntheticResult(50, Millis(10), 25.0);
+  a.divergences = 3;
+  a.errors = 2;
+  RunnerResult b = SyntheticResult(150, Millis(10), 75.0);
+  b.divergences = 1;
+  const RunnerResult merged = MergeRunnerResults({a, b});
+  EXPECT_EQ(merged.measured_ops, 200);
+  EXPECT_EQ(merged.ops_with_preliminary, 200);
+  EXPECT_EQ(merged.divergences, 4);
+  EXPECT_EQ(merged.errors, 2);
+  EXPECT_DOUBLE_EQ(merged.throughput_ops, 100.0);
+  EXPECT_DOUBLE_EQ(merged.DivergencePercent(), 2.0);
+}
+
+TEST(MergeRunnerResults, EmptyInputYieldsEmptyResult) {
+  const RunnerResult merged = MergeRunnerResults({});
+  EXPECT_EQ(merged.measured_ops, 0);
+  EXPECT_EQ(merged.final_view.count, 0);
+  EXPECT_DOUBLE_EQ(merged.throughput_ops, 0.0);
+}
+
+// --- MultiRunner: several closed-loop clients over one loop -----------------------------
+
+TEST(MultiRunner, MergedThroughputSumsClients) {
+  EventLoop loop;
+  MultiRunner runner(&loop, ShortTrial(2));
+  const WorkloadConfig workload = WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100);
+  // 3 clients x 2 sessions x (1 op / 100 ms) = 60 ops/s system-wide.
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    runner.AddClient(workload, seed, FixedLatencyExecutor(&loop, Millis(100)));
+  }
+  const RunnerResult merged = runner.Run();
+  EXPECT_EQ(runner.num_clients(), 3u);
+  EXPECT_NEAR(merged.throughput_ops, 60.0, 4.0);
+  EXPECT_NEAR(merged.final_view.mean_ms(), 100.0, 1.0);
+  // Per-client views of the same trial are still reachable.
+  EXPECT_NEAR(runner.CollectClient(0).throughput_ops, 20.0, 2.0);
+}
+
+TEST(MultiRunner, ClientsWithDifferentLatenciesMergeHistogramAware) {
+  EventLoop loop;
+  MultiRunner runner(&loop, ShortTrial(1));
+  const WorkloadConfig workload = WorkloadConfig::YcsbC(RequestDistribution::kUniform, 100);
+  runner.AddClient(workload, 10, FixedLatencyExecutor(&loop, Millis(10)));
+  runner.AddClient(workload, 11, FixedLatencyExecutor(&loop, Millis(100)));
+  const RunnerResult merged = runner.Run();
+  // The fast client issues ~10x the ops, so the union's median sits at the fast latency
+  // and the tail at the slow one.
+  EXPECT_EQ(merged.final_view.p50_us, Millis(10));
+  EXPECT_EQ(merged.final_view.p99_us, Millis(100));
 }
 
 TEST(LoadRunner, MoreThreadsMoreThroughputUntilExecutorLimits) {
