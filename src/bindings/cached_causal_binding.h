@@ -27,6 +27,11 @@ class CachedCausalBinding : public Binding {
 
   InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override;
 
+  // Backed by CausalReplica's multi-key read/write handlers, so cross-tick batches flush
+  // as one round-trip instead of one per key.
+  bool SupportsBatchedReads() const override { return true; }
+  bool SupportsBatchedWrites() const override { return true; }
+
   // Disconnected operation: reads resolve from cache only; writes fail fast.
   void SetDisconnected(bool disconnected) { disconnected_ = disconnected; }
 

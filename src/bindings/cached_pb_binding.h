@@ -31,6 +31,11 @@ class CachedPbBinding : public Binding {
 
   InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override;
 
+  // Backed by PbNode's multi-key read/write handlers, so cross-tick batches flush as one
+  // round-trip per level instead of one per key.
+  bool SupportsBatchedReads() const override { return true; }
+  bool SupportsBatchedWrites() const override { return true; }
+
  private:
   PbClient* client_;
   ClientCache* cache_;

@@ -42,6 +42,17 @@ InvocationPlan CassandraBinding::PlanInvocation(const Operation& op, const Level
                       });
       });
       return plan;
+    case OpType::kMultiPut:
+      // A batched flush: one submission applies every entry in order (preserving per-key
+      // program order) and acknowledges once, still at W=1.
+      plan.AddStep(levels.strongest(), [client = client_, level = levels.strongest()](
+                                           const Operation& puts, LevelEmitter emit) {
+        client->MultiWrite(puts.keys, puts.values,
+                           [emit, level](StatusOr<OpResult> result, bool, ResponseKind kind) {
+                             emit(level, std::move(result), kind);
+                           });
+      });
+      return plan;
     default:
       return InvocationPlan::Rejected(
           Status::InvalidArgument("cassandra binding supports key-value operations only"));

@@ -34,6 +34,11 @@ class CassandraBinding : public Binding {
 
   InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override;
 
+  // The quorum store serves multigets (CoordinateMultiRead) and ordered multiputs
+  // (CoordinateMultiWrite), so the pipeline may widen batches across ticks.
+  bool SupportsBatchedReads() const override { return true; }
+  bool SupportsBatchedWrites() const override { return true; }
+
  private:
   KvClient* client_;
   CassandraBindingConfig config_;

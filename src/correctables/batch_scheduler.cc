@@ -1,0 +1,86 @@
+#include "src/correctables/batch_scheduler.h"
+
+#include <cassert>
+#include <utility>
+
+namespace icg {
+namespace {
+
+std::string CohortKey(bool is_read, const std::string& scope,
+                      const std::vector<ConsistencyLevel>& levels) {
+  std::string key(is_read ? "r" : "w");
+  key.push_back('\0');
+  key += scope;
+  key.push_back('\0');
+  key += LevelsToString(levels);
+  return key;
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(EventLoop* loop, FlushFn flush)
+    : loop_(loop), flush_(std::move(flush)) {
+  assert(flush_ != nullptr);
+}
+
+BatchScheduler::~BatchScheduler() {
+  for (const auto& [key, open] : pending_) {
+    if (open.timer != 0 && loop_ != nullptr) {
+      loop_->Cancel(open.timer);
+    }
+  }
+}
+
+void BatchScheduler::Admit(bool is_read, std::string scope,
+                           const std::vector<ConsistencyLevel>& levels, Operation op,
+                           std::shared_ptr<void> waiter) {
+  assert(enabled());
+  std::string key = CohortKey(is_read, scope, levels);
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    Open open;
+    open.cohort.is_read = is_read;
+    open.cohort.scope = std::move(scope);
+    open.cohort.levels = levels;
+    // The window opens with the cohort's first admission; later joiners do not extend
+    // it, so no waiter is delayed more than one batch_window.
+    open.timer = loop_->Schedule(config_.batch_window,
+                                 [this, key]() { Flush(key); });
+    it = pending_.emplace(std::move(key), std::move(open)).first;
+  }
+  it->second.cohort.ops.push_back(Pending{std::move(op), std::move(waiter)});
+  if (it->second.cohort.ops.size() >= config_.max_batch_ops) {
+    Flush(it->first);
+  }
+}
+
+void BatchScheduler::Flush(const std::string& key) {
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    return;  // already flushed (size cap raced the timer)
+  }
+  if (it->second.timer != 0) {
+    loop_->Cancel(it->second.timer);
+  }
+  Cohort cohort = std::move(it->second.cohort);
+  // Erase before invoking the flush handler: a handler callback may submit follow-up
+  // operations that must open a fresh cohort, not append to the one being flushed.
+  pending_.erase(it);
+  flush_(std::move(cohort));
+}
+
+void BatchScheduler::FlushAll() {
+  while (!pending_.empty()) {
+    Flush(pending_.begin()->first);
+  }
+}
+
+size_t BatchScheduler::pending_ops() const {
+  size_t total = 0;
+  for (const auto& [key, open] : pending_) {
+    total += open.cohort.ops.size();
+  }
+  return total;
+}
+
+}  // namespace icg

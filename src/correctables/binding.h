@@ -133,15 +133,27 @@ class Binding {
   // plan's fetchers are run by the InvocationPipeline.
   virtual InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) = 0;
 
-  // Routing scope of `op` for read coalescing: two operations may share one store
-  // round-trip only if their scopes match. Flat bindings use the default (everything in
-  // one scope); a routing binding returns the shard so reads that would hit different
-  // coordinators never join the same batch — even if a rebalance moves the key's shard
-  // between two submissions of the same tick.
+  // Routing scope of `op` for batching and coalescing — reads AND writes: two operations
+  // may share one store round-trip only if their scopes match. Flat bindings use the
+  // default (everything in one scope); a routing binding returns the shard so operations
+  // bound for different coordinators never join the same batch — even if a rebalance
+  // moves the key's shard while a batch window is open (the scheduler re-consults the
+  // scope at flush time). Must agree between a read and a write of the same key.
   virtual std::string CoalescingScope(const Operation& op) const {
     (void)op;
     return std::string();
   }
+
+  // Whether this binding can satisfy a kMultiGet covering several accumulated reads in
+  // one store round-trip. The pipeline only widens read batches across ticks (and merges
+  // distinct keys into one multiget) when this returns true; otherwise reads keep the
+  // legacy same-tick coalescing path.
+  virtual bool SupportsBatchedReads() const { return false; }
+
+  // Whether this binding can satisfy a kMultiPut (several writes applied in order) in
+  // one store submission. The pipeline only queues and flushes writes as a batch when
+  // this returns true; otherwise every write launches individually.
+  virtual bool SupportsBatchedWrites() const { return false; }
 
   // Called once per raw response in the legacy fan-out shape; kept for binding-level
   // tests and tools that drive a binding without a Correctable client.

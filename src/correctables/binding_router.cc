@@ -32,25 +32,6 @@ std::vector<ShardSlice> SliceByShard(const BindingRouter& router,
   return slices;
 }
 
-// Splits a multiget result payload into exactly `count` per-key parts. The wire format
-// joins parts with kMultiValueSeparator (missing keys contribute an empty part).
-std::vector<std::string> SplitMultiValue(const std::string& value, size_t count) {
-  std::vector<std::string> parts;
-  parts.reserve(count);
-  size_t start = 0;
-  while (parts.size() + 1 < count) {
-    const size_t sep = value.find(kMultiValueSeparator, start);
-    if (sep == std::string::npos) {
-      break;
-    }
-    parts.push_back(value.substr(start, sep - start));
-    start = sep + 1;
-  }
-  parts.push_back(value.substr(start));
-  parts.resize(count);
-  return parts;
-}
-
 // Per-level merge state of one scatter-gather: every shard's response at that level,
 // completed (and emitted) once no slot is outstanding.
 struct LevelGather {
@@ -109,6 +90,8 @@ void EmitMergedLevel(GatherState& state, ConsistencyLevel level, const LevelGath
   OpResult merged;
   merged.found = true;
   merged.seqno = 0;
+  merged.key_found.assign(state.total_keys, false);
+  merged.key_versions.assign(state.total_keys, Version{});
   for (size_t i = 0; i < state.slices.size(); ++i) {
     const ShardSlice& slice = state.slices[i];
     // A confirmed shard did not resend its payload; its final is its recorded
@@ -116,8 +99,15 @@ void EmitMergedLevel(GatherState& state, ConsistencyLevel level, const LevelGath
     const OpResult& result =
         gather.confirmed[i] ? *state.latest_value[i] : gather.slots[i]->value();
     const std::vector<std::string> shard_parts = SplitMultiValue(result.value, slice.keys.size());
+    const bool detail = result.key_found.size() == slice.keys.size();
+    const bool versions = result.key_versions.size() == slice.keys.size();
     for (size_t k = 0; k < slice.keys.size(); ++k) {
       parts[slice.positions[k]] = shard_parts[k];
+      merged.key_found[slice.positions[k]] =
+          detail ? static_cast<bool>(result.key_found[k])
+                 : (result.found || !shard_parts[k].empty());
+      merged.key_versions[slice.positions[k]] =
+          versions ? result.key_versions[k] : result.version;
     }
     merged.found = merged.found && result.found;
     merged.seqno += result.seqno > 0 ? result.seqno : 0;
@@ -125,12 +115,7 @@ void EmitMergedLevel(GatherState& state, ConsistencyLevel level, const LevelGath
       merged.version = result.version;
     }
   }
-  for (size_t pos = 0; pos < parts.size(); ++pos) {
-    if (pos > 0) {
-      merged.value += kMultiValueSeparator;
-    }
-    merged.value += parts[pos];
-  }
+  merged.value = JoinMultiValue(parts);
   state.emit(level, std::move(merged));
 }
 
@@ -191,10 +176,51 @@ size_t BindingRouter::ShardIndexFor(const std::string& key) const {
 }
 
 std::string BindingRouter::CoalescingScope(const Operation& op) const {
+  // One scope per shard, for reads and writes alike: a key's read and its write must
+  // land on the same coordinator, so they share one scope string.
   return std::to_string(ShardIndexFor(op.key));
 }
 
+bool BindingRouter::SupportsBatchedReads() const {
+  // Every shard must be able to serve a flushed multiget: capabilities may legitimately
+  // differ across heterogeneous backends, and advertising the front shard's alone would
+  // queue batches a slower shard then rejects.
+  for (const auto& shard : shards_) {
+    if (!shard->SupportsBatchedReads()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BindingRouter::SupportsBatchedWrites() const {
+  for (const auto& shard : shards_) {
+    if (!shard->SupportsBatchedWrites()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 InvocationPlan BindingRouter::PlanInvocation(const Operation& op, const LevelSet& levels) {
+  if (op.type == OpType::kMultiPut) {
+    // A batched write flush must already be shard-local (the pipeline queues writes per
+    // coalescing scope and regroups on flush). Enforce it: spanning shards would apply
+    // half a batch on the wrong coordinator.
+    if (op.keys.empty()) {
+      return InvocationPlan::Rejected(
+          Status::InvalidArgument("multiput through the router needs at least one key"));
+    }
+    const size_t shard = ShardIndexFor(op.keys.front());
+    for (const std::string& key : op.keys) {
+      if (ShardIndexFor(key) != shard) {
+        return InvocationPlan::Rejected(Status::InvalidArgument(
+            "batched writes must not cross shard boundaries (key '" + key +
+            "' is not on shard " + std::to_string(shard) + ")"));
+      }
+    }
+    return shards_[shard]->PlanInvocation(op, levels);
+  }
   if (op.type != OpType::kMultiGet) {
     // Single-key operations (and queue ops, routed by queue name) delegate wholesale:
     // the owning shard's plan *is* the router's plan, so refresh hooks, span steps, and

@@ -42,6 +42,14 @@ class BindingRouter : public Binding {
   InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override;
   std::string CoalescingScope(const Operation& op) const override;
 
+  // Batching capabilities pass through to the shard bindings (identical by the
+  // constructor contract, like SupportedLevels). Batched writes are strictly
+  // shard-local: a kMultiPut whose keys span shards is rejected — the pipeline's
+  // scope-keyed write queues never produce one, so a rejection flags a caller bypassing
+  // the scheduler. Batched reads may span shards (multiget scatter-gather).
+  bool SupportsBatchedReads() const override;
+  bool SupportsBatchedWrites() const override;
+
   size_t num_shards() const { return shards_.size(); }
   // The shard index `key` routes to (bounds-checked against num_shards()).
   size_t ShardIndexFor(const std::string& key) const;

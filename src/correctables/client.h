@@ -31,6 +31,14 @@ class CorrectableClient {
   // Fails invocations whose final view has not arrived within `timeout` (0 disables).
   void SetTimeout(SimDuration timeout) { pipeline_.SetTimeout(timeout); }
 
+  // Cross-tick batching: with batch_window > 0, reads and writes accumulate per
+  // coalescing scope for up to one window and flush as batched store submissions.
+  // batch_window == 0 (the default) keeps the legacy same-tick coalescing behaviour.
+  void SetBatchConfig(const BatchConfig& config) { pipeline_.SetBatchConfig(config); }
+  const BatchConfig& batch_config() const { return pipeline_.batch_config(); }
+  // Flushes every pending batch cohort immediately (explicit barrier / teardown).
+  void FlushPendingBatches() { pipeline_.FlushPendingBatches(); }
+
   Correctable<OpResult> InvokeWeak(Operation op);
   Correctable<OpResult> InvokeStrong(Operation op);
   // All supported levels.

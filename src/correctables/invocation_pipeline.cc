@@ -72,7 +72,10 @@ void RunPlanSteps(std::shared_ptr<PlanRun> run, std::vector<FetchStep> steps) {
 }  // namespace
 
 InvocationPipeline::InvocationPipeline(Binding* binding, EventLoop* loop, ClientStats* stats)
-    : binding_(binding), loop_(loop), stats_(stats) {
+    : binding_(binding), loop_(loop), stats_(stats),
+      scheduler_(loop, [this](BatchScheduler::Cohort cohort) {
+        OnCohortFlush(std::move(cohort));
+      }) {
   assert(binding_ != nullptr);
   assert(stats_ != nullptr);
 }
@@ -90,6 +93,20 @@ Correctable<OpResult> InvocationPipeline::Submit(Operation op,
   auto correctable = inv->source.GetCorrectable();
   // Arm the timeout before launching so even a binding that never emits is covered.
   ArmTimeout(inv);
+
+  // Cross-tick batching: with a window open, reads and writes queue per coalescing
+  // scope — writes use the very same scope key as reads (Binding::CoalescingScope), so
+  // a routed write can never batch across shard boundaries — and flush as one batched
+  // store submission. Bindings that cannot serve multiget/multiput keep the legacy path.
+  if (scheduler_.enabled()) {
+    const bool batch_read = op.type == OpType::kGet && binding_->SupportsBatchedReads();
+    const bool batch_write = op.type == OpType::kPut && binding_->SupportsBatchedWrites();
+    if (batch_read || batch_write) {
+      std::string scope = binding_->CoalescingScope(op);
+      scheduler_.Admit(batch_read, std::move(scope), levels, std::move(op), inv);
+      return correctable;
+    }
+  }
 
   const bool coalescable = loop_ != nullptr && op.type == OpType::kGet;
   std::string key;
@@ -156,30 +173,36 @@ void InvocationPipeline::CancelTimeout(Invocation& inv) {
   }
 }
 
-void InvocationPipeline::Launch(const std::shared_ptr<Batch>& batch) {
-  InvocationPlan plan = binding_->PlanInvocation(batch->op, batch->level_set);
-  const ConsistencyLevel strongest = batch->level_set.strongest();
+void InvocationPipeline::RunPlan(std::shared_ptr<const Operation> op, const LevelSet& level_set,
+                                 LevelEmitter::Sink sink) {
+  InvocationPlan plan = binding_->PlanInvocation(*op, level_set);
+  const ConsistencyLevel strongest = level_set.strongest();
   if (!plan.reject.ok()) {
-    OnEmission(batch, strongest, std::move(plan.reject), ResponseKind::kValue);
+    sink(strongest, std::move(plan.reject), ResponseKind::kValue);
     return;
   }
   if (!PlanCoversFinal(plan, strongest)) {
-    OnEmission(batch, strongest,
-               Status::Internal("plan from binding '" + binding_->Name() +
-                                "' does not cover the strongest requested level"),
-               ResponseKind::kValue);
+    sink(strongest,
+         Status::Internal("plan from binding '" + binding_->Name() +
+                          "' does not cover the strongest requested level"),
+         ResponseKind::kValue);
     return;
   }
   auto run = std::make_shared<PlanRun>();
-  // Aliasing constructor: the run shares the batch's operation instead of copying it.
-  run->op = std::shared_ptr<const Operation>(batch, &batch->op);
+  run->op = std::move(op);
   run->refresh = std::move(plan.refresh);
   run->binding_name = binding_->Name();
-  run->sink = [this, batch](ConsistencyLevel level, StatusOr<OpResult> result,
-                            ResponseKind kind) {
-    OnEmission(batch, level, std::move(result), kind);
-  };
+  run->sink = std::move(sink);
   RunPlanSteps(std::move(run), std::move(plan.steps));
+}
+
+void InvocationPipeline::Launch(const std::shared_ptr<Batch>& batch) {
+  // Aliasing constructor: the run shares the batch's operation instead of copying it.
+  RunPlan(std::shared_ptr<const Operation>(batch, &batch->op), batch->level_set,
+          [this, batch](ConsistencyLevel level, StatusOr<OpResult> result,
+                        ResponseKind kind) {
+            OnEmission(batch, level, std::move(result), kind);
+          });
 }
 
 void InvocationPipeline::OnEmission(const std::shared_ptr<Batch>& batch,
@@ -214,6 +237,187 @@ void InvocationPipeline::OnEmission(const std::shared_ptr<Batch>& batch,
   for (size_t i = 0; i < present; ++i) {
     std::shared_ptr<Invocation> inv = batch->waiters[i];
     Deliver(*inv, level, result, kind);
+  }
+}
+
+void InvocationPipeline::OnCohortFlush(BatchScheduler::Cohort cohort) {
+  // Re-consult the binding's scope per queued operation: a ring rebalance may have moved
+  // keys while the window was open. Operations whose scope changed flush in their own
+  // re-routed group, so a batched submission never spans scopes.
+  std::map<std::string, std::vector<BatchScheduler::Pending>> groups;
+  std::vector<std::string> order;  // first-arrival order, for deterministic launches
+  for (auto& pending : cohort.ops) {
+    std::string scope = binding_->CoalescingScope(pending.op);
+    auto [it, inserted] = groups.emplace(std::move(scope), std::vector<BatchScheduler::Pending>());
+    if (inserted) {
+      order.push_back(it->first);
+    }
+    it->second.push_back(std::move(pending));
+  }
+  for (const std::string& scope : order) {
+    if (cohort.is_read) {
+      FlushReadGroup(cohort.levels, std::move(groups[scope]));
+    } else {
+      FlushWriteGroup(cohort.levels, std::move(groups[scope]));
+    }
+  }
+}
+
+void InvocationPipeline::FlushReadGroup(const std::vector<ConsistencyLevel>& levels,
+                                        std::vector<BatchScheduler::Pending> ops) {
+  const size_t waiters = ops.size();
+  std::vector<std::string> keys;  // distinct, in arrival order
+  std::map<std::string, size_t> key_index;
+  std::vector<std::vector<std::shared_ptr<Invocation>>> key_waiters;
+  for (auto& pending : ops) {
+    auto inv = std::static_pointer_cast<Invocation>(std::move(pending.waiter));
+    auto [it, inserted] = key_index.emplace(pending.op.key, keys.size());
+    if (inserted) {
+      keys.push_back(pending.op.key);
+      key_waiters.emplace_back();
+    }
+    key_waiters[it->second].push_back(std::move(inv));
+  }
+  if (waiters > 1) {
+    stats_->cross_tick_batches++;
+    stats_->batched_invocations++;
+    stats_->coalesced_reads += static_cast<int64_t>(waiters) - 1;
+  }
+
+  if (keys.size() == 1) {
+    // One distinct key: the flush is an ordinary (possibly multi-waiter) read batch; the
+    // existing launch/delivery machinery applies unchanged.
+    auto batch = std::make_shared<Batch>();
+    batch->op = Operation::Get(keys.front());
+    batch->level_set = LevelSet(levels);
+    batch->waiters = std::move(key_waiters.front());
+    Launch(batch);
+    return;
+  }
+
+  auto fanout = std::make_shared<Fanout>();
+  fanout->op = Operation::MultiGet(keys);
+  fanout->level_set = LevelSet(levels);
+  fanout->is_read = true;
+  fanout->keys = std::move(keys);
+  fanout->key_waiters = std::move(key_waiters);
+  RunPlan(std::shared_ptr<const Operation>(fanout, &fanout->op), fanout->level_set,
+          [this, fanout](ConsistencyLevel level, StatusOr<OpResult> result,
+                         ResponseKind kind) {
+            OnFanoutEmission(fanout, level, std::move(result), kind);
+          });
+}
+
+void InvocationPipeline::FlushWriteGroup(const std::vector<ConsistencyLevel>& levels,
+                                         std::vector<BatchScheduler::Pending> ops) {
+  if (ops.size() == 1) {
+    // A lone queued write launches exactly like an unbatched one (just window-delayed).
+    auto batch = std::make_shared<Batch>();
+    batch->op = std::move(ops.front().op);
+    batch->level_set = LevelSet(levels);
+    batch->waiters.push_back(std::static_pointer_cast<Invocation>(std::move(ops.front().waiter)));
+    Launch(batch);
+    return;
+  }
+  stats_->cross_tick_batches++;
+  stats_->batched_writes += static_cast<int64_t>(ops.size());
+
+  // Arrival order is program order: the multiput applies entries in vector order, so two
+  // queued writes to the same key land in submission order.
+  auto fanout = std::make_shared<Fanout>();
+  std::vector<std::string> keys;
+  std::vector<std::string> values;
+  keys.reserve(ops.size());
+  values.reserve(ops.size());
+  for (auto& pending : ops) {
+    keys.push_back(std::move(pending.op.key));
+    values.push_back(std::move(pending.op.value));
+    fanout->write_waiters.push_back(
+        std::static_pointer_cast<Invocation>(std::move(pending.waiter)));
+  }
+  fanout->op = Operation::MultiPut(std::move(keys), std::move(values));
+  fanout->level_set = LevelSet(levels);
+  fanout->is_read = false;
+  RunPlan(std::shared_ptr<const Operation>(fanout, &fanout->op), fanout->level_set,
+          [this, fanout](ConsistencyLevel level, StatusOr<OpResult> result,
+                         ResponseKind kind) {
+            OnFanoutEmission(fanout, level, std::move(result), kind);
+          });
+}
+
+void InvocationPipeline::OnFanoutEmission(const std::shared_ptr<Fanout>& fanout,
+                                          ConsistencyLevel level, StatusOr<OpResult> result,
+                                          ResponseKind kind) {
+  if (!fanout->level_set.Contains(level)) {
+    ICG_DEBUG << "binding " << binding_->Name() << " emitted unrequested level "
+              << ConsistencyLevelName(level) << " on a batched submission; dropped";
+    return;
+  }
+
+  if (!fanout->is_read) {
+    // One ack (or error) covers the whole batched write: every queued waiter sees it —
+    // under its own entry's acknowledged version when the store reported them
+    // (write_waiters is parallel to the multiput's entries).
+    const bool per_entry_versions =
+        result.ok() && result.value().key_versions.size() == fanout->write_waiters.size();
+    for (size_t i = 0; i < fanout->write_waiters.size(); ++i) {
+      if (per_entry_versions) {
+        OpResult ack = result.value();
+        ack.version = ack.key_versions[i];
+        ack.key_found.clear();
+        ack.key_versions.clear();
+        ack.seqno = -1;
+        Deliver(*fanout->write_waiters[i], level, StatusOr<OpResult>(std::move(ack)), kind);
+      } else {
+        Deliver(*fanout->write_waiters[i], level, result, kind);
+      }
+    }
+    return;
+  }
+
+  if (!result.ok()) {
+    // A failed batched flush fans the error to exactly the waiters in this batch; the
+    // per-waiter delivery decides whether it is tolerable (preliminary) or terminal.
+    for (const auto& waiters : fanout->key_waiters) {
+      for (const std::shared_ptr<Invocation>& inv : waiters) {
+        Deliver(*inv, level, result, kind);
+      }
+    }
+    return;
+  }
+
+  if (kind == ResponseKind::kConfirmation) {
+    // §5.2 reconstruction per waiter: the store confirmed the whole multiget, so each
+    // waiter's final equals the preliminary slice it already holds.
+    const StatusOr<OpResult> confirm{OpResult{}};
+    for (const auto& waiters : fanout->key_waiters) {
+      for (const std::shared_ptr<Invocation>& inv : waiters) {
+        Deliver(*inv, level, confirm, ResponseKind::kConfirmation);
+      }
+    }
+    return;
+  }
+
+  // Fan the joined multiget payload back out: each waiter sees only its own key's slice,
+  // as if it had issued a lone read.
+  const OpResult& joined = result.value();
+  const std::vector<std::string> parts = SplitMultiValue(joined.value, fanout->keys.size());
+  const bool per_key_found = joined.key_found.size() == fanout->keys.size();
+  const bool per_key_versions = joined.key_versions.size() == fanout->keys.size();
+  for (size_t i = 0; i < fanout->keys.size(); ++i) {
+    OpResult slice;
+    // Prefer the responder's per-key detail; without it, fall back to the joined fields
+    // (`found` of a joined result ANDs across keys, so a key counts as found if the
+    // whole batch was or its slice carries a payload — a found-but-empty value is then
+    // indistinguishable from a miss, which is why responders should fill the detail).
+    slice.found = per_key_found ? static_cast<bool>(joined.key_found[i])
+                                : (joined.found || !parts[i].empty());
+    slice.value = parts[i];
+    slice.version = per_key_versions ? joined.key_versions[i] : joined.version;
+    const StatusOr<OpResult> sliced{std::move(slice)};
+    for (const std::shared_ptr<Invocation>& inv : fanout->key_waiters[i]) {
+      Deliver(*inv, level, sliced, ResponseKind::kValue);
+    }
   }
 }
 

@@ -15,7 +15,15 @@
 //     still arrive; final-level errors fail the Correctable) and timeout arming;
 //   * read coalescing: same-key reads with the same level set submitted within one
 //     event-loop tick share a single store round-trip, its responses fanned back out to
-//     every waiting Correctable.
+//     every waiting Correctable;
+//   * cross-tick batching (BatchConfig::batch_window > 0): reads for one coalescing
+//     scope accumulate across ticks and flush as a single multiget round-trip serving
+//     the whole cohort (per-waiter fan-back-out, including per-waiter confirmation
+//     reconstruction); writes to one scope queue and flush as a single in-order multiput
+//     submission. Scope keys come from Binding::CoalescingScope for reads AND writes,
+//     re-consulted at flush time so a rebalance mid-window re-routes instead of letting
+//     a batch span shards. With batch_window == 0 the legacy same-tick behaviour is
+//     preserved bit-for-bit.
 #ifndef ICG_CORRECTABLES_INVOCATION_PIPELINE_H_
 #define ICG_CORRECTABLES_INVOCATION_PIPELINE_H_
 
@@ -24,6 +32,7 @@
 #include <string>
 #include <vector>
 
+#include "src/correctables/batch_scheduler.h"
 #include "src/correctables/binding.h"
 #include "src/correctables/correctable.h"
 #include "src/sim/event_loop.h"
@@ -44,22 +53,38 @@ struct ClientStats {
   int64_t errors = 0;
   int64_t timeouts = 0;
   int64_t batched_invocations = 0;   // read batches that served more than one invocation
-  int64_t coalesced_reads = 0;       // reads served by joining a same-tick batch
+  int64_t coalesced_reads = 0;       // reads that shared another read's store round-trip
+  int64_t cross_tick_batches = 0;    // window flushes that merged >= 2 invocations into
+                                     // one store submission (reads or writes)
+  int64_t batched_writes = 0;        // writes submitted through a batched multiput
 };
 
 class InvocationPipeline {
  public:
   // `loop` may be null (synchronous unit tests): timeouts cannot be armed, view
-  // timestamps read as zero, and read coalescing is disabled (there is no tick).
-  // `binding` and `stats` must outlive the pipeline.
+  // timestamps read as zero, and read coalescing / cross-tick batching are disabled
+  // (there is no tick). `binding` and `stats` must outlive the pipeline.
   InvocationPipeline(Binding* binding, EventLoop* loop, ClientStats* stats);
 
   // Fails invocations whose final view has not arrived within `timeout` (0 disables).
+  // The timer arms at submission, so a waiter queued in a pending cross-tick batch still
+  // times out on its own schedule — and fails alone.
   void SetTimeout(SimDuration timeout) { timeout_ = timeout; }
+
+  // Configures cross-tick batching. batch_window == 0 (the default) keeps the legacy
+  // same-tick coalescing path untouched.
+  void SetBatchConfig(const BatchConfig& config) { scheduler_.SetConfig(config); }
+  const BatchConfig& batch_config() const { return scheduler_.config(); }
+
+  // Flushes every pending cross-tick cohort immediately (explicit barrier / teardown).
+  void FlushPendingBatches() { scheduler_.FlushAll(); }
+  size_t pending_batched_ops() const { return scheduler_.pending_ops(); }
 
   // Validates `levels`, plans `op` with the binding, and drives a Correctable through
   // one view per requested level, weakest first. Same-key kGet submissions with the same
-  // level set within one event-loop tick coalesce onto the first submission's round-trip.
+  // level set within one event-loop tick coalesce onto the first submission's round-trip;
+  // with a batch window configured, kGet/kPut submissions accumulate per coalescing
+  // scope and flush as batched store submissions.
   Correctable<OpResult> Submit(Operation op, std::vector<ConsistencyLevel> levels);
 
  private:
@@ -88,11 +113,35 @@ class InvocationPipeline {
     std::vector<Emission> history;  // replayed to late same-tick joiners
   };
 
+  // One flushed cross-tick cohort running as a batched store submission. For reads the
+  // multiget payload is sliced back out per key; for writes the single multiput ack (or
+  // error) fans out to every queued waiter.
+  struct Fanout {
+    Operation op;  // kMultiGet / kMultiPut
+    LevelSet level_set;
+    bool is_read = false;
+    std::vector<std::string> keys;  // reads: distinct keys, in op.keys order
+    std::vector<std::vector<std::shared_ptr<Invocation>>> key_waiters;  // parallel to keys
+    std::vector<std::shared_ptr<Invocation>> write_waiters;  // writes: arrival order
+  };
+
   void ArmTimeout(const std::shared_ptr<Invocation>& inv);
   void CancelTimeout(Invocation& inv);
+  // Plans `op` against the binding and runs the plan's steps into `sink` (shared
+  // rejection/coverage validation for both the per-batch and fan-out paths).
+  void RunPlan(std::shared_ptr<const Operation> op, const LevelSet& level_set,
+               LevelEmitter::Sink sink);
   void Launch(const std::shared_ptr<Batch>& batch);
   void OnEmission(const std::shared_ptr<Batch>& batch, ConsistencyLevel level,
                   StatusOr<OpResult> result, ResponseKind kind);
+  // Cross-tick flush handlers.
+  void OnCohortFlush(BatchScheduler::Cohort cohort);
+  void FlushReadGroup(const std::vector<ConsistencyLevel>& levels,
+                      std::vector<BatchScheduler::Pending> ops);
+  void FlushWriteGroup(const std::vector<ConsistencyLevel>& levels,
+                       std::vector<BatchScheduler::Pending> ops);
+  void OnFanoutEmission(const std::shared_ptr<Fanout>& fanout, ConsistencyLevel level,
+                        StatusOr<OpResult> result, ResponseKind kind);
   // Translates one raw response into a view transition on one waiter.
   void Deliver(Invocation& inv, ConsistencyLevel level, const StatusOr<OpResult>& result,
                ResponseKind kind);
@@ -105,6 +154,7 @@ class InvocationPipeline {
   // tick advances (entries for lost responses must not accumulate).
   SimTime batch_tick_ = 0;
   std::map<std::string, std::shared_ptr<Batch>> open_batches_;
+  BatchScheduler scheduler_;  // must follow loop_ (init order)
 };
 
 }  // namespace icg

@@ -13,6 +13,8 @@ const char* OpTypeName(OpType type) {
       return "MULTIGET";
     case OpType::kPut:
       return "PUT";
+    case OpType::kMultiPut:
+      return "MULTIPUT";
     case OpType::kEnqueue:
       return "ENQUEUE";
     case OpType::kDequeue:
@@ -32,6 +34,13 @@ Operation Operation::MultiGet(std::vector<std::string> keys) {
 Operation Operation::Put(std::string key, std::string value) {
   return Operation{.type = OpType::kPut, .key = std::move(key), .value = std::move(value)};
 }
+Operation Operation::MultiPut(std::vector<std::string> keys, std::vector<std::string> values) {
+  return Operation{.type = OpType::kMultiPut,
+                   .key = {},
+                   .value = {},
+                   .keys = std::move(keys),
+                   .values = std::move(values)};
+}
 Operation Operation::Enqueue(std::string queue, std::string element) {
   return Operation{.type = OpType::kEnqueue, .key = std::move(queue), .value = std::move(element)};
 }
@@ -48,7 +57,71 @@ int64_t Operation::WireBytes() const {
   for (const auto& k : keys) {
     bytes += static_cast<int64_t>(k.size()) + 2;
   }
+  for (const auto& v : values) {
+    bytes += static_cast<int64_t>(v.size()) + 2;
+  }
   return bytes;
+}
+
+std::string JoinMultiValue(const std::vector<std::string>& parts) {
+  std::string joined;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) {
+      joined += kMultiValueSeparator;
+    }
+    joined += parts[i];
+  }
+  return joined;
+}
+
+OpResult JoinMultiLookup(
+    const std::vector<std::string>& keys,
+    const std::function<std::optional<OpResult>(const std::string&)>& lookup) {
+  OpResult joined;
+  joined.found = true;
+  joined.seqno = 0;
+  joined.key_found.reserve(keys.size());
+  joined.key_versions.reserve(keys.size());
+  std::vector<std::string> parts;
+  parts.reserve(keys.size());
+  for (const auto& key : keys) {
+    const std::optional<OpResult> hit = lookup(key);
+    if (!hit.has_value() || !hit->found) {
+      joined.found = false;
+      joined.key_found.push_back(false);
+      joined.key_versions.push_back(Version{});
+      parts.emplace_back();
+      continue;
+    }
+    parts.push_back(hit->value);
+    joined.key_found.push_back(true);
+    joined.key_versions.push_back(hit->version);
+    joined.seqno++;
+    if (joined.version < hit->version) {
+      joined.version = hit->version;
+    }
+  }
+  joined.value = JoinMultiValue(parts);
+  return joined;
+}
+
+std::vector<std::string> SplitMultiValue(const std::string& value, size_t count) {
+  std::vector<std::string> parts;
+  parts.reserve(count);
+  size_t start = 0;
+  while (parts.size() + 1 < count) {
+    const size_t sep = value.find(kMultiValueSeparator, start);
+    if (sep == std::string::npos) {
+      break;
+    }
+    parts.push_back(value.substr(start, sep - start));
+    start = sep + 1;
+  }
+  if (count > 0) {
+    parts.push_back(value.substr(start));
+  }
+  parts.resize(count);
+  return parts;
 }
 
 std::string Operation::ToString() const {

@@ -8,6 +8,8 @@
 #define ICG_CORRECTABLES_OPERATION_H_
 
 #include <cstdint>
+#include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -19,6 +21,7 @@ enum class OpType : uint8_t {
   kGet,       // read value at key
   kMultiGet,  // read several keys in one request (batched, e.g. fetching all ads)
   kPut,       // write value at key
+  kMultiPut,  // apply several writes in one request, in order (cross-tick write batching)
   kEnqueue,   // append element to the queue named by key
   kDequeue,   // remove and return the queue head
   kPeek,      // read the queue head without removing
@@ -30,11 +33,15 @@ struct Operation {
   OpType type = OpType::kGet;
   std::string key;    // record key, or queue name for queue operations
   std::string value;  // put payload / enqueue element; empty otherwise
-  std::vector<std::string> keys;  // kMultiGet only
+  std::vector<std::string> keys;    // kMultiGet / kMultiPut
+  std::vector<std::string> values;  // kMultiPut only; parallel to `keys`, applied in order
 
   static Operation Get(std::string key);
   static Operation MultiGet(std::vector<std::string> keys);
   static Operation Put(std::string key, std::string value);
+  // `keys` and `values` must be the same length; entries apply in vector order, so two
+  // writes to the same key keep their program order inside the batch.
+  static Operation MultiPut(std::vector<std::string> keys, std::vector<std::string> values);
   static Operation Enqueue(std::string queue, std::string element);
   static Operation Dequeue(std::string queue);
   static Operation Peek(std::string queue);
@@ -52,8 +59,19 @@ struct Operation {
   std::string ToString() const;
 };
 
-// Separator between per-key payloads in a kMultiGet result value.
+// Separator between per-key payloads in a kMultiGet result value. Payload values must
+// not contain this byte — the simulated wire format is separator-based, so a value
+// embedding it would shift every later key's slice. (All workloads and apps in this
+// repo satisfy that; a length-prefixed format is the lift if one ever must not.)
 inline constexpr char kMultiValueSeparator = '\x1e';
+
+// Joins per-key payloads into the kMultiGet/kMultiPut wire format (parts separated by
+// kMultiValueSeparator; missing keys contribute an empty part).
+std::string JoinMultiValue(const std::vector<std::string>& parts);
+
+// Splits a multi-value payload into exactly `count` per-key parts (the inverse of
+// JoinMultiValue; short payloads pad with empty parts).
+std::vector<std::string> SplitMultiValue(const std::string& value, size_t count);
 
 // The result of an operation as observed under some consistency level. For kMultiGet,
 // `value` holds the per-key payloads joined by kMultiValueSeparator (missing keys
@@ -68,6 +86,13 @@ struct OpResult {
   int64_t seqno = -1;
   // Version of the value (key-value stores); default for queue results.
   Version version{};
+  // Per-key detail of a batched (kMultiGet / kMultiPut) result, parallel to the
+  // request's key order. The joined `found`/`version` above lose which key missed and
+  // which version belongs to whom; responders that know fill these so fan-out and cache
+  // refresh can be exact per key. Empty when unavailable (e.g. legacy responders) —
+  // consumers then fall back to the joined fields.
+  std::vector<bool> key_found;
+  std::vector<Version> key_versions;
 
   friend bool operator==(const OpResult&, const OpResult&) = default;
 
@@ -76,6 +101,14 @@ struct OpResult {
 
   std::string ToString() const;
 };
+
+// Builds a batched read result from per-key lookups, the one definition shared by every
+// multi-key responder (stores, client cache): payloads joined in key order, `found` =
+// every key found, `seqno` = keys found, `version` = freshest, and the per-key
+// found/version detail filled in. `lookup` returns nullopt for a missing key.
+OpResult JoinMultiLookup(
+    const std::vector<std::string>& keys,
+    const std::function<std::optional<OpResult>(const std::string&)>& lookup);
 
 // Wire-size constants shared by the simulated protocols. The paper reports ~270 B for a
 // ZooKeeper enqueue request+response pair and ~130 B for the extra preliminary response;

@@ -7,7 +7,8 @@ namespace icg {
 
 CassandraStack MakeCassandraStack(SimWorld& world, KvConfig kv_config,
                                   CassandraBindingConfig binding_config, Region client_region,
-                                  Region coordinator_region, std::vector<Region> replica_regions) {
+                                  Region coordinator_region, std::vector<Region> replica_regions,
+                                  BatchConfig batch_config) {
   CassandraStack stack;
   stack.config = std::make_unique<KvConfig>(kv_config);
   stack.cluster = std::make_unique<KvCluster>(&world.network(), &world.topology(),
@@ -15,17 +16,20 @@ CassandraStack MakeCassandraStack(SimWorld& world, KvConfig kv_config,
   stack.kv_client = stack.cluster->MakeClient(client_region, coordinator_region);
   stack.binding = std::make_shared<CassandraBinding>(stack.kv_client.get(), binding_config);
   stack.client = std::make_unique<CorrectableClient>(stack.binding, &world.loop());
+  stack.client->SetBatchConfig(batch_config);
   return stack;
 }
 
 CassandraClientEndpoint AddCassandraClient(SimWorld& world, CassandraStack& stack,
                                            CassandraBindingConfig binding_config,
-                                           Region client_region, Region coordinator_region) {
+                                           Region client_region, Region coordinator_region,
+                                           BatchConfig batch_config) {
   CassandraClientEndpoint endpoint;
   endpoint.kv_client = stack.cluster->MakeClient(client_region, coordinator_region);
   endpoint.binding =
       std::make_shared<CassandraBinding>(endpoint.kv_client.get(), binding_config);
   endpoint.client = std::make_unique<CorrectableClient>(endpoint.binding, &world.loop());
+  endpoint.client->SetBatchConfig(batch_config);
   return endpoint;
 }
 
@@ -50,7 +54,8 @@ ShardFn RingShardFn(const Partitioner* ring, std::vector<NodeId> coordinators) {
 ShardedCassandraClientEndpoint WireShardedEndpoint(SimWorld& world,
                                                    ShardedCassandraStack& stack,
                                                    CassandraBindingConfig binding_config,
-                                                   Region client_region) {
+                                                   Region client_region,
+                                                   BatchConfig batch_config) {
   ShardedCassandraClientEndpoint endpoint;
   std::vector<std::shared_ptr<Binding>> shards;
   const NodeId client_node = world.topology().AddNode(
@@ -71,6 +76,7 @@ ShardedCassandraClientEndpoint WireShardedEndpoint(SimWorld& world,
   endpoint.router = std::make_shared<BindingRouter>(
       std::move(shards), RingShardFn(stack.shard_map.get(), stack.coordinator_ids));
   endpoint.client = std::make_unique<CorrectableClient>(endpoint.router, &world.loop());
+  endpoint.client->SetBatchConfig(batch_config);
   return endpoint;
 }
 
@@ -80,7 +86,8 @@ ShardedCassandraStack MakeShardedCassandraStack(SimWorld& world, int n_coordinat
                                                 KvConfig kv_config,
                                                 CassandraBindingConfig binding_config,
                                                 Region client_region,
-                                                std::vector<Region> replica_regions) {
+                                                std::vector<Region> replica_regions,
+                                                BatchConfig batch_config) {
   ShardedCassandraStack stack;
   stack.config = std::make_unique<KvConfig>(kv_config);
   stack.cluster = std::make_unique<KvCluster>(&world.network(), &world.topology(),
@@ -94,7 +101,7 @@ ShardedCassandraStack MakeShardedCassandraStack(SimWorld& world, int n_coordinat
   stack.shard_map = std::make_unique<Partitioner>(stack.coordinator_ids,
                                                   /*replication_factor=*/1);
   ShardedCassandraClientEndpoint endpoint =
-      WireShardedEndpoint(world, stack, binding_config, client_region);
+      WireShardedEndpoint(world, stack, binding_config, client_region, batch_config);
   stack.kv_clients = std::move(endpoint.kv_clients);
   stack.shard_bindings = std::move(endpoint.shard_bindings);
   stack.router = std::move(endpoint.router);
@@ -105,8 +112,9 @@ ShardedCassandraStack MakeShardedCassandraStack(SimWorld& world, int n_coordinat
 ShardedCassandraClientEndpoint AddShardedCassandraClient(SimWorld& world,
                                                          ShardedCassandraStack& stack,
                                                          CassandraBindingConfig binding_config,
-                                                         Region client_region) {
-  return WireShardedEndpoint(world, stack, binding_config, client_region);
+                                                         Region client_region,
+                                                         BatchConfig batch_config) {
+  return WireShardedEndpoint(world, stack, binding_config, client_region, batch_config);
 }
 
 ZooKeeperStack MakeZooKeeperStack(SimWorld& world, ZabConfig zab_config, Region client_region,
@@ -133,7 +141,8 @@ ZooKeeperClientEndpoint AddZooKeeperClient(SimWorld& world, ZooKeeperStack& stac
 }
 
 NewsStack MakeNewsStack(SimWorld& world, PbConfig pb_config, Region client_region,
-                        Region backup_region, std::vector<Region> store_regions) {
+                        Region backup_region, std::vector<Region> store_regions,
+                        BatchConfig batch_config) {
   NewsStack stack;
   stack.config = std::make_unique<PbConfig>(pb_config);
   stack.cluster = std::make_unique<PbCluster>(&world.network(), &world.topology(),
@@ -143,11 +152,13 @@ NewsStack MakeNewsStack(SimWorld& world, PbConfig pb_config, Region client_regio
   stack.binding =
       std::make_shared<CachedPbBinding>(stack.pb_client.get(), stack.cache.get());
   stack.client = std::make_unique<CorrectableClient>(stack.binding, &world.loop());
+  stack.client->SetBatchConfig(batch_config);
   return stack;
 }
 
 CausalStack MakeCausalStack(SimWorld& world, CausalConfig causal_config, Region client_region,
-                            Region replica_region, std::vector<Region> store_regions) {
+                            Region replica_region, std::vector<Region> store_regions,
+                            BatchConfig batch_config) {
   CausalStack stack;
   stack.config = std::make_unique<CausalConfig>(causal_config);
   stack.cluster = std::make_unique<CausalCluster>(&world.network(), &world.topology(),
@@ -157,6 +168,7 @@ CausalStack MakeCausalStack(SimWorld& world, CausalConfig causal_config, Region 
   stack.binding =
       std::make_shared<CachedCausalBinding>(stack.causal_client.get(), stack.cache.get());
   stack.client = std::make_unique<CorrectableClient>(stack.binding, &world.loop());
+  stack.client->SetBatchConfig(batch_config);
   return stack;
 }
 

@@ -53,7 +53,8 @@ CassandraStack MakeCassandraStack(
     SimWorld& world, KvConfig kv_config, CassandraBindingConfig binding_config,
     Region client_region = Region::kIreland, Region coordinator_region = Region::kFrankfurt,
     std::vector<Region> replica_regions = {Region::kFrankfurt, Region::kIreland,
-                                           Region::kVirginia});
+                                           Region::kVirginia},
+    BatchConfig batch_config = {});
 
 // Adds another client (own coordinator + binding + library instance) to an existing
 // Cassandra deployment — the paper's "3 clients, one per region" load setups.
@@ -65,7 +66,8 @@ struct CassandraClientEndpoint {
 
 CassandraClientEndpoint AddCassandraClient(SimWorld& world, CassandraStack& stack,
                                            CassandraBindingConfig binding_config,
-                                           Region client_region, Region coordinator_region);
+                                           Region client_region, Region coordinator_region,
+                                           BatchConfig batch_config = {});
 
 // Sharded Cassandra deployment: the same replica cluster, but per-key client traffic is
 // routed across `n_coordinators` coordinator replicas through a BindingRouter — one
@@ -89,7 +91,8 @@ ShardedCassandraStack MakeShardedCassandraStack(
     SimWorld& world, int n_coordinators, KvConfig kv_config,
     CassandraBindingConfig binding_config, Region client_region = Region::kIreland,
     std::vector<Region> replica_regions = {Region::kFrankfurt, Region::kIreland,
-                                           Region::kVirginia});
+                                           Region::kVirginia},
+    BatchConfig batch_config = {});
 
 // Another routed client (own per-coordinator connections + router + library instance)
 // against an existing sharded deployment; shares the stack's shard ring so every client
@@ -104,7 +107,8 @@ struct ShardedCassandraClientEndpoint {
 ShardedCassandraClientEndpoint AddShardedCassandraClient(SimWorld& world,
                                                          ShardedCassandraStack& stack,
                                                          CassandraBindingConfig binding_config,
-                                                         Region client_region);
+                                                         Region client_region,
+                                                         BatchConfig batch_config = {});
 
 // ZooKeeper-like deployment: ensemble (leader region configurable), one session client.
 struct ZooKeeperStack {
@@ -145,7 +149,8 @@ NewsStack MakeNewsStack(SimWorld& world, PbConfig pb_config,
                         Region backup_region = Region::kIreland,
                         std::vector<Region> store_regions = {Region::kVirginia,
                                                              Region::kIreland,
-                                                             Region::kFrankfurt});
+                                                             Region::kFrankfurt},
+                        BatchConfig batch_config = {});
 
 // Cached-causal deployment (the mobile/disconnected scenario): causally consistent
 // geo-replicated store + client-side cache, two-level binding.
@@ -163,7 +168,8 @@ CausalStack MakeCausalStack(SimWorld& world, CausalConfig causal_config,
                             Region replica_region = Region::kIreland,
                             std::vector<Region> store_regions = {Region::kIreland,
                                                                  Region::kFrankfurt,
-                                                                 Region::kVirginia});
+                                                                 Region::kVirginia},
+                            BatchConfig batch_config = {});
 
 }  // namespace icg
 

@@ -47,6 +47,25 @@ void KvClient::Write(const std::string& key, std::string value, KvResponseFn res
                  });
 }
 
+void KvClient::MultiWrite(std::vector<std::string> keys, std::vector<std::string> values,
+                          KvResponseFn respond) {
+  int64_t bytes = kRequestHeaderBytes;
+  for (const auto& key : keys) {
+    bytes += static_cast<int64_t>(key.size()) + 2;
+  }
+  for (const auto& value : values) {
+    bytes += static_cast<int64_t>(value.size()) + 2;
+  }
+  KvReplica* coordinator = coordinator_;
+  const NodeId self = id_;
+  network_->Send(id_, coordinator_->id(), bytes,
+                 [coordinator, self, keys = std::move(keys), values = std::move(values),
+                  respond = std::move(respond)]() mutable {
+                   coordinator->CoordinateMultiWrite(self, std::move(keys), std::move(values),
+                                                     respond);
+                 });
+}
+
 int64_t KvClient::LinkBytes() const { return network_->BytesBetween(id_, coordinator_->id()); }
 
 int64_t KvClient::LinkMessages() const {

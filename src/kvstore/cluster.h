@@ -24,6 +24,10 @@ class KvClient {
   void MultiRead(std::vector<std::string> keys, const ReadOptions& options,
                  KvResponseFn respond);
   void Write(const std::string& key, std::string value, KvResponseFn respond);
+  // One request carrying several writes; the coordinator applies them in order and
+  // acknowledges once (cross-tick write batching).
+  void MultiWrite(std::vector<std::string> keys, std::vector<std::string> values,
+                  KvResponseFn respond);
 
   NodeId id() const { return id_; }
   NodeId coordinator_id() const { return coordinator_->id(); }

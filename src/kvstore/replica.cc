@@ -259,6 +259,8 @@ void KvReplica::IssueReadRepair(const PendingRead& read, const VersionedValue& f
 OpResult KvReplica::ToMultiOpResult(const std::vector<std::optional<VersionedValue>>& values) {
   OpResult result;
   result.found = !values.empty();
+  result.key_found.reserve(values.size());
+  result.key_versions.reserve(values.size());
   int64_t found_count = 0;
   for (size_t i = 0; i < values.size(); ++i) {
     if (i > 0) {
@@ -267,11 +269,15 @@ OpResult KvReplica::ToMultiOpResult(const std::vector<std::optional<VersionedVal
     if (values[i].has_value()) {
       result.value += values[i]->value;
       found_count++;
+      result.key_found.push_back(true);
+      result.key_versions.push_back(values[i]->version);
       if (result.version < values[i]->version) {
         result.version = values[i]->version;
       }
     } else {
       result.found = false;
+      result.key_found.push_back(false);
+      result.key_versions.push_back(Version{});
     }
   }
   result.seqno = found_count;
@@ -526,6 +532,50 @@ void KvReplica::CoordinateWrite(NodeId client_id, const std::string& key, std::s
       network_->Send(id_, peer->id(), bytes,
                      [peer, key, vv]() { peer->HandleReplicate(key, vv); });
     }
+  });
+}
+
+void KvReplica::CoordinateMultiWrite(NodeId client_id, std::vector<std::string> keys,
+                                     std::vector<std::string> values, KvResponseFn respond) {
+  metrics_.GetCounter("multi_writes_coordinated").Increment();
+  if (keys.empty() || keys.size() != values.size()) {
+    network_->Send(id_, client_id, kResponseHeaderBytes, [respond = std::move(respond)]() {
+      respond(Status::InvalidArgument("multiwrite needs matching non-empty key/value lists"),
+              /*is_final=*/true, ResponseKind::kValue);
+    });
+    return;
+  }
+  const SimDuration service =
+      config_->write_service +
+      static_cast<SimDuration>(keys.size() - 1) * config_->multiwrite_per_key_service;
+  service_.Submit(service, [this, client_id, keys = std::move(keys),
+                            values = std::move(values), respond = std::move(respond)]() mutable {
+    OpResult ack;
+    ack.found = true;
+    ack.seqno = static_cast<int64_t>(keys.size());
+    ack.key_found.assign(keys.size(), true);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      write_seq_ = std::max(static_cast<uint64_t>(loop_->Now()), write_seq_ + 1);
+      const Version version{static_cast<SimTime>(write_seq_), id_};
+      ack.version = version;
+      ack.key_versions.push_back(version);
+      VersionedValue vv{std::move(values[i]), version};
+
+      auto existing = storage_.find(keys[i]);
+      if (existing == storage_.end() || existing->second.OlderThan(version)) {
+        storage_[keys[i]] = vv;
+      }
+
+      for (KvReplica* peer : peers_) {
+        const int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(keys[i].size()) +
+                              static_cast<int64_t>(vv.value.size());
+        network_->Send(id_, peer->id(), bytes,
+                       [peer, key = keys[i], vv]() { peer->HandleReplicate(key, vv); });
+      }
+    }
+    network_->Send(id_, client_id, kResponseHeaderBytes, [respond, ack]() {
+      respond(ack, /*is_final=*/true, ResponseKind::kValue);
+    });
   });
 }
 

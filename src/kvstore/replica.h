@@ -46,6 +46,8 @@ struct KvConfig {
   SimDuration flush_service = Micros(60);       // CC preliminary flushing (extra)
   // Incremental cost per additional key in a batched (multiget) read.
   SimDuration multiread_per_key_service = Micros(60);
+  // Incremental cost per additional write in a batched (multiput) submission.
+  SimDuration multiwrite_per_key_service = Micros(80);
 
   // Coordinator waits this long for quorum responses before failing the read.
   SimDuration read_timeout = Millis(2000);
@@ -87,6 +89,13 @@ class KvReplica {
                            const ReadOptions& options, KvResponseFn respond);
   void CoordinateWrite(NodeId client_id, const std::string& key, std::string value,
                        KvResponseFn respond);
+  // Batched write submission (cross-tick write batching): the entries apply locally in
+  // vector order — writes to the same key keep their program order — each under its own
+  // strictly increasing LWW version, then replicate asynchronously like single writes.
+  // One acknowledgement covers the whole batch (W = 1 semantics; `seqno` = batch size,
+  // `version` = the last version assigned).
+  void CoordinateMultiWrite(NodeId client_id, std::vector<std::string> keys,
+                            std::vector<std::string> values, KvResponseFn respond);
 
   // --- Peer-internal handlers (invoked at this node by other replicas) ----------------
   void HandlePeerRead(NodeId requester, const std::string& key, uint64_t request_id,

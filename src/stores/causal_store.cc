@@ -28,34 +28,89 @@ void CausalReplica::HandleRead(NodeId client_id, const std::string& key,
   });
 }
 
+void CausalReplica::HandleMultiRead(NodeId client_id, std::vector<std::string> keys,
+                                    CausalResponseFn respond) {
+  const SimDuration service =
+      config_->read_service + (keys.empty() ? 0
+                                            : static_cast<SimDuration>(keys.size() - 1) *
+                                                  config_->multi_per_key_service);
+  service_.Submit(service, [this, client_id, keys = std::move(keys),
+                            respond = std::move(respond)]() {
+    const OpResult result =
+        JoinMultiLookup(keys, [this](const std::string& key) -> std::optional<OpResult> {
+          auto it = storage_.find(key);
+          if (it == storage_.end()) {
+            return std::nullopt;
+          }
+          OpResult hit;
+          hit.found = true;
+          hit.value = it->second.value;
+          hit.version = it->second.version;
+          return hit;
+        });
+    network_->Send(id_, client_id, result.WireBytes(), [respond, result]() { respond(result); });
+  });
+}
+
+// Applies one locally originated write and replicates it with the dependency snapshot:
+// everything applied here happens-before this write, so remote replicas must reach this
+// clock before applying it.
+Version CausalReplica::ApplyLocalWrite(const std::string& key, const std::string& value) {
+  lamport_++;
+  const Version version{lamport_, id_};
+  const int64_t origin_seq = next_origin_seq_++;
+  storage_[key] = Entry{value, version};
+  applied_clock_[static_cast<size_t>(origin_index_)] = origin_seq;
+
+  const std::vector<int64_t> deps = applied_clock_;
+  for (CausalReplica* peer : peers_) {
+    const int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(key.size()) +
+                          static_cast<int64_t>(value.size()) +
+                          static_cast<int64_t>(deps.size()) * 8;
+    const int origin = origin_index_;
+    network_->Send(id_, peer->id(), bytes,
+                   [peer, origin, origin_seq, deps, key, value, version]() {
+                     peer->HandleReplicated(origin, origin_seq, deps, key, value, version);
+                   });
+  }
+  return version;
+}
+
 void CausalReplica::HandleWrite(NodeId client_id, const std::string& key, std::string value,
                                 CausalResponseFn respond) {
   service_.Submit(config_->write_service, [this, client_id, key, value = std::move(value),
                                            respond = std::move(respond)]() mutable {
-    lamport_++;
-    const Version version{lamport_, id_};
-    const int64_t origin_seq = next_origin_seq_++;
-    storage_[key] = Entry{value, version};
-    applied_clock_[static_cast<size_t>(origin_index_)] = origin_seq;
-
     OpResult ack;
     ack.found = true;
-    ack.version = version;
+    ack.version = ApplyLocalWrite(key, value);
     network_->Send(id_, client_id, kResponseHeaderBytes, [respond, ack]() { respond(ack); });
+  });
+}
 
-    // Replicate with the dependency snapshot: everything applied here happens-before
-    // this write, so remote replicas must reach this clock before applying it.
-    const std::vector<int64_t> deps = applied_clock_;
-    for (CausalReplica* peer : peers_) {
-      const int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(key.size()) +
-                            static_cast<int64_t>(value.size()) +
-                            static_cast<int64_t>(deps.size()) * 8;
-      const int origin = origin_index_;
-      network_->Send(id_, peer->id(), bytes,
-                     [peer, origin, origin_seq, deps, key, value, version]() {
-                       peer->HandleReplicated(origin, origin_seq, deps, key, value, version);
-                     });
+void CausalReplica::HandleMultiWrite(NodeId client_id, std::vector<std::string> keys,
+                                     std::vector<std::string> values, CausalResponseFn respond) {
+  if (keys.empty() || keys.size() != values.size()) {
+    network_->Send(id_, client_id, kResponseHeaderBytes, [respond = std::move(respond)]() {
+      respond(Status::InvalidArgument("multiwrite needs matching non-empty key/value lists"));
+    });
+    return;
+  }
+  const SimDuration service =
+      config_->write_service +
+      static_cast<SimDuration>(keys.size() - 1) * config_->multi_per_key_service;
+  service_.Submit(service, [this, client_id, keys = std::move(keys),
+                            values = std::move(values), respond = std::move(respond)]() mutable {
+    // Entries apply in vector order: each write's dependency snapshot includes its batch
+    // predecessors, so remote replicas preserve the batch's internal program order too.
+    OpResult ack;
+    ack.found = true;
+    ack.key_found.assign(keys.size(), true);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ack.version = ApplyLocalWrite(keys[i], values[i]);
+      ack.key_versions.push_back(ack.version);
     }
+    ack.seqno = static_cast<int64_t>(keys.size());
+    network_->Send(id_, client_id, kResponseHeaderBytes, [respond, ack]() { respond(ack); });
   });
 }
 
@@ -173,6 +228,37 @@ void CausalClient::Read(const std::string& key, CausalResponseFn respond) {
   network_->Send(id_, replica_->id(), bytes, [replica, self, key, respond = std::move(respond)]() {
     replica->HandleRead(self, key, respond);
   });
+}
+
+void CausalClient::MultiRead(std::vector<std::string> keys, CausalResponseFn respond) {
+  int64_t bytes = kRequestHeaderBytes;
+  for (const auto& key : keys) {
+    bytes += static_cast<int64_t>(key.size()) + 2;
+  }
+  CausalReplica* replica = replica_;
+  const NodeId self = id_;
+  network_->Send(id_, replica_->id(), bytes,
+                 [replica, self, keys = std::move(keys), respond = std::move(respond)]() mutable {
+                   replica->HandleMultiRead(self, std::move(keys), respond);
+                 });
+}
+
+void CausalClient::MultiWrite(std::vector<std::string> keys, std::vector<std::string> values,
+                              CausalResponseFn respond) {
+  int64_t bytes = kRequestHeaderBytes;
+  for (const auto& key : keys) {
+    bytes += static_cast<int64_t>(key.size()) + 2;
+  }
+  for (const auto& value : values) {
+    bytes += static_cast<int64_t>(value.size()) + 2;
+  }
+  CausalReplica* replica = replica_;
+  const NodeId self = id_;
+  network_->Send(id_, replica_->id(), bytes,
+                 [replica, self, keys = std::move(keys), values = std::move(values),
+                  respond = std::move(respond)]() mutable {
+                   replica->HandleMultiWrite(self, std::move(keys), std::move(values), respond);
+                 });
 }
 
 void CausalClient::Write(const std::string& key, std::string value, CausalResponseFn respond) {

@@ -29,6 +29,8 @@ struct CausalConfig {
   SimDuration read_service = Micros(200);
   SimDuration write_service = Micros(250);
   SimDuration apply_service = Micros(150);
+  // Incremental cost per additional key in a batched (multi-key) read or write.
+  SimDuration multi_per_key_service = Micros(50);
 };
 
 using CausalResponseFn = std::function<void(StatusOr<OpResult>)>;
@@ -42,8 +44,16 @@ class CausalReplica {
   void SetOriginIndex(int index, int num_replicas);
 
   void HandleRead(NodeId client_id, const std::string& key, CausalResponseFn respond);
+  // Batched read: one request, one response joining per-key payloads in request order.
+  void HandleMultiRead(NodeId client_id, std::vector<std::string> keys,
+                       CausalResponseFn respond);
   void HandleWrite(NodeId client_id, const std::string& key, std::string value,
                    CausalResponseFn respond);
+  // Batched write: applies the entries in vector order (each its own Lamport stamp and
+  // origin sequence number, so causal replication is per-write exactly as for singles),
+  // then acknowledges once for the whole batch.
+  void HandleMultiWrite(NodeId client_id, std::vector<std::string> keys,
+                        std::vector<std::string> values, CausalResponseFn respond);
 
   // Replication message: a write from `origin` with its per-origin sequence number and
   // the origin's dependency clock at emission time.
@@ -73,6 +83,7 @@ class CausalReplica {
   void TryApplyPending();
   bool DepsSatisfied(const PendingWrite& write) const;
   void ApplyWrite(const PendingWrite& write);
+  Version ApplyLocalWrite(const std::string& key, const std::string& value);
 
   Network* network_;
   NodeId id_;
@@ -123,6 +134,11 @@ class CausalClient {
 
   void Read(const std::string& key, CausalResponseFn respond);
   void Write(const std::string& key, std::string value, CausalResponseFn respond);
+
+  // Batched variants: one round-trip covering several keys (cross-tick batching).
+  void MultiRead(std::vector<std::string> keys, CausalResponseFn respond);
+  void MultiWrite(std::vector<std::string> keys, std::vector<std::string> values,
+                  CausalResponseFn respond);
 
   NodeId id() const { return id_; }
 

@@ -27,6 +27,8 @@ struct PbConfig {
   SimDuration read_service = Micros(200);
   SimDuration write_service = Micros(300);
   SimDuration apply_service = Micros(150);
+  // Incremental cost per additional key in a batched (multi-key) read or write.
+  SimDuration multi_per_key_service = Micros(50);
 };
 
 using PbResponseFn = std::function<void(StatusOr<OpResult>)>;
@@ -39,9 +41,16 @@ class PbNode {
   void SetBackups(std::vector<PbNode*> backups) { backups_ = std::move(backups); }
 
   void HandleRead(NodeId client_id, const std::string& key, PbResponseFn respond);
+  // Batched read: one request, one response joining per-key payloads in request order
+  // (kMultiValueSeparator wire format; `found` = every key found, `seqno` = keys found).
+  void HandleMultiRead(NodeId client_id, std::vector<std::string> keys, PbResponseFn respond);
   // Primary only: apply, ack, propagate.
   void HandleWrite(NodeId client_id, const std::string& key, std::string value,
                    PbResponseFn respond);
+  // Primary only: apply several writes in vector order (program order per key), one ack,
+  // propagate each to the backups.
+  void HandleMultiWrite(NodeId client_id, std::vector<std::string> keys,
+                        std::vector<std::string> values, PbResponseFn respond);
   // Backup side of asynchronous propagation.
   void ApplyReplicated(const std::string& key, std::string value, Version version);
 
@@ -74,10 +83,17 @@ class PbClient {
   void ReadStrong(const std::string& key, PbResponseFn respond);  // primary
   void Write(const std::string& key, std::string value, PbResponseFn respond);
 
+  // Batched variants: one round-trip covering several keys (cross-tick batching).
+  void MultiReadWeak(std::vector<std::string> keys, PbResponseFn respond);
+  void MultiReadStrong(std::vector<std::string> keys, PbResponseFn respond);
+  void MultiWrite(std::vector<std::string> keys, std::vector<std::string> values,
+                  PbResponseFn respond);
+
   NodeId id() const { return id_; }
 
  private:
   void ReadFrom(PbNode* node, const std::string& key, PbResponseFn respond);
+  void MultiReadFrom(PbNode* node, std::vector<std::string> keys, PbResponseFn respond);
 
   Network* network_;
   NodeId id_;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -26,13 +27,29 @@ class FakeShardBinding : public Binding {
   std::vector<ConsistencyLevel> SupportedLevels() const override {
     return {ConsistencyLevel::kWeak, ConsistencyLevel::kStrong};
   }
+  bool SupportsBatchedReads() const override { return supports_batched; }
+  bool SupportsBatchedWrites() const override { return supports_batched; }
 
+  bool supports_batched = true;
   int plans = 0;
   Status fail_final = Status::Ok();  // non-OK: the strong view reports this error
+  std::vector<Operation> planned_ops;  // every operation this shard was asked to serve
 
-  InvocationPlan PlanInvocation(const Operation& /*op*/, const LevelSet& levels) override {
+  InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override {
     plans++;
+    planned_ops.push_back(op);
     InvocationPlan plan;
+    if (op.type == OpType::kMultiPut) {
+      // Batched write: acknowledge the whole batch once at the strongest level.
+      plan.AddStep(levels.strongest(), [this, level = levels.strongest()](
+                                           const Operation& puts, LevelEmitter emit) {
+        OpResult ack;
+        ack.found = true;
+        ack.seqno = static_cast<int64_t>(puts.keys.size());
+        emit(level, fail_final.ok() ? StatusOr<OpResult>(ack) : StatusOr<OpResult>(fail_final));
+      });
+      return plan;
+    }
     plan.AddSpan(levels.levels(), [this, levels](const Operation& o, LevelEmitter emit) {
       const bool multi_level = !levels.single();
       OpResult result;
@@ -209,6 +226,127 @@ TEST(BindingRouter, WritesRouteByKey) {
   EXPECT_EQ(c.state(), CorrectableState::kFinal);
   EXPECT_EQ(f.s0->plans, 0);
   EXPECT_EQ(f.s1->plans, 1);
+}
+
+// --- Cross-tick write batching through the router -------------------------------------
+
+TEST(BindingRouter, BatchedWritesNeverCrossShardBoundaries) {
+  EventLoop loop;
+  auto s0 = std::make_shared<FakeShardBinding>("s0");
+  auto s1 = std::make_shared<FakeShardBinding>("s1");
+  auto router = std::make_shared<BindingRouter>(
+      std::vector<std::shared_ptr<Binding>>{s0, s1}, SuffixShardFn(2));
+  CorrectableClient client(router, &loop);
+  BatchConfig batch;
+  batch.batch_window = Millis(5);
+  client.SetBatchConfig(batch);
+
+  // Four writes inside one window, interleaving shards. The scheduler queues them per
+  // scope, so each shard must receive exactly one multiput carrying only its own keys.
+  auto a = client.InvokeStrong(Operation::Put("k0", "a"));
+  auto b = client.InvokeStrong(Operation::Put("k1", "b"));
+  auto c = client.InvokeStrong(Operation::Put("k2", "c"));
+  auto d = client.InvokeStrong(Operation::Put("k3", "d"));
+  EXPECT_EQ(s0->plans + s1->plans, 0);  // nothing reaches a shard before the flush
+  loop.Run();
+
+  for (const auto& result : {a, b, c, d}) {
+    EXPECT_EQ(result.state(), CorrectableState::kFinal);
+  }
+  ASSERT_EQ(s0->planned_ops.size(), 1u);
+  ASSERT_EQ(s1->planned_ops.size(), 1u);
+  EXPECT_EQ(s0->planned_ops[0].type, OpType::kMultiPut);
+  EXPECT_EQ(s0->planned_ops[0].keys, (std::vector<std::string>{"k0", "k2"}));
+  EXPECT_EQ(s0->planned_ops[0].values, (std::vector<std::string>{"a", "c"}));
+  EXPECT_EQ(s1->planned_ops[0].type, OpType::kMultiPut);
+  EXPECT_EQ(s1->planned_ops[0].keys, (std::vector<std::string>{"k1", "k3"}));
+  EXPECT_EQ(client.stats().batched_writes, 4);
+  EXPECT_EQ(client.stats().cross_tick_batches, 2);
+}
+
+TEST(BindingRouter, RebalanceMidWindowReRoutesThePendingBatch) {
+  EventLoop loop;
+  auto s0 = std::make_shared<FakeShardBinding>("s0");
+  auto s1 = std::make_shared<FakeShardBinding>("s1");
+  // A mutable ring: keys map through `owner`, which the test rewires mid-window.
+  auto owner = std::make_shared<std::map<std::string, size_t>>();
+  auto router = std::make_shared<BindingRouter>(
+      std::vector<std::shared_ptr<Binding>>{s0, s1},
+      [owner](const std::string& key) -> size_t {
+        auto it = owner->find(key);
+        return it != owner->end() ? it->second : 0;
+      });
+  CorrectableClient client(router, &loop);
+  BatchConfig batch;
+  batch.batch_window = Millis(5);
+  client.SetBatchConfig(batch);
+
+  (*owner)["ka"] = 0;
+  (*owner)["kb"] = 0;
+  auto a = client.InvokeStrong(Operation::Put("ka", "1"));
+  auto b = client.InvokeStrong(Operation::Put("kb", "2"));
+  // Rebalance while the batch window is still open: kb moves to shard 1. The flush must
+  // consult the *current* ring and split the cohort instead of sending kb to shard 0.
+  (*owner)["kb"] = 1;
+  loop.Run();
+
+  EXPECT_EQ(a.state(), CorrectableState::kFinal);
+  EXPECT_EQ(b.state(), CorrectableState::kFinal);
+  ASSERT_EQ(s0->planned_ops.size(), 1u);
+  ASSERT_EQ(s1->planned_ops.size(), 1u);
+  EXPECT_EQ(s0->planned_ops[0].type, OpType::kPut);  // a lone write launches unbatched
+  EXPECT_EQ(s0->planned_ops[0].key, "ka");
+  EXPECT_EQ(s1->planned_ops[0].type, OpType::kPut);
+  EXPECT_EQ(s1->planned_ops[0].key, "kb");
+}
+
+TEST(BindingRouter, CrossShardMultiPutRejectedWhenBypassingTheScheduler) {
+  RouterFixture f;
+  auto c = f.client.InvokeStrong(Operation::MultiPut({"k0", "k1"}, {"a", "b"}));
+  ASSERT_EQ(c.state(), CorrectableState::kError);
+  EXPECT_EQ(c.error().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(f.s0->plans, 0);
+  EXPECT_EQ(f.s1->plans, 0);
+}
+
+TEST(BindingRouter, ShardLocalMultiPutDelegatesWholesale) {
+  RouterFixture f;
+  auto c = f.client.InvokeStrong(Operation::MultiPut({"k0", "k2"}, {"a", "b"}));
+  ASSERT_EQ(c.state(), CorrectableState::kFinal);
+  EXPECT_EQ(c.Final().value().seqno, 2);
+  EXPECT_EQ(f.s0->plans, 1);
+  EXPECT_EQ(f.s1->plans, 0);
+}
+
+TEST(BindingRouter, BatchingCapabilitiesPassThroughShards) {
+  RouterFixture f;
+  EXPECT_TRUE(f.router->SupportsBatchedReads());
+  EXPECT_TRUE(f.router->SupportsBatchedWrites());
+}
+
+TEST(BindingRouter, OneNonBatchingShardDisablesBatchingForTheWholeRouter) {
+  // Heterogeneous backends: if any shard cannot serve multiget/multiput, the router must
+  // not advertise batching — the pipeline would queue batches that shard then rejects.
+  RouterFixture f;
+  f.s1->supports_batched = false;
+  EXPECT_FALSE(f.router->SupportsBatchedReads());
+  EXPECT_FALSE(f.router->SupportsBatchedWrites());
+
+  // And with batching advertised off, windowed writes fall back to per-write launches.
+  EventLoop loop;
+  CorrectableClient client(f.router, &loop);
+  BatchConfig batch;
+  batch.batch_window = Millis(5);
+  client.SetBatchConfig(batch);
+  auto a = client.InvokeStrong(Operation::Put("k0", "a"));
+  auto b = client.InvokeStrong(Operation::Put("k2", "b"));
+  loop.Run();
+  EXPECT_EQ(a.state(), CorrectableState::kFinal);
+  EXPECT_EQ(b.state(), CorrectableState::kFinal);
+  ASSERT_EQ(f.s0->planned_ops.size(), 2u);
+  EXPECT_EQ(f.s0->planned_ops[0].type, OpType::kPut);
+  EXPECT_EQ(f.s0->planned_ops[1].type, OpType::kPut);
+  EXPECT_EQ(client.stats().batched_writes, 0);
 }
 
 }  // namespace

@@ -1,0 +1,420 @@
+// Randomized consistency oracle for the cross-tick batching engine: N clients issue
+// random reads and writes at random times through real storage stacks, across batch
+// windows 0 (legacy same-tick coalescing), small, and large. Whatever the batching
+// layer merges, splits, delays, or fans back out, every Correctable must still obey the
+// paper's contract — weakest-first monotone view delivery, exactly one terminal view
+// (no lost or duplicated finals), and per-key write program order surviving all the way
+// into replica state.
+//
+// The RNG seed comes from ICG_ORACLE_SEED (default 12345); CI sweeps several seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/bindings/blockchain_binding.h"
+#include "src/common/random.h"
+#include "src/harness/deployment.h"
+
+namespace icg {
+namespace {
+
+uint64_t OracleSeed() {
+  const char* env = std::getenv("ICG_ORACLE_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 12345;
+}
+
+// Everything the oracle records about one invocation, filled in by the Correctable's
+// callbacks as the run unfolds.
+struct Observation {
+  bool is_write = false;
+  size_t client = 0;
+  std::string key;
+  std::string written_value;
+  ConsistencyLevel weakest = ConsistencyLevel::kStrong;
+  ConsistencyLevel strongest = ConsistencyLevel::kStrong;
+  std::vector<ConsistencyLevel> delivered;  // every view's level, in delivery order
+  int finals = 0;
+  int errors = 0;
+  bool view_after_terminal = false;
+  OpResult final_value;
+  Version ack_version{};  // writes: the acknowledged store version
+};
+
+// Wires the oracle's callbacks onto one invocation's Correctable.
+void Observe(Correctable<OpResult> c, const std::shared_ptr<Observation>& obs) {
+  c.SetCallbacks(
+      [obs](const View<OpResult>& v) {
+        if (obs->finals + obs->errors > 0) {
+          obs->view_after_terminal = true;
+        }
+        obs->delivered.push_back(v.level);
+      },
+      [obs](const View<OpResult>& v) {
+        if (obs->finals + obs->errors > 0) {
+          obs->view_after_terminal = true;
+        }
+        obs->finals++;
+        obs->delivered.push_back(v.level);
+        obs->final_value = v.value;
+        obs->ack_version = v.value.version;
+      },
+      [obs](const Status&) {
+        if (obs->finals + obs->errors > 0) {
+          obs->view_after_terminal = true;
+        }
+        obs->errors++;
+      });
+}
+
+// The oracle assertions every observation must satisfy, regardless of batching.
+void CheckObservation(const Observation& obs, const std::string& context) {
+  SCOPED_TRACE(context + " key=" + obs.key + " client=" + std::to_string(obs.client));
+  // No lost finals: every invocation terminates; no duplicated finals either.
+  EXPECT_EQ(obs.finals + obs.errors, 1) << "invocation must close exactly once";
+  EXPECT_FALSE(obs.view_after_terminal) << "views delivered after the terminal view";
+  // Weakest-first monotone delivery: levels never regress.
+  for (size_t i = 1; i < obs.delivered.size(); ++i) {
+    EXPECT_TRUE(IsStrongerOrEqual(obs.delivered[i], obs.delivered[i - 1]))
+        << "view level regressed at position " << i;
+  }
+  if (obs.finals == 1) {
+    ASSERT_FALSE(obs.delivered.empty());
+    // The terminal view lands at the strongest requested level.
+    EXPECT_EQ(obs.delivered.back(), obs.strongest);
+    // And nothing ever exceeded the request or undercut the weakest.
+    for (const ConsistencyLevel level : obs.delivered) {
+      EXPECT_TRUE(IsStrongerOrEqual(obs.strongest, level));
+      EXPECT_TRUE(IsStrongerOrEqual(level, obs.weakest));
+    }
+  }
+}
+
+constexpr int kKeys = 40;
+constexpr int kClients = 3;
+
+std::string OracleKey(int index) { return "okey" + std::to_string(index); }
+
+// One randomized trial over the sharded Cassandra deployment (3 routed clients, one per
+// region). Writes are single-writer-per-key (client c owns keys with index % 3 == c), so
+// per-key program order has a crisp oracle: the last value that key's writer submitted
+// must be what every replica converges to.
+void RunShardedOracleTrial(SimDuration window, uint64_t seed) {
+  SCOPED_TRACE("window_us=" + std::to_string(window) + " seed=" + std::to_string(seed));
+  SimWorld world(seed);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  BatchConfig batch;
+  batch.batch_window = window;
+
+  auto stack = MakeShardedCassandraStack(world, /*n_coordinators=*/3, KvConfig{}, binding,
+                                         Region::kIreland,
+                                         {Region::kFrankfurt, Region::kIreland,
+                                          Region::kVirginia},
+                                         batch);
+  auto frk = AddShardedCassandraClient(world, stack, binding, Region::kFrankfurt, batch);
+  auto vrg = AddShardedCassandraClient(world, stack, binding, Region::kVirginia, batch);
+  CorrectableClient* clients[kClients] = {stack.client.get(), frk.client.get(),
+                                          vrg.client.get()};
+
+  for (int i = 0; i < kKeys; ++i) {
+    stack.cluster->Preload(OracleKey(i), "init");
+  }
+
+  Rng rng(seed * 31 + static_cast<uint64_t>(window));
+  const int ops = 400;
+  std::vector<std::shared_ptr<Observation>> observations;
+  // Per-key program order, recorded at *submission* time (ops are scheduled at random
+  // instants, so creation order is not program order).
+  auto submitted = std::make_shared<std::map<std::string, std::vector<std::string>>>();
+  auto write_order = std::make_shared<std::map<std::string, std::vector<std::shared_ptr<Observation>>>>();
+  int write_counter = 0;
+
+  for (int i = 0; i < ops; ++i) {
+    const SimDuration at = static_cast<SimDuration>(rng.NextBounded(Seconds(3)));
+    const size_t client_index = static_cast<size_t>(rng.NextBounded(kClients));
+    const bool is_write = rng.NextBool(0.25);
+    const int flavor = static_cast<int>(rng.NextBounded(3));  // reads: weak/strong/icg
+    int key_index = static_cast<int>(rng.NextBounded(kKeys));
+    if (is_write) {
+      // Single writer per key: move to a key this client owns.
+      key_index = (key_index / kClients) * kClients + static_cast<int>(client_index);
+      key_index %= kKeys;
+    }
+    const std::string key = OracleKey(key_index);
+
+    auto obs = std::make_shared<Observation>();
+    obs->is_write = is_write;
+    obs->client = client_index;
+    obs->key = key;
+    observations.push_back(obs);
+
+    if (is_write) {
+      const std::string value =
+          "c" + std::to_string(client_index) + "-" + std::to_string(write_counter++);
+      obs->written_value = value;
+      obs->weakest = obs->strongest = ConsistencyLevel::kStrong;
+      world.loop().Schedule(at, [client = clients[client_index], key, value, obs, submitted,
+                                 write_order]() {
+        (*submitted)[key].push_back(value);
+        (*write_order)[key].push_back(obs);
+        Observe(client->InvokeStrong(Operation::Put(key, value)), obs);
+      });
+      continue;
+    }
+
+    CorrectableClient* client = clients[client_index];
+    if (flavor == 0) {
+      obs->weakest = obs->strongest = ConsistencyLevel::kWeak;
+      world.loop().Schedule(at, [client, key, obs]() {
+        Observe(client->InvokeWeak(Operation::Get(key)), obs);
+      });
+    } else if (flavor == 1) {
+      obs->weakest = obs->strongest = ConsistencyLevel::kStrong;
+      world.loop().Schedule(at, [client, key, obs]() {
+        Observe(client->InvokeStrong(Operation::Get(key)), obs);
+      });
+    } else {
+      obs->weakest = ConsistencyLevel::kWeak;
+      obs->strongest = ConsistencyLevel::kStrong;
+      world.loop().Schedule(at, [client, key, obs]() {
+        Observe(client->Invoke(Operation::Get(key)), obs);
+      });
+    }
+  }
+
+  world.loop().Run();
+
+  // Per-invocation contract.
+  for (const auto& obs : observations) {
+    CheckObservation(*obs, "sharded");
+    EXPECT_EQ(obs->errors, 0) << "no failure injected, so nothing may fail";
+  }
+
+  // Write program order per key, two ways. First through acknowledgements: versions a
+  // key's writes were acked under never regress in submission order (a batched flush
+  // acks its members under one version — equal is fine, regression is not).
+  for (const auto& [key, writes] : *write_order) {
+    Version previous{};
+    for (size_t i = 0; i < writes.size(); ++i) {
+      if (writes[i]->finals != 1) {
+        continue;
+      }
+      EXPECT_FALSE(writes[i]->ack_version < previous)
+          << "ack versions regressed for " << key << " at write " << i;
+      previous = writes[i]->ack_version;
+    }
+  }
+  // Then through replica state: after quiescence every replica holds the key's last
+  // submitted value (single writer per key + FIFO links + in-order batch applies).
+  for (const auto& [key, values] : *submitted) {
+    for (const auto& replica : stack.cluster->replicas()) {
+      const auto stored = replica->LocalGet(key);
+      ASSERT_TRUE(stored.has_value()) << key;
+      EXPECT_EQ(stored->value, values.back())
+          << "replica diverged from program order for " << key;
+    }
+  }
+
+  // Reads only ever observe preloaded or submitted values.
+  for (const auto& obs : observations) {
+    if (!obs->is_write && obs->finals == 1 && obs->final_value.found) {
+      const auto& history = (*submitted)[obs->key];
+      const bool known =
+          obs->final_value.value == "init" ||
+          std::find(history.begin(), history.end(), obs->final_value.value) != history.end();
+      EXPECT_TRUE(known) << "read of " << obs->key << " returned a value never written: "
+                         << obs->final_value.value;
+    }
+  }
+
+  // Counter sanity: window 0 must never open a cross-tick batch; a wide window under
+  // this op rate must.
+  int64_t cross_tick = 0;
+  for (const CorrectableClient* client : clients) {
+    cross_tick += client->stats().cross_tick_batches;
+  }
+  if (window == 0) {
+    EXPECT_EQ(cross_tick, 0);
+  } else if (window >= Millis(20)) {
+    EXPECT_GT(cross_tick, 0);
+  }
+}
+
+TEST(BatchOracle, ShardedCassandraAcrossWindows) {
+  const uint64_t seed = OracleSeed();
+  for (const SimDuration window : {Millis(0), Millis(2), Millis(25)}) {
+    RunShardedOracleTrial(window, seed);
+  }
+}
+
+// The same oracle over the cached-causal stack: a two-level binding whose weakest level
+// is the client cache, so batched flushes interleave with synchronous cache views and
+// write-through refreshes.
+void RunCausalOracleTrial(SimDuration window, uint64_t seed) {
+  SCOPED_TRACE("causal window_us=" + std::to_string(window));
+  SimWorld world(seed + 7);
+  BatchConfig batch;
+  batch.batch_window = window;
+  auto stack = MakeCausalStack(world, CausalConfig{}, Region::kIreland, Region::kIreland,
+                               {Region::kIreland, Region::kFrankfurt, Region::kVirginia},
+                               batch);
+  for (int i = 0; i < kKeys; ++i) {
+    stack.cluster->Preload(OracleKey(i), "init");
+  }
+
+  Rng rng(seed * 17 + static_cast<uint64_t>(window));
+  const int ops = 200;
+  std::vector<std::shared_ptr<Observation>> observations;
+  auto submitted = std::make_shared<std::map<std::string, std::vector<std::string>>>();
+  int write_counter = 0;
+
+  for (int i = 0; i < ops; ++i) {
+    const SimDuration at = static_cast<SimDuration>(rng.NextBounded(Seconds(2)));
+    const bool is_write = rng.NextBool(0.3);
+    const std::string key = OracleKey(static_cast<int>(rng.NextBounded(kKeys)));
+    auto obs = std::make_shared<Observation>();
+    obs->is_write = is_write;
+    obs->key = key;
+    observations.push_back(obs);
+    if (is_write) {
+      const std::string value = "w" + std::to_string(write_counter++);
+      obs->written_value = value;
+      obs->weakest = obs->strongest = ConsistencyLevel::kCausal;
+      world.loop().Schedule(at, [client = stack.client.get(), key, value, obs, submitted]() {
+        (*submitted)[key].push_back(value);
+        Observe(client->InvokeStrong(Operation::Put(key, value)), obs);
+      });
+    } else {
+      obs->weakest = ConsistencyLevel::kCache;
+      obs->strongest = ConsistencyLevel::kCausal;
+      world.loop().Schedule(at, [client = stack.client.get(), key, obs]() {
+        Observe(client->Invoke(Operation::Get(key)), obs);
+      });
+    }
+  }
+
+  world.loop().Run();
+  for (const auto& obs : observations) {
+    CheckObservation(*obs, "causal");
+    EXPECT_EQ(obs->errors, 0);
+  }
+  // Program order into the coordinating replica (its peers converge causally).
+  for (const auto& [key, values] : *submitted) {
+    const auto stored = stack.cluster->ReplicaIn(Region::kIreland)->LocalGet(key);
+    ASSERT_TRUE(stored.has_value());
+    EXPECT_EQ(*stored, values.back()) << key;
+  }
+  // Write-through coherence survived batching: the cache never holds a value that was
+  // never written.
+  for (int i = 0; i < kKeys; ++i) {
+    const auto cached = stack.cache->Get(OracleKey(i));
+    if (!cached.has_value() || !cached->found) {
+      continue;
+    }
+    const auto& history = (*submitted)[OracleKey(i)];
+    EXPECT_TRUE(cached->value == "init" ||
+                std::find(history.begin(), history.end(), cached->value) != history.end())
+        << "cache holds unwritten value for " << OracleKey(i);
+  }
+}
+
+TEST(BatchOracle, CachedCausalAcrossWindows) {
+  const uint64_t seed = OracleSeed();
+  for (const SimDuration window : {Millis(0), Millis(5)}) {
+    RunCausalOracleTrial(window, seed);
+  }
+}
+
+// --- Per-key fidelity of batched fan-out: a batched read must report exactly what a
+// lone read would — including found-but-empty values, misses sharing the batch with
+// hits, and each key's own version (not the batch-wide freshest).
+TEST(BatchOracle, EmptyValuesAndMissesSurviveBatchedFanout) {
+  SimWorld world(5, 0.0);
+  BatchConfig batch;
+  batch.batch_window = Millis(5);
+  auto stack = MakeCassandraStack(world, KvConfig{}, CassandraBindingConfig{},
+                                  Region::kIreland, Region::kFrankfurt,
+                                  {Region::kFrankfurt, Region::kIreland, Region::kVirginia},
+                                  batch);
+  stack.cluster->Preload("empty", "");
+  stack.cluster->Preload("full", "payload");
+
+  auto empty = stack.client->InvokeStrong(Operation::Get("empty"));
+  auto missing = stack.client->InvokeStrong(Operation::Get("missing"));
+  auto full = stack.client->InvokeStrong(Operation::Get("full"));
+  world.loop().Run();
+
+  ASSERT_EQ(stack.client->stats().cross_tick_batches, 1);  // all three shared one flush
+  ASSERT_EQ(empty.state(), CorrectableState::kFinal);
+  EXPECT_TRUE(empty.Final().value().found);  // found with an empty value is not a miss
+  EXPECT_EQ(empty.Final().value().value, "");
+  ASSERT_EQ(missing.state(), CorrectableState::kFinal);
+  EXPECT_FALSE(missing.Final().value().found);
+  ASSERT_EQ(full.state(), CorrectableState::kFinal);
+  EXPECT_TRUE(full.Final().value().found);
+  EXPECT_EQ(full.Final().value().value, "payload");
+}
+
+TEST(BatchOracle, BatchedCacheRefreshKeepsPerKeyVersions) {
+  SimWorld world(6, 0.0);
+  BatchConfig batch;
+  batch.batch_window = Millis(5);
+  auto stack = MakeCausalStack(world, CausalConfig{}, Region::kIreland, Region::kIreland,
+                               {Region::kIreland, Region::kFrankfurt, Region::kVirginia},
+                               batch);
+  // "slow" was written long before "fast": very different true versions.
+  stack.cluster->ReplicaIn(Region::kIreland)->LocalPut("slow", "old", Version{2, 1});
+  stack.cluster->ReplicaIn(Region::kIreland)->LocalPut("fast", "new", Version{900, 1});
+
+  // One batched read covers both; the refresh must install "slow" under ITS version,
+  // not the batch-wide max, or the version-guarded cache would wedge.
+  auto a = stack.client->Invoke(Operation::Get("slow"));
+  auto b = stack.client->Invoke(Operation::Get("fast"));
+  world.loop().Run();
+  ASSERT_EQ(a.state(), CorrectableState::kFinal);
+  ASSERT_EQ(b.state(), CorrectableState::kFinal);
+  ASSERT_TRUE(stack.cache->Get("slow").has_value());
+  EXPECT_EQ(stack.cache->Get("slow")->version, (Version{2, 1}));
+  // A later legitimate update of "slow" (version 3 > 2, but << 900) must still refresh.
+  stack.cache->Refresh("slow", OpResult{.found = true, .value = "updated", .seqno = -1,
+                                        .version = Version{3, 1}});
+  EXPECT_EQ(stack.cache->Get("slow")->value, "updated");
+}
+
+// --- Scope agreement (regression for the "CoalescingScope consulted only for reads"
+// audit): for every binding, a key's write must batch under exactly the scope its reads
+// batch under — otherwise a routed write could flush through the wrong coordinator.
+TEST(BatchOracle, ReadAndWriteScopesAgreeForEveryBinding) {
+  SimWorld world(3);
+  auto cassandra = MakeCassandraStack(world, KvConfig{}, CassandraBindingConfig{});
+  auto sharded = MakeShardedCassandraStack(world, 3, KvConfig{}, CassandraBindingConfig{});
+  auto news = MakeNewsStack(world, PbConfig{});
+  auto causal = MakeCausalStack(world, CausalConfig{});
+  auto zookeeper = MakeZooKeeperStack(world, ZabConfig{});
+  // Scope is independent of the backing store, so a detached binding instance suffices.
+  BlockchainBinding blockchain(nullptr);
+
+  const std::vector<const Binding*> bindings = {
+      cassandra.binding.get(), sharded.router.get(), news.binding.get(),
+      causal.binding.get(),    zookeeper.binding.get(), &blockchain};
+  for (const Binding* binding : bindings) {
+    SCOPED_TRACE(binding->Name());
+    for (int i = 0; i < 64; ++i) {
+      const std::string key = "scope-key-" + std::to_string(i);
+      EXPECT_EQ(binding->CoalescingScope(Operation::Get(key)),
+                binding->CoalescingScope(Operation::Put(key, "v")))
+          << "read and write scopes disagree for " << key;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace icg

@@ -154,6 +154,106 @@ TEST(ClientTimeoutFailures, TimeoutDoesNotLeakIntoNextInvocation) {
   EXPECT_EQ(stack.client->stats().timeouts, 1);
 }
 
+// --- Cross-tick batching under failure -----------------------------------------------
+// Batching must not widen any failure's blast radius: a timeout fired while its waiter
+// sits in a pending (not yet flushed) cohort fails that waiter alone, and a store error
+// on a flushed batch fans out to exactly the waiters of that batch.
+
+TEST(BatchFailures, TimeoutInsidePendingBatchFailsAlone) {
+  SimWorld world(9, 0.0);
+  BatchConfig batch;
+  batch.batch_window = Millis(50);
+  auto stack = MakeCassandraStack(world, KvConfig{}, CassandraBindingConfig{},
+                                  Region::kIreland, Region::kFrankfurt,
+                                  {Region::kFrankfurt, Region::kIreland, Region::kVirginia},
+                                  batch);
+  stack.cluster->Preload("k", "v");
+
+  // The doomed waiter's deadline expires at 10 ms — inside the 50 ms window, before the
+  // cohort even reaches the store.
+  stack.client->SetTimeout(Millis(10));
+  auto doomed = stack.client->Invoke(Operation::Get("k"));
+  stack.client->SetTimeout(0);
+  auto survivor = stack.client->Invoke(Operation::Get("k"));
+  world.loop().Run();
+
+  ASSERT_EQ(doomed.state(), CorrectableState::kError);
+  EXPECT_EQ(doomed.error().code(), StatusCode::kTimeout);
+  ASSERT_EQ(survivor.state(), CorrectableState::kFinal);
+  EXPECT_EQ(survivor.Final().value().value, "v");
+  EXPECT_EQ(survivor.views_delivered(), 2);
+
+  const ClientStats& stats = stack.client->stats();
+  EXPECT_EQ(stats.timeouts, 1);
+  EXPECT_EQ(stats.errors, 0);  // the timeout is the only failure; the flush succeeded
+  EXPECT_EQ(stats.cross_tick_batches, 1);
+}
+
+TEST(BatchFailures, StoreErrorOnBatchedReadFlushFansToExactlyThatBatch) {
+  SimWorld world(10, 0.0);
+  KvConfig kv;
+  kv.read_timeout = Millis(300);  // the store's own quorum deadline, not a client timer
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 3;  // unreachable with a replica down
+  BatchConfig batch;
+  batch.batch_window = Millis(5);
+  auto stack = MakeCassandraStack(world, kv, binding, Region::kIreland, Region::kFrankfurt,
+                                  {Region::kFrankfurt, Region::kIreland, Region::kVirginia},
+                                  batch);
+  stack.cluster->Preload("k1", "v1");
+  stack.cluster->Preload("k2", "v2");
+  world.network().Crash(stack.cluster->ReplicaIn(Region::kVirginia)->id());
+
+  // Same scope + level set: these two accumulate into one cohort and flush as a single
+  // multiget, whose quorum cannot complete -> one store error for the whole batch.
+  auto a = stack.client->InvokeStrong(Operation::Get("k1"));
+  auto b = stack.client->InvokeStrong(Operation::Get("k2"));
+  // Different level set: a separate batch on the same stack, which must stay healthy.
+  auto healthy = stack.client->InvokeWeak(Operation::Get("k1"));
+  world.loop().Run();
+
+  ASSERT_EQ(a.state(), CorrectableState::kError);
+  ASSERT_EQ(b.state(), CorrectableState::kError);
+  EXPECT_EQ(a.error().code(), StatusCode::kTimeout);  // "multiread quorum not reached"
+  EXPECT_EQ(b.error().code(), StatusCode::kTimeout);
+  ASSERT_EQ(healthy.state(), CorrectableState::kFinal);
+  EXPECT_EQ(healthy.Final().value().value, "v1");
+
+  const ClientStats& stats = stack.client->stats();
+  EXPECT_EQ(stats.errors, 2);    // both batch members failed through the store response
+  EXPECT_EQ(stats.timeouts, 0);  // no client-side timer fired
+}
+
+TEST(BatchFailures, BatchedWriteRejectionFansToExactlyTheQueuedWriters) {
+  SimWorld world(11, 0.0);
+  BatchConfig batch;
+  batch.batch_window = Millis(10);
+  auto stack = MakeCausalStack(world, CausalConfig{}, Region::kIreland, Region::kIreland,
+                               {Region::kIreland, Region::kFrankfurt, Region::kVirginia},
+                               batch);
+  stack.cluster->Preload("k1", "v1");
+  stack.cache->Put("k1", OpResult{.found = true, .value = "v1", .seqno = -1, .version = {}});
+  stack.binding->SetDisconnected(true);
+
+  auto w1 = stack.client->InvokeStrong(Operation::Put("k1", "x"));
+  auto w2 = stack.client->InvokeStrong(Operation::Put("k2", "y"));
+  // A cache-level read is untouched by the batched writes' rejection.
+  auto read = stack.client->InvokeWeak(Operation::Get("k1"));
+  world.loop().Run();
+
+  ASSERT_EQ(w1.state(), CorrectableState::kError);
+  ASSERT_EQ(w2.state(), CorrectableState::kError);
+  EXPECT_EQ(w1.error().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(w2.error().code(), StatusCode::kUnavailable);
+  ASSERT_EQ(read.state(), CorrectableState::kFinal);
+  EXPECT_EQ(read.Final().value().value, "v1");
+
+  const ClientStats& stats = stack.client->stats();
+  EXPECT_EQ(stats.errors, 2);
+  EXPECT_EQ(stats.batched_writes, 2);
+  EXPECT_EQ(stats.cross_tick_batches, 1);
+}
+
 TEST(SpeculationFailures, MisspeculationAbortRunsOnDivergence) {
   SimWorld world(8, 0.0);
   CassandraBindingConfig binding;
