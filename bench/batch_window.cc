@@ -58,8 +58,8 @@ TrialResult RunTrial(SimDuration window, int threads_per_client, SimDuration dur
                                          {Region::kFrankfurt, Region::kIreland,
                                           Region::kVirginia},
                                          batch);
-  auto frk = AddShardedCassandraClient(world, stack, binding, Region::kFrankfurt, batch);
-  auto vrg = AddShardedCassandraClient(world, stack, binding, Region::kVirginia, batch);
+  auto& frk = AddShardedCassandraClient(world, stack, binding, Region::kFrankfurt, batch);
+  auto& vrg = AddShardedCassandraClient(world, stack, binding, Region::kVirginia, batch);
 
   const WorkloadConfig workload =
       WorkloadConfig::YcsbB(RequestDistribution::kUniform, kRecords);
@@ -72,21 +72,20 @@ TrialResult RunTrial(SimDuration window, int threads_per_client, SimDuration dur
   config.cooldown = elide;
 
   MultiRunner runner(&world.loop(), config);
-  runner.AddClient(workload, seed * 3 + 1, MakeKvExecutor(stack.client.get(), KvMode::kIcg));
+  runner.AddClient(workload, seed * 3 + 1, MakeKvExecutor(stack.client(), KvMode::kIcg));
   runner.AddClient(workload, seed * 3 + 2, MakeKvExecutor(frk.client.get(), KvMode::kIcg));
   runner.AddClient(workload, seed * 3 + 3, MakeKvExecutor(vrg.client.get(), KvMode::kIcg));
 
   TrialResult trial;
   trial.load = runner.Run();
-  for (const auto* endpoint_clients :
-       {&stack.kv_clients, &frk.kv_clients, &vrg.kv_clients}) {
-    for (const auto& kv_client : *endpoint_clients) {
+  for (const auto& endpoint : stack.endpoints()) {
+    for (const auto& kv_client : endpoint->kv_clients) {
       trial.client_link_messages += kv_client->LinkMessages();
       trial.client_link_bytes += kv_client->LinkBytes();
     }
   }
   for (const CorrectableClient* client :
-       {stack.client.get(), frk.client.get(), vrg.client.get()}) {
+       {stack.client(), frk.client.get(), vrg.client.get()}) {
     trial.cross_tick_batches += client->stats().cross_tick_batches;
     trial.coalesced_reads += client->stats().coalesced_reads;
     trial.batched_writes += client->stats().batched_writes;

@@ -33,8 +33,8 @@ RunnerResult RunTrial(int n_coordinators, KvMode mode, int threads_per_client,
   binding.strong_read_quorum = 2;
   auto stack = MakeShardedCassandraStack(world, n_coordinators, KvConfig{}, binding,
                                          Region::kIreland);
-  auto frk = AddShardedCassandraClient(world, stack, binding, Region::kFrankfurt);
-  auto vrg = AddShardedCassandraClient(world, stack, binding, Region::kVirginia);
+  auto& frk = AddShardedCassandraClient(world, stack, binding, Region::kFrankfurt);
+  auto& vrg = AddShardedCassandraClient(world, stack, binding, Region::kVirginia);
 
   const WorkloadConfig workload =
       WorkloadConfig::YcsbB(RequestDistribution::kUniform, kRecords);
@@ -47,7 +47,7 @@ RunnerResult RunTrial(int n_coordinators, KvMode mode, int threads_per_client,
   config.cooldown = elide;
 
   MultiRunner runner(&world.loop(), config);
-  runner.AddClient(workload, seed * 3 + 1, MakeKvExecutor(stack.client.get(), mode));
+  runner.AddClient(workload, seed * 3 + 1, MakeKvExecutor(stack.client(), mode));
   runner.AddClient(workload, seed * 3 + 2, MakeKvExecutor(frk.client.get(), mode));
   runner.AddClient(workload, seed * 3 + 3, MakeKvExecutor(vrg.client.get(), mode));
   return runner.Run();

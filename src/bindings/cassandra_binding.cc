@@ -39,7 +39,8 @@ InvocationPlan CassandraBinding::PlanInvocation(const Operation& op, const Level
         client->Write(put.key, put.value,
                       [emit, level](StatusOr<OpResult> result, bool, ResponseKind kind) {
                         emit(level, std::move(result), kind);
-                      });
+                      },
+                      put.timestamp);
       });
       return plan;
     case OpType::kMultiPut:
@@ -50,7 +51,8 @@ InvocationPlan CassandraBinding::PlanInvocation(const Operation& op, const Level
         client->MultiWrite(puts.keys, puts.values,
                            [emit, level](StatusOr<OpResult> result, bool, ResponseKind kind) {
                              emit(level, std::move(result), kind);
-                           });
+                           },
+                           puts.timestamps);
       });
       return plan;
     default:

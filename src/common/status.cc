@@ -10,6 +10,8 @@ const char* StatusCodeName(StatusCode code) {
       return "TIMEOUT";
     case StatusCode::kUnavailable:
       return "UNAVAILABLE";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
     case StatusCode::kNotFound:
       return "NOT_FOUND";
     case StatusCode::kConflict:

@@ -18,6 +18,7 @@ enum class StatusCode {
   kOk = 0,
   kTimeout,          // operation did not complete within its deadline
   kUnavailable,      // not enough live replicas / no quorum / leader unreachable
+  kOverloaded,       // admission control shed the request (backpressure); retry later
   kNotFound,         // key or queue element does not exist
   kConflict,         // CAS-style conflict (e.g., concurrent dequeue won)
   kInvalidArgument,  // malformed request (empty key, bad consistency level, ...)
@@ -39,6 +40,7 @@ class Status {
     return Status(StatusCode::kTimeout, std::move(m));
   }
   static Status Unavailable(std::string m) { return Status(StatusCode::kUnavailable, std::move(m)); }
+  static Status Overloaded(std::string m) { return Status(StatusCode::kOverloaded, std::move(m)); }
   static Status NotFound(std::string m) { return Status(StatusCode::kNotFound, std::move(m)); }
   static Status Conflict(std::string m) { return Status(StatusCode::kConflict, std::move(m)); }
   static Status InvalidArgument(std::string m) {
@@ -63,6 +65,13 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& s);
+
+// Whether a failed operation is worth re-submitting unchanged: transient conditions
+// (deadline, missing quorum, admission-control shed) pass; semantic failures do not.
+inline bool IsRetryable(const Status& s) {
+  return s.code() == StatusCode::kTimeout || s.code() == StatusCode::kUnavailable ||
+         s.code() == StatusCode::kOverloaded;
+}
 
 // Holds either a value or a non-OK Status. Accessing the value of an error result is a
 // programming bug and asserts in debug builds.

@@ -1,5 +1,6 @@
 #include "src/correctables/binding_router.h"
 
+#include <algorithm>
 #include <cassert>
 #include <map>
 #include <optional>
@@ -148,25 +149,73 @@ void OnShardResponse(const std::shared_ptr<GatherState>& state, size_t slice_ind
 
 }  // namespace
 
-BindingRouter::BindingRouter(std::vector<std::shared_ptr<Binding>> shards, ShardFn shard_of)
-    : shards_(std::move(shards)), shard_of_(std::move(shard_of)) {
-  assert(!shards_.empty());
+BindingRouter::BindingRouter(std::vector<std::shared_ptr<Binding>> shards, ShardFn shard_of,
+                             uint64_t epoch)
+    : shard_of_(std::move(shard_of)), epoch_(epoch) {
+  assert(!shards.empty());
   assert(shard_of_ != nullptr);
 #ifndef NDEBUG
-  const std::vector<ConsistencyLevel> levels = shards_.front()->SupportedLevels();
-  for (const auto& shard : shards_) {
+  const std::vector<ConsistencyLevel> levels = shards.front()->SupportedLevels();
+  for (const auto& shard : shards) {
     assert(shard->SupportedLevels() == levels &&
            "router shards must support identical level vectors");
   }
 #endif
+  shards_.reserve(shards.size());
+  for (auto& binding : shards) {
+    shards_.push_back(Shard{std::move(binding), std::make_shared<ShardCounters>()});
+  }
+}
+
+Status BindingRouter::ApplyRing(uint64_t epoch, std::vector<std::shared_ptr<Binding>> shards,
+                                ShardFn shard_of) {
+  if (epoch <= epoch_) {
+    return Status::Conflict("stale ring installation: epoch " + std::to_string(epoch) +
+                            " <= current " + std::to_string(epoch_));
+  }
+  if (shards.empty()) {
+    return Status::InvalidArgument("a ring needs at least one shard");
+  }
+  if (shard_of == nullptr) {
+    return Status::InvalidArgument("a ring needs a shard function");
+  }
+#ifndef NDEBUG
+  const std::vector<ConsistencyLevel> levels = shards.front()->SupportedLevels();
+  for (const auto& shard : shards) {
+    assert(shard->SupportedLevels() == levels &&
+           "router shards must support identical level vectors");
+  }
+#endif
+  std::vector<Shard> next;
+  next.reserve(shards.size());
+  for (auto& binding : shards) {
+    // A shard surviving the membership change keeps its counter block: its in-flight
+    // invocations must still drain against the slots they occupy.
+    std::shared_ptr<ShardCounters> counters;
+    for (const Shard& old : shards_) {
+      if (old.binding == binding) {
+        counters = old.counters;
+        break;
+      }
+    }
+    if (counters == nullptr) {
+      counters = std::make_shared<ShardCounters>();
+    }
+    next.push_back(Shard{std::move(binding), std::move(counters)});
+  }
+  shards_ = std::move(next);
+  shard_of_ = std::move(shard_of);
+  epoch_ = epoch;
+  return Status::Ok();
 }
 
 std::string BindingRouter::Name() const {
-  return "router(" + shards_.front()->Name() + " x" + std::to_string(shards_.size()) + ")";
+  return "router(" + shards_.front().binding->Name() + " x" + std::to_string(shards_.size()) +
+         ")";
 }
 
 std::vector<ConsistencyLevel> BindingRouter::SupportedLevels() const {
-  return shards_.front()->SupportedLevels();
+  return shards_.front().binding->SupportedLevels();
 }
 
 size_t BindingRouter::ShardIndexFor(const std::string& key) const {
@@ -176,9 +225,11 @@ size_t BindingRouter::ShardIndexFor(const std::string& key) const {
 }
 
 std::string BindingRouter::CoalescingScope(const Operation& op) const {
-  // One scope per shard, for reads and writes alike: a key's read and its write must
-  // land on the same coordinator, so they share one scope string.
-  return std::to_string(ShardIndexFor(op.key));
+  // One scope per (ring epoch, shard), for reads and writes alike: a key's read and its
+  // write must land on the same coordinator, so they share one scope string — and a
+  // rebalance bumps the epoch, so cohorts formed under the old ring never absorb
+  // post-change traffic (the pipeline re-consults this at flush time anyway).
+  return std::to_string(epoch_) + ":" + std::to_string(ShardIndexFor(op.key));
 }
 
 bool BindingRouter::SupportsBatchedReads() const {
@@ -186,7 +237,7 @@ bool BindingRouter::SupportsBatchedReads() const {
   // differ across heterogeneous backends, and advertising the front shard's alone would
   // queue batches a slower shard then rejects.
   for (const auto& shard : shards_) {
-    if (!shard->SupportsBatchedReads()) {
+    if (!shard.binding->SupportsBatchedReads()) {
       return false;
     }
   }
@@ -195,11 +246,79 @@ bool BindingRouter::SupportsBatchedReads() const {
 
 bool BindingRouter::SupportsBatchedWrites() const {
   for (const auto& shard : shards_) {
-    if (!shard->SupportsBatchedWrites()) {
+    if (!shard.binding->SupportsBatchedWrites()) {
       return false;
     }
   }
   return true;
+}
+
+int64_t BindingRouter::TotalSheds() const {
+  int64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.counters->sheds;
+  }
+  return total;
+}
+
+bool BindingRouter::ShedIfOverloaded(size_t shard_index) {
+  if (queue_limit_ == 0) {
+    return false;
+  }
+  ShardCounters& counters = *shards_[shard_index].counters;
+  if (counters.outstanding < queue_limit_) {
+    return false;
+  }
+  counters.sheds++;
+  return true;
+}
+
+void BindingRouter::TrackOutstanding(InvocationPlan& plan, ConsistencyLevel strongest,
+                                     std::shared_ptr<ShardCounters> counters) {
+  // The slot is claimed only when a step covering the strongest level was actually
+  // wrapped: its first emission at that level — value, confirmation, or error — is the
+  // invocation's terminal response and releases the slot. A plan covering no such step
+  // is rejected by the pipeline before any step runs; claiming a slot for it up front
+  // would leak the slot forever.
+  auto done = std::make_shared<bool>(false);
+  bool wrapped_any = false;
+  for (FetchStep& step : plan.steps) {
+    if (std::find(step.levels.begin(), step.levels.end(), strongest) == step.levels.end()) {
+      continue;
+    }
+    wrapped_any = true;
+    LevelFetcher inner = std::move(step.fetch);
+    step.fetch = [inner = std::move(inner), strongest, counters, done](
+                     const Operation& op, LevelEmitter emit) {
+      LevelEmitter wrapped([emit = std::move(emit), strongest, counters, done](
+                               ConsistencyLevel level, StatusOr<OpResult> result,
+                               ResponseKind kind) {
+        if (level == strongest && !*done) {
+          *done = true;
+          assert(counters->outstanding > 0);
+          counters->outstanding--;
+        }
+        emit(level, std::move(result), kind);
+      });
+      inner(op, std::move(wrapped));
+    };
+  }
+  if (wrapped_any) {
+    counters->outstanding++;
+  }
+}
+
+InvocationPlan BindingRouter::PlanOnShard(size_t shard, const Operation& op,
+                                          const LevelSet& levels, const char* what) {
+  if (ShedIfOverloaded(shard)) {
+    return InvocationPlan::Rejected(Status::Overloaded(
+        "shard " + std::to_string(shard) + " is over its queue limit; retry " + what));
+  }
+  InvocationPlan plan = shards_[shard].binding->PlanInvocation(op, levels);
+  if (plan.reject.ok()) {
+    TrackOutstanding(plan, levels.strongest(), shards_[shard].counters);
+  }
+  return plan;
 }
 
 InvocationPlan BindingRouter::PlanInvocation(const Operation& op, const LevelSet& levels) {
@@ -219,13 +338,13 @@ InvocationPlan BindingRouter::PlanInvocation(const Operation& op, const LevelSet
             "' is not on shard " + std::to_string(shard) + ")"));
       }
     }
-    return shards_[shard]->PlanInvocation(op, levels);
+    return PlanOnShard(shard, op, levels, "the batch");
   }
   if (op.type != OpType::kMultiGet) {
     // Single-key operations (and queue ops, routed by queue name) delegate wholesale:
     // the owning shard's plan *is* the router's plan, so refresh hooks, span steps, and
     // confirmation behaviour pass through untouched.
-    return shards_[ShardIndexFor(op.key)]->PlanInvocation(op, levels);
+    return PlanOnShard(ShardIndexFor(op.key), op, levels, "the invocation");
   }
 
   if (op.keys.empty()) {
@@ -234,24 +353,65 @@ InvocationPlan BindingRouter::PlanInvocation(const Operation& op, const LevelSet
   }
   std::vector<ShardSlice> slices = SliceByShard(*this, op.keys);
   if (slices.size() == 1) {
-    return shards_[slices.front().shard]->PlanInvocation(op, levels);
+    return PlanOnShard(slices.front().shard, op, levels, "the batch");
+  }
+
+  // Admission across every involved shard: one overloaded coordinator sheds the whole
+  // scatter-gather (its merged final could not complete anyway).
+  for (const ShardSlice& slice : slices) {
+    if (ShedIfOverloaded(slice.shard)) {
+      return InvocationPlan::Rejected(Status::Overloaded(
+          "shard " + std::to_string(slice.shard) +
+          " is over its queue limit; retry the multiget"));
+    }
   }
 
   // Cross-shard scatter-gather: one span step covering every requested level. Each
   // shard runs its own sub-plan (via SubmitOperation, the raw fan-out path, which also
   // applies that shard's refresh hook); the gather emits the merged view for a level
-  // once all shards reported at it, keeping the merged sequence monotone.
+  // once all shards reported at it, keeping the merged sequence monotone. The involved
+  // shards' bindings and counters are captured by value, so a mid-flight ring change
+  // neither frees a child nor mis-indexes the accounting.
+  std::vector<std::shared_ptr<Binding>> involved;
+  std::vector<std::shared_ptr<ShardCounters>> involved_counters;
+  involved.reserve(slices.size());
+  involved_counters.reserve(slices.size());
+  for (const ShardSlice& slice : slices) {
+    involved.push_back(shards_[slice.shard].binding);
+    involved_counters.push_back(shards_[slice.shard].counters);
+  }
+  const ConsistencyLevel strongest = levels.strongest();
+
   InvocationPlan plan;
   const size_t total_keys = op.keys.size();
   plan.AddSpan(levels.levels(),
-               [shards = shards_, slices = std::move(slices), total_keys,
+               [involved, involved_counters, strongest, slices = std::move(slices), total_keys,
                 request_levels = levels.levels()](const Operation& read, LevelEmitter emit) {
                  (void)read;  // sub-operations are rebuilt from the captured slices
+                 // Slots are claimed here, when the scatter actually launches, and
+                 // released together on the merged strongest-level emission.
+                 for (const auto& counters : involved_counters) {
+                   counters->outstanding++;
+                 }
+                 auto done = std::make_shared<bool>(false);
+                 LevelEmitter tracked(
+                     [emit = std::move(emit), involved_counters, strongest, done](
+                         ConsistencyLevel level, StatusOr<OpResult> result,
+                         ResponseKind kind) {
+                       if (level == strongest && !*done) {
+                         *done = true;
+                         for (const auto& counters : involved_counters) {
+                           assert(counters->outstanding > 0);
+                           counters->outstanding--;
+                         }
+                       }
+                       emit(level, std::move(result), kind);
+                     });
                  auto state = std::make_shared<GatherState>(slices, total_keys,
-                                                            request_levels, std::move(emit));
+                                                            request_levels, std::move(tracked));
                  for (size_t i = 0; i < state->slices.size(); ++i) {
                    const ShardSlice& slice = state->slices[i];
-                   shards[slice.shard]->SubmitOperation(
+                   involved[i]->SubmitOperation(
                        Operation::MultiGet(slice.keys), request_levels,
                        [state, i](StatusOr<OpResult> result, ConsistencyLevel level,
                                   ResponseKind kind) {

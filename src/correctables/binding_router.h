@@ -13,11 +13,27 @@
 //     once every shard reported at L, so the merged sequence is still monotone. Per-shard
 //     digest confirmations are reconstructed from that shard's preliminary; the merged
 //     final is itself a confirmation only if every shard confirmed.
-//   * coalescing scope: CoalescingScope() returns the key's shard, so the pipeline never
-//     lets reads bound for different coordinators share one batch.
+//   * coalescing scope: CoalescingScope() returns the key's shard (qualified by the ring
+//     epoch), so the pipeline never lets reads bound for different coordinators — or
+//     different ring generations — share one batch.
+//
+// Two properties turn the static router into a *live* one:
+//
+//   * ApplyRing installs a new shard set + routing function under a strictly increasing
+//     epoch (stale installations are rejected). In-flight invocations keep the child
+//     bindings they were planned against alive through their shared_ptr captures, so a
+//     removed coordinator drains naturally; *pending* batched cohorts re-route at flush
+//     time because the pipeline re-consults CoalescingScope then — and the epoch in the
+//     scope string guarantees a cohort formed under the old ring never merges with
+//     post-rebalance traffic.
+//   * per-shard backpressure: SetShardQueueLimit bounds each child's outstanding
+//     invocations. A shard at its limit sheds new work with a retryable OVERLOADED
+//     status (surfaced through the pipeline like any rejection), so a hot shard degrades
+//     alone instead of queueing the whole client.
 #ifndef ICG_CORRECTABLES_BINDING_ROUTER_H_
 #define ICG_CORRECTABLES_BINDING_ROUTER_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -28,14 +44,15 @@
 namespace icg {
 
 // Maps a key to the index of the shard (child binding) owning it. Must return a value in
-// [0, num_shards) and be stable for the lifetime of the router.
+// [0, num_shards) and be stable between ring installations.
 using ShardFn = std::function<size_t(const std::string& key)>;
 
 class BindingRouter : public Binding {
  public:
   // All shards must support an identical level vector (the router advertises it as its
   // own); `shard_of` must map every key into [0, shards.size()).
-  BindingRouter(std::vector<std::shared_ptr<Binding>> shards, ShardFn shard_of);
+  BindingRouter(std::vector<std::shared_ptr<Binding>> shards, ShardFn shard_of,
+                uint64_t epoch = 0);
 
   std::string Name() const override;
   std::vector<ConsistencyLevel> SupportedLevels() const override;
@@ -50,14 +67,60 @@ class BindingRouter : public Binding {
   bool SupportsBatchedReads() const override;
   bool SupportsBatchedWrites() const override;
 
+  // Installs a new shard set + routing function under `epoch`. Epochs must strictly
+  // increase: a stale installation (epoch <= ring_epoch()) is rejected with CONFLICT and
+  // leaves the current ring untouched. Shards present in both generations (matched by
+  // binding identity) keep their outstanding/shed accounting; departed shards stay alive
+  // through in-flight invocations' captures and drain on their own.
+  Status ApplyRing(uint64_t epoch, std::vector<std::shared_ptr<Binding>> shards,
+                   ShardFn shard_of);
+  uint64_t ring_epoch() const { return epoch_; }
+
+  // Bounds each shard's outstanding invocations; 0 (the default) disables shedding.
+  // Applies to everything the router plans, including batched cohort flushes — a shed
+  // flush fails exactly that cohort's waiters with a retryable OVERLOADED status.
+  void SetShardQueueLimit(size_t limit) { queue_limit_ = limit; }
+  size_t shard_queue_limit() const { return queue_limit_; }
+
   size_t num_shards() const { return shards_.size(); }
   // The shard index `key` routes to (bounds-checked against num_shards()).
   size_t ShardIndexFor(const std::string& key) const;
-  Binding& shard(size_t index) const { return *shards_.at(index); }
+  Binding& shard(size_t index) const { return *shards_.at(index).binding; }
+
+  // Backpressure observability, per current-ring shard index. Outstanding counts decay
+  // as finals (values, confirmations, or errors) arrive; an invocation whose store never
+  // answers at the final level pins its slot until it does.
+  size_t ShardOutstanding(size_t index) const { return shards_.at(index).counters->outstanding; }
+  int64_t ShardSheds(size_t index) const { return shards_.at(index).counters->sheds; }
+  int64_t TotalSheds() const;
 
  private:
-  std::vector<std::shared_ptr<Binding>> shards_;
+  // Heap-shared so emit-wrappers of in-flight invocations outlive ring changes: a
+  // departed shard's decrements land on its retired counter block, never on a stale
+  // index of the new ring.
+  struct ShardCounters {
+    size_t outstanding = 0;
+    int64_t sheds = 0;
+  };
+  struct Shard {
+    std::shared_ptr<Binding> binding;
+    std::shared_ptr<ShardCounters> counters;
+  };
+
+  // Wraps the plan's final-covering steps so `counters->outstanding` drops exactly once
+  // when the strongest requested level is emitted (value, confirmation, or error).
+  static void TrackOutstanding(InvocationPlan& plan, ConsistencyLevel strongest,
+                               std::shared_ptr<ShardCounters> counters);
+  bool ShedIfOverloaded(size_t shard_index);
+  // The one shard-local planning path: admission-check the shard (`what` names the
+  // shed work in the error message), delegate the plan, and claim an outstanding slot.
+  InvocationPlan PlanOnShard(size_t shard, const Operation& op, const LevelSet& levels,
+                             const char* what);
+
+  std::vector<Shard> shards_;
   ShardFn shard_of_;
+  uint64_t epoch_ = 0;
+  size_t queue_limit_ = 0;
 };
 
 }  // namespace icg

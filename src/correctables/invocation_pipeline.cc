@@ -89,6 +89,14 @@ Correctable<OpResult> InvocationPipeline::Submit(Operation op,
         binding_->Name()));
   }
 
+  // Stamp writes with the client's monotone clock (loop-less clients keep the legacy
+  // coordinator-stamped behaviour): program order per writer survives batching windows
+  // and live ring changes because the stamp, not the apply instant, decides LWW.
+  if (op.type == OpType::kPut && loop_ != nullptr) {
+    last_write_stamp_ = std::max<SimTime>(loop_->Now(), last_write_stamp_ + 1);
+    op.timestamp = last_write_stamp_;
+  }
+
   auto inv = std::make_shared<Invocation>(loop_, levels.back());
   auto correctable = inv->source.GetCorrectable();
   // Arm the timeout before launching so even a binding that never emits is covered.
@@ -327,15 +335,19 @@ void InvocationPipeline::FlushWriteGroup(const std::vector<ConsistencyLevel>& le
   auto fanout = std::make_shared<Fanout>();
   std::vector<std::string> keys;
   std::vector<std::string> values;
+  std::vector<SimTime> timestamps;
   keys.reserve(ops.size());
   values.reserve(ops.size());
+  timestamps.reserve(ops.size());
   for (auto& pending : ops) {
     keys.push_back(std::move(pending.op.key));
     values.push_back(std::move(pending.op.value));
+    timestamps.push_back(pending.op.timestamp);  // submission-time stamps ride along
     fanout->write_waiters.push_back(
         std::static_pointer_cast<Invocation>(std::move(pending.waiter)));
   }
   fanout->op = Operation::MultiPut(std::move(keys), std::move(values));
+  fanout->op.timestamps = std::move(timestamps);
   fanout->level_set = LevelSet(levels);
   fanout->is_read = false;
   RunPlan(std::shared_ptr<const Operation>(fanout, &fanout->op), fanout->level_set,
@@ -435,6 +447,9 @@ void InvocationPipeline::Deliver(Invocation& inv, ConsistencyLevel level,
       return;
     }
     stats_->errors++;
+    if (result.status().code() == StatusCode::kOverloaded) {
+      stats_->overload_sheds++;  // backpressure shed: retryable by contract
+    }
     CancelTimeout(inv);
     inv.source.Fail(result.status());
     return;

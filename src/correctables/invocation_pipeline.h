@@ -57,6 +57,8 @@ struct ClientStats {
   int64_t cross_tick_batches = 0;    // window flushes that merged >= 2 invocations into
                                      // one store submission (reads or writes)
   int64_t batched_writes = 0;        // writes submitted through a batched multiput
+  int64_t overload_sheds = 0;        // invocations failed by per-shard backpressure
+                                     // (retryable OVERLOADED finals)
 };
 
 class InvocationPipeline {
@@ -153,6 +155,10 @@ class InvocationPipeline {
   // Joinable read batches of the current submission tick; wholesale-cleared when the
   // tick advances (entries for lost responses must not accumulate).
   SimTime batch_tick_ = 0;
+  // Per-client monotone write clock: every kPut is stamped max(now, last + 1) at
+  // submission, so a writer's same-key writes carry strictly increasing LWW timestamps
+  // however they are later batched or re-routed (see Operation::timestamp).
+  SimTime last_write_stamp_ = 0;
   std::map<std::string, std::shared_ptr<Batch>> open_batches_;
   BatchScheduler scheduler_;  // must follow loop_ (init order)
 };

@@ -25,31 +25,42 @@ const char* OpTypeName(OpType type) {
   return "?";
 }
 
-Operation Operation::Get(std::string key) {
-  return Operation{.type = OpType::kGet, .key = std::move(key), .value = {}, .keys = {}};
+namespace {
+
+Operation MakeOp(OpType type, std::string key, std::string value = {}) {
+  Operation op;
+  op.type = type;
+  op.key = std::move(key);
+  op.value = std::move(value);
+  return op;
 }
+
+}  // namespace
+
+Operation Operation::Get(std::string key) { return MakeOp(OpType::kGet, std::move(key)); }
 Operation Operation::MultiGet(std::vector<std::string> keys) {
-  return Operation{.type = OpType::kMultiGet, .key = {}, .value = {}, .keys = std::move(keys)};
+  Operation op;
+  op.type = OpType::kMultiGet;
+  op.keys = std::move(keys);
+  return op;
 }
 Operation Operation::Put(std::string key, std::string value) {
-  return Operation{.type = OpType::kPut, .key = std::move(key), .value = std::move(value)};
+  return MakeOp(OpType::kPut, std::move(key), std::move(value));
 }
 Operation Operation::MultiPut(std::vector<std::string> keys, std::vector<std::string> values) {
-  return Operation{.type = OpType::kMultiPut,
-                   .key = {},
-                   .value = {},
-                   .keys = std::move(keys),
-                   .values = std::move(values)};
+  Operation op;
+  op.type = OpType::kMultiPut;
+  op.keys = std::move(keys);
+  op.values = std::move(values);
+  return op;
 }
 Operation Operation::Enqueue(std::string queue, std::string element) {
-  return Operation{.type = OpType::kEnqueue, .key = std::move(queue), .value = std::move(element)};
+  return MakeOp(OpType::kEnqueue, std::move(queue), std::move(element));
 }
 Operation Operation::Dequeue(std::string queue) {
-  return Operation{.type = OpType::kDequeue, .key = std::move(queue), .value = {}};
+  return MakeOp(OpType::kDequeue, std::move(queue));
 }
-Operation Operation::Peek(std::string queue) {
-  return Operation{.type = OpType::kPeek, .key = std::move(queue), .value = {}};
-}
+Operation Operation::Peek(std::string queue) { return MakeOp(OpType::kPeek, std::move(queue)); }
 
 int64_t Operation::WireBytes() const {
   int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(key.size()) +
@@ -60,6 +71,11 @@ int64_t Operation::WireBytes() const {
   for (const auto& v : values) {
     bytes += static_cast<int64_t>(v.size()) + 2;
   }
+  // Client-assigned LWW stamps ride the wire too (8 bytes each).
+  if (timestamp != 0) {
+    bytes += 8;
+  }
+  bytes += static_cast<int64_t>(timestamps.size()) * 8;
   return bytes;
 }
 

@@ -35,6 +35,14 @@ struct Operation {
   std::string value;  // put payload / enqueue element; empty otherwise
   std::vector<std::string> keys;    // kMultiGet / kMultiPut
   std::vector<std::string> values;  // kMultiPut only; parallel to `keys`, applied in order
+  // Client-assigned LWW timestamp of a kPut (0 = unassigned: the coordinator stamps at
+  // apply time, the legacy behaviour). The pipeline stamps every write at submission
+  // with a per-client monotone clock, so one writer's same-key writes keep their program
+  // order even when a live rebalance hands the key to a different coordinator mid-stream
+  // (coordinator apply-time stamps would invert across the handoff whenever the old
+  // coordinator's queue drains later than the new one's).
+  SimTime timestamp = 0;
+  std::vector<SimTime> timestamps;  // kMultiPut: per-entry stamps, parallel to `keys`
 
   static Operation Get(std::string key);
   static Operation MultiGet(std::vector<std::string> keys);

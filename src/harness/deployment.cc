@@ -1,6 +1,7 @@
 #include "src/harness/deployment.h"
 
 #include <algorithm>
+#include <cassert>
 #include <utility>
 
 namespace icg {
@@ -35,11 +36,13 @@ CassandraClientEndpoint AddCassandraClient(SimWorld& world, CassandraStack& stac
 
 namespace {
 
-// Key -> shard index through the stack's coordinator ring. The Partitioner lives behind
-// a unique_ptr (stable across the stack being moved out of MakeShardedCassandraStack);
-// the id list is copied into the lambda so nothing points at the local struct.
-ShardFn RingShardFn(const Partitioner* ring, std::vector<NodeId> coordinators) {
-  return [ring, coordinators = std::move(coordinators)](const std::string& key) -> size_t {
+// Key -> shard index through the versioned coordinator ring. The ring is captured as a
+// shared_ptr-to-const (a membership change builds a successor ring rather than mutating
+// this one), and the id list is copied, so the closure stays valid however the stack
+// moves — and however many rings supersede it.
+ShardFn RingShardFn(std::shared_ptr<const Partitioner> ring, std::vector<NodeId> coordinators) {
+  return [ring = std::move(ring),
+          coordinators = std::move(coordinators)](const std::string& key) -> size_t {
     const NodeId primary = ring->PrimaryFor(key);
     for (size_t i = 0; i < coordinators.size(); ++i) {
       if (coordinators[i] == primary) {
@@ -50,37 +53,106 @@ ShardFn RingShardFn(const Partitioner* ring, std::vector<NodeId> coordinators) {
   };
 }
 
-// One client connection + binding per coordinator, assembled into a router.
-ShardedCassandraClientEndpoint WireShardedEndpoint(SimWorld& world,
-                                                   ShardedCassandraStack& stack,
-                                                   CassandraBindingConfig binding_config,
-                                                   Region client_region,
-                                                   BatchConfig batch_config) {
-  ShardedCassandraClientEndpoint endpoint;
-  std::vector<std::shared_ptr<Binding>> shards;
-  const NodeId client_node = world.topology().AddNode(
-      client_region, std::string("client-") + RegionName(client_region));
-  for (const NodeId coordinator_id : stack.coordinator_ids) {
-    KvReplica* coordinator = nullptr;
-    for (const auto& replica : stack.cluster->replicas()) {
-      if (replica->id() == coordinator_id) {
-        coordinator = replica.get();
-      }
+}  // namespace
+
+KvReplica* ShardedCassandraStack::FindReplica(NodeId id) const {
+  for (const auto& replica : cluster->replicas()) {
+    if (replica->id() == id) {
+      return replica.get();
     }
-    endpoint.kv_clients.push_back(
-        std::make_unique<KvClient>(&world.network(), client_node, coordinator));
-    endpoint.shard_bindings.push_back(
-        std::make_shared<CassandraBinding>(endpoint.kv_clients.back().get(), binding_config));
-    shards.push_back(endpoint.shard_bindings.back());
   }
-  endpoint.router = std::make_shared<BindingRouter>(
-      std::move(shards), RingShardFn(stack.shard_map.get(), stack.coordinator_ids));
-  endpoint.client = std::make_unique<CorrectableClient>(endpoint.router, &world.loop());
-  endpoint.client->SetBatchConfig(batch_config);
-  return endpoint;
+  return nullptr;
 }
 
-}  // namespace
+void ShardedCassandraStack::InstallRing(ShardedEndpoint& endpoint) {
+  std::vector<std::shared_ptr<Binding>> shards(endpoint.shard_bindings.begin(),
+                                               endpoint.shard_bindings.end());
+  if (endpoint.router == nullptr) {
+    endpoint.router = std::make_shared<BindingRouter>(
+        std::move(shards), RingShardFn(shard_map_, coordinator_ids_), shard_map_->epoch());
+  } else {
+    const Status installed = endpoint.router->ApplyRing(
+        shard_map_->epoch(), std::move(shards), RingShardFn(shard_map_, coordinator_ids_));
+    assert(installed.ok());
+    (void)installed;
+  }
+  endpoint.router->SetShardQueueLimit(queue_limit_);
+}
+
+ShardedEndpoint& ShardedCassandraStack::WireEndpoint(CassandraBindingConfig binding_config,
+                                                     Region client_region,
+                                                     BatchConfig batch_config) {
+  auto endpoint = std::make_unique<ShardedEndpoint>();
+  endpoint->region = client_region;
+  endpoint->binding_config = binding_config;
+  endpoint->client_node = world_->topology().AddNode(
+      client_region, std::string("client-") + RegionName(client_region));
+  for (const NodeId coordinator_id : coordinator_ids_) {
+    KvReplica* coordinator = FindReplica(coordinator_id);
+    assert(coordinator != nullptr);
+    endpoint->kv_clients.push_back(
+        std::make_unique<KvClient>(&world_->network(), endpoint->client_node, coordinator));
+    endpoint->shard_bindings.push_back(
+        std::make_shared<CassandraBinding>(endpoint->kv_clients.back().get(), binding_config));
+  }
+  InstallRing(*endpoint);
+  endpoint->client = std::make_unique<CorrectableClient>(endpoint->router, &world_->loop());
+  endpoint->client->SetBatchConfig(batch_config);
+  endpoints_.push_back(std::move(endpoint));
+  return *endpoints_.back();
+}
+
+Partitioner::RingDiff ShardedCassandraStack::AddCoordinator(NodeId replica_id) {
+  KvReplica* replica = FindReplica(replica_id);
+  assert(replica != nullptr && "AddCoordinator needs a replica of this cluster");
+  assert(std::find(coordinator_ids_.begin(), coordinator_ids_.end(), replica_id) ==
+             coordinator_ids_.end() &&
+         "replica is already a coordinator");
+  const std::shared_ptr<const Partitioner> old_ring = shard_map_;
+  coordinator_ids_.push_back(replica_id);
+  shard_map_ =
+      std::make_shared<const Partitioner>(old_ring->WithNodes(coordinator_ids_));
+  const Partitioner::RingDiff diff = Partitioner::Diff(*old_ring, *shard_map_);
+  for (const auto& endpoint : endpoints_) {
+    endpoint->kv_clients.push_back(
+        std::make_unique<KvClient>(&world_->network(), endpoint->client_node, replica));
+    endpoint->shard_bindings.push_back(std::make_shared<CassandraBinding>(
+        endpoint->kv_clients.back().get(), endpoint->binding_config));
+    InstallRing(*endpoint);
+  }
+  return diff;
+}
+
+Partitioner::RingDiff ShardedCassandraStack::RemoveCoordinator(NodeId replica_id) {
+  const auto it = std::find(coordinator_ids_.begin(), coordinator_ids_.end(), replica_id);
+  assert(it != coordinator_ids_.end() && "not a coordinator");
+  assert(coordinator_ids_.size() > 1 && "cannot remove the last coordinator");
+  const size_t index = static_cast<size_t>(it - coordinator_ids_.begin());
+  const std::shared_ptr<const Partitioner> old_ring = shard_map_;
+  coordinator_ids_.erase(it);
+  shard_map_ =
+      std::make_shared<const Partitioner>(old_ring->WithNodes(coordinator_ids_));
+  const Partitioner::RingDiff diff = Partitioner::Diff(*old_ring, *shard_map_);
+  for (const auto& endpoint : endpoints_) {
+    // Retire rather than free: invocations already in flight against this coordinator
+    // hold raw pointers into the binding and its connection; they finish their view
+    // sequences while new traffic routes through the successor ring.
+    endpoint->retired_kv_clients.push_back(std::move(endpoint->kv_clients[index]));
+    endpoint->retired_bindings.push_back(std::move(endpoint->shard_bindings[index]));
+    endpoint->kv_clients.erase(endpoint->kv_clients.begin() + static_cast<long>(index));
+    endpoint->shard_bindings.erase(endpoint->shard_bindings.begin() +
+                                   static_cast<long>(index));
+    InstallRing(*endpoint);
+  }
+  return diff;
+}
+
+void ShardedCassandraStack::SetShardQueueLimit(size_t limit) {
+  queue_limit_ = limit;
+  for (const auto& endpoint : endpoints_) {
+    endpoint->router->SetShardQueueLimit(limit);
+  }
+}
 
 ShardedCassandraStack MakeShardedCassandraStack(SimWorld& world, int n_coordinators,
                                                 KvConfig kv_config,
@@ -89,6 +161,7 @@ ShardedCassandraStack MakeShardedCassandraStack(SimWorld& world, int n_coordinat
                                                 std::vector<Region> replica_regions,
                                                 BatchConfig batch_config) {
   ShardedCassandraStack stack;
+  stack.world_ = &world;
   stack.config = std::make_unique<KvConfig>(kv_config);
   stack.cluster = std::make_unique<KvCluster>(&world.network(), &world.topology(),
                                               stack.config.get(), replica_regions);
@@ -96,25 +169,19 @@ ShardedCassandraStack MakeShardedCassandraStack(SimWorld& world, int n_coordinat
   const size_t coordinators =
       std::min(replicas.size(), static_cast<size_t>(std::max(n_coordinators, 1)));
   for (size_t i = 0; i < coordinators; ++i) {
-    stack.coordinator_ids.push_back(replicas[i]->id());
+    stack.coordinator_ids_.push_back(replicas[i]->id());
   }
-  stack.shard_map = std::make_unique<Partitioner>(stack.coordinator_ids,
-                                                  /*replication_factor=*/1);
-  ShardedCassandraClientEndpoint endpoint =
-      WireShardedEndpoint(world, stack, binding_config, client_region, batch_config);
-  stack.kv_clients = std::move(endpoint.kv_clients);
-  stack.shard_bindings = std::move(endpoint.shard_bindings);
-  stack.router = std::move(endpoint.router);
-  stack.client = std::move(endpoint.client);
+  stack.shard_map_ = std::make_shared<const Partitioner>(stack.coordinator_ids_,
+                                                         /*replication_factor=*/1);
+  stack.WireEndpoint(binding_config, client_region, batch_config);
   return stack;
 }
 
-ShardedCassandraClientEndpoint AddShardedCassandraClient(SimWorld& world,
-                                                         ShardedCassandraStack& stack,
-                                                         CassandraBindingConfig binding_config,
-                                                         Region client_region,
-                                                         BatchConfig batch_config) {
-  return WireShardedEndpoint(world, stack, binding_config, client_region, batch_config);
+ShardedEndpoint& AddShardedCassandraClient(SimWorld& world, ShardedCassandraStack& stack,
+                                           CassandraBindingConfig binding_config,
+                                           Region client_region, BatchConfig batch_config) {
+  (void)world;  // the stack already carries its world; kept for call-site symmetry
+  return stack.WireEndpoint(binding_config, client_region, batch_config);
 }
 
 ZooKeeperStack MakeZooKeeperStack(SimWorld& world, ZabConfig zab_config, Region client_region,

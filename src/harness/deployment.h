@@ -69,24 +69,87 @@ CassandraClientEndpoint AddCassandraClient(SimWorld& world, CassandraStack& stac
                                            Region client_region, Region coordinator_region,
                                            BatchConfig batch_config = {});
 
-// Sharded Cassandra deployment: the same replica cluster, but per-key client traffic is
-// routed across `n_coordinators` coordinator replicas through a BindingRouter — one
-// CassandraBinding (over its own client<->coordinator connection) per coordinator, with
-// a dedicated consistent-hash ring over the coordinator ids deciding key ownership. The
-// application still sees a single CorrectableClient.
-struct ShardedCassandraStack {
-  std::unique_ptr<KvConfig> config;
-  std::unique_ptr<KvCluster> cluster;
-  std::vector<NodeId> coordinator_ids;     // replicas acting as coordinators, ring order
-  std::unique_ptr<Partitioner> shard_map;  // RF=1 ring over coordinator_ids
+// One routed client endpoint of a sharded deployment: per-coordinator connections and
+// bindings (ring order, parallel to the stack's coordinator list) assembled into a
+// BindingRouter behind one CorrectableClient. Endpoints are heap-held and registered
+// with their stack so live membership changes can rewire every router in place; when a
+// coordinator is removed, its connection and binding retire into the `retired_*` lists
+// (not freed) so in-flight invocations drain against live objects.
+struct ShardedEndpoint {
+  Region region = Region::kIreland;
+  NodeId client_node = kInvalidNode;
+  CassandraBindingConfig binding_config;
   std::vector<std::unique_ptr<KvClient>> kv_clients;  // one connection per coordinator
   std::vector<std::shared_ptr<CassandraBinding>> shard_bindings;
+  std::vector<std::unique_ptr<KvClient>> retired_kv_clients;
+  std::vector<std::shared_ptr<CassandraBinding>> retired_bindings;
   std::shared_ptr<BindingRouter> router;
   std::unique_ptr<CorrectableClient> client;
 };
 
+// Sharded Cassandra deployment: the same replica cluster, but per-key client traffic is
+// routed across a *mutable* set of coordinator replicas through BindingRouters — one
+// CassandraBinding (over its own client<->coordinator connection) per coordinator, with
+// a dedicated versioned consistent-hash ring over the coordinator ids deciding key
+// ownership. The application still sees a single CorrectableClient per endpoint, and
+// coordinators can join or leave while load is running.
+class ShardedCassandraStack {
+ public:
+  std::unique_ptr<KvConfig> config;
+  std::unique_ptr<KvCluster> cluster;
+
+  // The primary endpoint (the one MakeShardedCassandraStack wired).
+  CorrectableClient* client() const { return endpoints_.front()->client.get(); }
+  BindingRouter* router() const { return endpoints_.front()->router.get(); }
+  ShardedEndpoint& primary() const { return *endpoints_.front(); }
+  const std::vector<std::unique_ptr<ShardedEndpoint>>& endpoints() const { return endpoints_; }
+
+  const std::vector<NodeId>& coordinator_ids() const { return coordinator_ids_; }
+  const Partitioner& shard_map() const { return *shard_map_; }
+  uint64_t ring_epoch() const { return shard_map_->epoch(); }
+
+  // --- Live membership changes, operating on the running stack ------------------------
+  // Promotes the cluster replica `replica_id` into the coordinator ring: every
+  // registered endpoint gets a connection + child binding to it, and every router
+  // installs the successor ring (epoch + 1). Returns the primary-ownership diff —
+  // ~1/(N+1) of the keyspace captured by the newcomer, nothing traded between survivors.
+  Partitioner::RingDiff AddCoordinator(NodeId replica_id);
+  // Demotes `replica_id` out of the ring (it keeps serving quorum/replication traffic as
+  // a plain replica). Its connections retire; in-flight invocations drain; pending
+  // batched cohorts re-route at flush through the new ring.
+  Partitioner::RingDiff RemoveCoordinator(NodeId replica_id);
+  // Bounds every shard's outstanding invocations on every endpoint's router (0 =
+  // unlimited); shed work fails with a retryable OVERLOADED status.
+  void SetShardQueueLimit(size_t limit);
+  size_t shard_queue_limit() const { return queue_limit_; }
+
+ private:
+  friend ShardedCassandraStack MakeShardedCassandraStack(SimWorld&, int, KvConfig,
+                                                         CassandraBindingConfig, Region,
+                                                         std::vector<Region>, BatchConfig);
+  friend ShardedEndpoint& AddShardedCassandraClient(SimWorld& world,
+                                                    ShardedCassandraStack& stack,
+                                                    CassandraBindingConfig binding_config,
+                                                    Region client_region,
+                                                    BatchConfig batch_config);
+
+  ShardedEndpoint& WireEndpoint(CassandraBindingConfig binding_config, Region client_region,
+                                BatchConfig batch_config);
+  // Rebuilds `endpoint`'s shard vector in ring order and installs the current ring on
+  // its router under the ring's epoch.
+  void InstallRing(ShardedEndpoint& endpoint);
+  KvReplica* FindReplica(NodeId id) const;
+
+  SimWorld* world_ = nullptr;
+  std::vector<NodeId> coordinator_ids_;            // replicas acting as coordinators, ring order
+  std::shared_ptr<const Partitioner> shard_map_;   // RF=1 versioned ring over coordinator_ids
+  size_t queue_limit_ = 0;
+  std::vector<std::unique_ptr<ShardedEndpoint>> endpoints_;  // [0] is the primary
+};
+
 // Builds a cluster with one replica per `replica_regions` entry and routes traffic
-// across the first `n_coordinators` of them (clamped to [1, #replicas]).
+// across the first `n_coordinators` of them (clamped to [1, #replicas]); the remaining
+// replicas are join candidates for AddCoordinator.
 ShardedCassandraStack MakeShardedCassandraStack(
     SimWorld& world, int n_coordinators, KvConfig kv_config,
     CassandraBindingConfig binding_config, Region client_region = Region::kIreland,
@@ -96,19 +159,11 @@ ShardedCassandraStack MakeShardedCassandraStack(
 
 // Another routed client (own per-coordinator connections + router + library instance)
 // against an existing sharded deployment; shares the stack's shard ring so every client
-// agrees on key ownership. The stack must outlive the endpoint.
-struct ShardedCassandraClientEndpoint {
-  std::vector<std::unique_ptr<KvClient>> kv_clients;
-  std::vector<std::shared_ptr<CassandraBinding>> shard_bindings;
-  std::shared_ptr<BindingRouter> router;
-  std::unique_ptr<CorrectableClient> client;
-};
-
-ShardedCassandraClientEndpoint AddShardedCassandraClient(SimWorld& world,
-                                                         ShardedCassandraStack& stack,
-                                                         CassandraBindingConfig binding_config,
-                                                         Region client_region,
-                                                         BatchConfig batch_config = {});
+// agrees on key ownership, and participates in the stack's live membership changes. The
+// returned reference is owned by (and stable for the lifetime of) the stack.
+ShardedEndpoint& AddShardedCassandraClient(SimWorld& world, ShardedCassandraStack& stack,
+                                           CassandraBindingConfig binding_config,
+                                           Region client_region, BatchConfig batch_config = {});
 
 // ZooKeeper-like deployment: ensemble (leader region configurable), one session client.
 struct ZooKeeperStack {

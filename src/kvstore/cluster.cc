@@ -35,20 +35,22 @@ void KvClient::MultiRead(std::vector<std::string> keys, const ReadOptions& optio
                  });
 }
 
-void KvClient::Write(const std::string& key, std::string value, KvResponseFn respond) {
+void KvClient::Write(const std::string& key, std::string value, KvResponseFn respond,
+                     SimTime timestamp) {
   const int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(key.size()) +
-                        static_cast<int64_t>(value.size());
+                        static_cast<int64_t>(value.size()) + (timestamp != 0 ? 8 : 0);
   KvReplica* coordinator = coordinator_;
   const NodeId self = id_;
   network_->Send(id_, coordinator_->id(), bytes,
-                 [coordinator, self, key, value = std::move(value),
+                 [coordinator, self, key, value = std::move(value), timestamp,
                   respond = std::move(respond)]() mutable {
-                   coordinator->CoordinateWrite(self, key, std::move(value), respond);
+                   coordinator->CoordinateWrite(self, key, std::move(value), respond,
+                                                timestamp);
                  });
 }
 
 void KvClient::MultiWrite(std::vector<std::string> keys, std::vector<std::string> values,
-                          KvResponseFn respond) {
+                          KvResponseFn respond, std::vector<SimTime> timestamps) {
   int64_t bytes = kRequestHeaderBytes;
   for (const auto& key : keys) {
     bytes += static_cast<int64_t>(key.size()) + 2;
@@ -56,13 +58,14 @@ void KvClient::MultiWrite(std::vector<std::string> keys, std::vector<std::string
   for (const auto& value : values) {
     bytes += static_cast<int64_t>(value.size()) + 2;
   }
+  bytes += static_cast<int64_t>(timestamps.size()) * 8;  // per-entry client stamps
   KvReplica* coordinator = coordinator_;
   const NodeId self = id_;
   network_->Send(id_, coordinator_->id(), bytes,
                  [coordinator, self, keys = std::move(keys), values = std::move(values),
-                  respond = std::move(respond)]() mutable {
+                  timestamps = std::move(timestamps), respond = std::move(respond)]() mutable {
                    coordinator->CoordinateMultiWrite(self, std::move(keys), std::move(values),
-                                                     respond);
+                                                     respond, std::move(timestamps));
                  });
 }
 

@@ -23,11 +23,16 @@ class KvClient {
   void Read(const std::string& key, const ReadOptions& options, KvResponseFn respond);
   void MultiRead(std::vector<std::string> keys, const ReadOptions& options,
                  KvResponseFn respond);
-  void Write(const std::string& key, std::string value, KvResponseFn respond);
+  // `timestamp` is the client-assigned LWW stamp (0 = let the coordinator stamp at
+  // apply time); client stamps keep one writer's program order intact across coordinator
+  // handoffs during live rebalancing.
+  void Write(const std::string& key, std::string value, KvResponseFn respond,
+             SimTime timestamp = 0);
   // One request carrying several writes; the coordinator applies them in order and
-  // acknowledges once (cross-tick write batching).
+  // acknowledges once (cross-tick write batching). `timestamps` (when non-empty) is
+  // parallel to `keys`.
   void MultiWrite(std::vector<std::string> keys, std::vector<std::string> values,
-                  KvResponseFn respond);
+                  KvResponseFn respond, std::vector<SimTime> timestamps = {});
 
   NodeId id() const { return id_; }
   NodeId coordinator_id() const { return coordinator_->id(); }

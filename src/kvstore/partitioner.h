@@ -3,6 +3,11 @@
 // Replica placement: a key's token is its hash; the key is owned by the first
 // `replication_factor` distinct nodes encountered walking the ring clockwise from the
 // token. With virtual nodes for balance.
+//
+// Rings are *versioned*: every Partitioner carries an epoch, and membership changes are
+// expressed as a successor ring (WithNodes, epoch + 1) plus a Diff of the token ranges
+// whose primary owner moved. The diff is what live rebalancing consumes — a router can
+// tell exactly which keys a membership change re-routes without rehashing the keyspace.
 #ifndef ICG_KVSTORE_PARTITIONER_H_
 #define ICG_KVSTORE_PARTITIONER_H_
 
@@ -17,7 +22,8 @@ namespace icg {
 
 class Partitioner {
  public:
-  Partitioner(std::vector<NodeId> nodes, int replication_factor, int vnodes_per_node = 16);
+  Partitioner(std::vector<NodeId> nodes, int replication_factor, int vnodes_per_node = 16,
+              uint64_t epoch = 0);
 
   // The ordered replica set for a key (primary first), size = min(RF, #nodes).
   std::vector<NodeId> ReplicasFor(const std::string& key) const;
@@ -26,17 +32,75 @@ class Partitioner {
   NodeId PrimaryFor(const std::string& key) const;
 
   int replication_factor() const { return replication_factor_; }
+  int vnodes_per_node() const { return vnodes_per_node_; }
   const std::vector<NodeId>& nodes() const { return nodes_; }
 
-  // Fraction of a large synthetic keyspace owned (as primary) by each node; used by
-  // balance tests.
-  std::map<NodeId, double> PrimaryLoadEstimate(int sample_keys) const;
+  // Ring version. Successor rings (WithNodes) carry strictly larger epochs; consumers
+  // use this to reject stale ring installations.
+  uint64_t epoch() const { return epoch_; }
+
+  // Derives the successor ring: same replication factor and vnode count over the new
+  // node set, epoch bumped by one. This is the one sanctioned way to express a live
+  // membership change, so epochs strictly increase along any chain of changes.
+  Partitioner WithNodes(std::vector<NodeId> nodes) const;
+
+  // The ring position of a key (public so diff consumers can classify keys).
+  static uint64_t TokenOf(const std::string& key);
+
+  // A contiguous range of ring tokens whose primary owner changed: tokens t with
+  // begin < t <= end (wrapping through zero when end <= begin; begin == end means the
+  // whole ring).
+  struct TokenRange {
+    uint64_t begin = 0;  // exclusive
+    uint64_t end = 0;    // inclusive
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+
+    bool Contains(uint64_t token) const {
+      if (begin == end) {
+        return true;  // degenerate full-ring range
+      }
+      if (begin < end) {
+        return token > begin && token <= end;
+      }
+      return token > begin || token <= end;  // wraps through zero
+    }
+  };
+
+  // The primary-ownership delta between two rings. `moved` is disjoint and covers
+  // exactly the tokens whose primary differs between the rings, so for every key:
+  // MovedKey(key) <=> from.PrimaryFor(key) != to.PrimaryFor(key).
+  struct RingDiff {
+    uint64_t from_epoch = 0;
+    uint64_t to_epoch = 0;
+    std::vector<NodeId> added_nodes;
+    std::vector<NodeId> removed_nodes;
+    std::vector<TokenRange> moved;
+
+    bool MovedToken(uint64_t token) const;
+    bool MovedKey(const std::string& key) const { return MovedToken(TokenOf(key)); }
+    // Fraction of the token space whose primary moved; ~1/N for a single join on a
+    // balanced N+1-node ring (the consistent-hashing contract).
+    double MovedFraction() const;
+  };
+
+  // Computes the primary-ownership diff `from` -> `to`. The rings need not be related,
+  // but the intended use is `to = from.WithNodes(...)` so to.epoch() > from.epoch().
+  static RingDiff Diff(const Partitioner& from, const Partitioner& to);
+
+  // Fraction of a synthetic keyspace owned (as primary) by each node; used by balance
+  // tests and rebalance planning. The sample keys are derived from `seed`, so distinct
+  // seeds probe independent key universes while any fixed seed is fully deterministic.
+  std::map<NodeId, double> PrimaryLoadEstimate(int sample_keys, uint64_t seed = 0) const;
 
  private:
-  static uint64_t HashToken(const std::string& key);
+  // Primary owner of a raw ring token (first vnode at or clockwise-after the token).
+  NodeId OwnerOfToken(uint64_t token) const;
 
   std::vector<NodeId> nodes_;
   int replication_factor_;
+  int vnodes_per_node_;
+  uint64_t epoch_;
   std::map<uint64_t, NodeId> ring_;  // token -> node
 };
 

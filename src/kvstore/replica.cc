@@ -502,14 +502,19 @@ void KvReplica::HandlePeerMultiRead(
 }
 
 void KvReplica::CoordinateWrite(NodeId client_id, const std::string& key, std::string value,
-                                KvResponseFn respond) {
+                                KvResponseFn respond, SimTime timestamp) {
   metrics_.GetCounter("writes_coordinated").Increment();
   service_.Submit(config_->write_service, [this, client_id, key, value = std::move(value),
-                                           respond = std::move(respond)]() mutable {
+                                           timestamp, respond = std::move(respond)]() mutable {
     // Coordinator-assigned LWW timestamp; write_seq_ keeps it strictly monotonic even for
-    // same-microsecond writes, and the writer id breaks cross-coordinator ties.
-    write_seq_ = std::max(static_cast<uint64_t>(loop_->Now()), write_seq_ + 1);
-    const Version version{static_cast<SimTime>(write_seq_), id_};
+    // same-microsecond writes, and the writer id breaks cross-coordinator ties. A client
+    // stamp overrides both fields: the stamp orders the writer's stream and the client id
+    // breaks ties, making the version independent of which coordinator applied it.
+    write_seq_ = std::max({static_cast<uint64_t>(loop_->Now()), write_seq_ + 1,
+                           static_cast<uint64_t>(timestamp)});
+    const Version version = timestamp != 0
+                                ? Version{timestamp, client_id}
+                                : Version{static_cast<SimTime>(write_seq_), id_};
     VersionedValue vv{std::move(value), version};
 
     auto existing = storage_.find(key);
@@ -536,9 +541,11 @@ void KvReplica::CoordinateWrite(NodeId client_id, const std::string& key, std::s
 }
 
 void KvReplica::CoordinateMultiWrite(NodeId client_id, std::vector<std::string> keys,
-                                     std::vector<std::string> values, KvResponseFn respond) {
+                                     std::vector<std::string> values, KvResponseFn respond,
+                                     std::vector<SimTime> timestamps) {
   metrics_.GetCounter("multi_writes_coordinated").Increment();
-  if (keys.empty() || keys.size() != values.size()) {
+  if (keys.empty() || keys.size() != values.size() ||
+      (!timestamps.empty() && timestamps.size() != keys.size())) {
     network_->Send(id_, client_id, kResponseHeaderBytes, [respond = std::move(respond)]() {
       respond(Status::InvalidArgument("multiwrite needs matching non-empty key/value lists"),
               /*is_final=*/true, ResponseKind::kValue);
@@ -549,14 +556,18 @@ void KvReplica::CoordinateMultiWrite(NodeId client_id, std::vector<std::string> 
       config_->write_service +
       static_cast<SimDuration>(keys.size() - 1) * config_->multiwrite_per_key_service;
   service_.Submit(service, [this, client_id, keys = std::move(keys),
-                            values = std::move(values), respond = std::move(respond)]() mutable {
+                            values = std::move(values), timestamps = std::move(timestamps),
+                            respond = std::move(respond)]() mutable {
     OpResult ack;
     ack.found = true;
     ack.seqno = static_cast<int64_t>(keys.size());
     ack.key_found.assign(keys.size(), true);
     for (size_t i = 0; i < keys.size(); ++i) {
-      write_seq_ = std::max(static_cast<uint64_t>(loop_->Now()), write_seq_ + 1);
-      const Version version{static_cast<SimTime>(write_seq_), id_};
+      const SimTime stamp = i < timestamps.size() ? timestamps[i] : 0;
+      write_seq_ = std::max({static_cast<uint64_t>(loop_->Now()), write_seq_ + 1,
+                             static_cast<uint64_t>(stamp)});
+      const Version version = stamp != 0 ? Version{stamp, client_id}
+                                         : Version{static_cast<SimTime>(write_seq_), id_};
       ack.version = version;
       ack.key_versions.push_back(version);
       VersionedValue vv{std::move(values[i]), version};

@@ -87,15 +87,22 @@ class KvReplica {
   // per-key payloads with kMultiValueSeparator.
   void CoordinateMultiRead(NodeId client_id, std::vector<std::string> keys,
                            const ReadOptions& options, KvResponseFn respond);
+  // `timestamp` != 0 is a client-assigned LWW stamp: the version becomes
+  // {timestamp, client_id}, so a single writer's stamps order its writes regardless of
+  // which coordinator applies them (live rebalancing moves keys between coordinators
+  // mid-stream; apply-time stamping would let a backlogged old coordinator invert the
+  // order). 0 keeps the legacy coordinator-assigned stamp.
   void CoordinateWrite(NodeId client_id, const std::string& key, std::string value,
-                       KvResponseFn respond);
+                       KvResponseFn respond, SimTime timestamp = 0);
   // Batched write submission (cross-tick write batching): the entries apply locally in
   // vector order — writes to the same key keep their program order — each under its own
   // strictly increasing LWW version, then replicate asynchronously like single writes.
   // One acknowledgement covers the whole batch (W = 1 semantics; `seqno` = batch size,
-  // `version` = the last version assigned).
+  // `version` = the last version assigned). `timestamps` (when non-empty) carries the
+  // per-entry client stamps, parallel to `keys`.
   void CoordinateMultiWrite(NodeId client_id, std::vector<std::string> keys,
-                            std::vector<std::string> values, KvResponseFn respond);
+                            std::vector<std::string> values, KvResponseFn respond,
+                            std::vector<SimTime> timestamps = {});
 
   // --- Peer-internal handlers (invoked at this node by other replicas) ----------------
   void HandlePeerRead(NodeId requester, const std::string& key, uint64_t request_id,

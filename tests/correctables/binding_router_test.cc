@@ -130,13 +130,19 @@ TEST(BindingRouter, RoutesSingleKeyOpsToOwningShard) {
   EXPECT_EQ(f.s1->plans, 1);
 }
 
-TEST(BindingRouter, CoalescingScopeNamesTheShard) {
+TEST(BindingRouter, CoalescingScopeNamesEpochAndShard) {
   RouterFixture f;
-  EXPECT_EQ(f.router->CoalescingScope(Operation::Get("k0")), "0");
-  EXPECT_EQ(f.router->CoalescingScope(Operation::Get("k3")), "1");
+  EXPECT_EQ(f.router->CoalescingScope(Operation::Get("k0")), "0:0");
+  EXPECT_EQ(f.router->CoalescingScope(Operation::Get("k3")), "0:1");
   // Same key, same scope — stable across calls.
   EXPECT_EQ(f.router->CoalescingScope(Operation::Get("k0")),
             f.router->CoalescingScope(Operation::Get("k0")));
+  // A ring installation bumps the epoch component, so pre- and post-rebalance traffic
+  // never shares a scope even when the shard index happens to coincide.
+  ASSERT_TRUE(f.router
+                  ->ApplyRing(3, {f.s0, f.s1}, SuffixShardFn(2))
+                  .ok());
+  EXPECT_EQ(f.router->CoalescingScope(Operation::Get("k0")), "3:0");
 }
 
 TEST(BindingRouter, SingleShardMultigetDelegatesWholesale) {
@@ -347,6 +353,166 @@ TEST(BindingRouter, OneNonBatchingShardDisablesBatchingForTheWholeRouter) {
   EXPECT_EQ(f.s0->planned_ops[0].type, OpType::kPut);
   EXPECT_EQ(f.s0->planned_ops[1].type, OpType::kPut);
   EXPECT_EQ(client.stats().batched_writes, 0);
+}
+
+// --- Live ring installation (ApplyRing) -----------------------------------------------
+
+TEST(BindingRouter, ApplyRingRejectsStaleEpochs) {
+  RouterFixture f;
+  auto s2 = std::make_shared<FakeShardBinding>("s2");
+  // Same epoch (0) and an older one: both stale, both rejected, ring untouched.
+  EXPECT_EQ(f.router->ApplyRing(0, {f.s0, f.s1, s2}, SuffixShardFn(3)).code(),
+            StatusCode::kConflict);
+  EXPECT_EQ(f.router->num_shards(), 2u);
+  EXPECT_EQ(f.router->ring_epoch(), 0u);
+
+  ASSERT_TRUE(f.router->ApplyRing(2, {f.s0, f.s1, s2}, SuffixShardFn(3)).ok());
+  EXPECT_EQ(f.router->ring_epoch(), 2u);
+  EXPECT_EQ(f.router->ApplyRing(2, {f.s0, f.s1}, SuffixShardFn(2)).code(),
+            StatusCode::kConflict);
+  EXPECT_EQ(f.router->num_shards(), 3u);  // the stale shrink did not land
+}
+
+TEST(BindingRouter, ApplyRingAddsShardAndReroutes) {
+  RouterFixture f;
+  auto s2 = std::make_shared<FakeShardBinding>("s2");
+  // Under the 2-shard ring, k2 belongs to s0.
+  EXPECT_EQ(f.client.InvokeStrong(Operation::Get("k2")).Final().value().value, "s0/k2");
+  ASSERT_TRUE(f.router->ApplyRing(1, {f.s0, f.s1, s2}, SuffixShardFn(3)).ok());
+  EXPECT_EQ(f.router->num_shards(), 3u);
+  // The same key now routes to the newcomer; survivors keep their other keys.
+  EXPECT_EQ(f.client.InvokeStrong(Operation::Get("k2")).Final().value().value, "s2/k2");
+  EXPECT_EQ(f.client.InvokeStrong(Operation::Get("k0")).Final().value().value, "s0/k0");
+  EXPECT_EQ(f.client.InvokeStrong(Operation::Get("k1")).Final().value().value, "s1/k1");
+}
+
+TEST(BindingRouter, ApplyRingRemovalRoutesDepartedKeysToSurvivors) {
+  RouterFixture f;
+  auto c_before = f.client.InvokeStrong(Operation::Get("k1"));
+  EXPECT_EQ(c_before.Final().value().value, "s1/k1");
+  ASSERT_TRUE(f.router->ApplyRing(1, {f.s0}, [](const std::string&) -> size_t { return 0; })
+                  .ok());
+  EXPECT_EQ(f.client.InvokeStrong(Operation::Get("k1")).Final().value().value, "s0/k1");
+}
+
+// --- Per-shard backpressure -----------------------------------------------------------
+
+// Holds every planned fetch open until released, so tests can park invocations
+// in-flight on a shard and observe the router's outstanding accounting.
+class HoldingBinding : public Binding {
+ public:
+  explicit HoldingBinding(std::string name) : name_(std::move(name)) {}
+
+  std::string Name() const override { return name_; }
+  std::vector<ConsistencyLevel> SupportedLevels() const override {
+    return {ConsistencyLevel::kWeak, ConsistencyLevel::kStrong};
+  }
+  InvocationPlan PlanInvocation(const Operation& op, const LevelSet& levels) override {
+    InvocationPlan plan;
+    plan.AddSpan(levels.levels(), [this](const Operation& o, LevelEmitter emit) {
+      held_.emplace_back(o, std::move(emit));
+    });
+    return plan;
+  }
+  size_t held() const { return held_.size(); }
+  void ReleaseAll() {
+    std::vector<std::pair<Operation, LevelEmitter>> draining;
+    draining.swap(held_);
+    for (auto& [op, emit] : draining) {
+      OpResult result;
+      result.found = true;
+      result.value = name_ + "/" + op.key;
+      emit(ConsistencyLevel::kStrong, result);
+    }
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<Operation, LevelEmitter>> held_;
+};
+
+TEST(BindingRouter, HotShardShedsAloneWithRetryableStatus) {
+  auto h0 = std::make_shared<HoldingBinding>("h0");
+  auto h1 = std::make_shared<HoldingBinding>("h1");
+  auto router = std::make_shared<BindingRouter>(
+      std::vector<std::shared_ptr<Binding>>{h0, h1}, SuffixShardFn(2));
+  router->SetShardQueueLimit(2);
+  CorrectableClient client(router);
+
+  // Fill shard 0's queue; both invocations park in flight.
+  auto a = client.InvokeStrong(Operation::Get("k0"));
+  auto b = client.InvokeStrong(Operation::Get("k2"));
+  EXPECT_EQ(router->ShardOutstanding(0), 2u);
+
+  // The next shard-0 invocation is shed with a retryable OVERLOADED error...
+  auto shed = client.InvokeStrong(Operation::Get("k4"));
+  ASSERT_EQ(shed.state(), CorrectableState::kError);
+  EXPECT_EQ(shed.error().code(), StatusCode::kOverloaded);
+  EXPECT_TRUE(IsRetryable(shed.error()));
+  EXPECT_EQ(router->ShardSheds(0), 1);
+  EXPECT_EQ(client.stats().overload_sheds, 1);
+
+  // ...while shard 1 keeps admitting: the hot shard degrades alone.
+  auto healthy = client.InvokeStrong(Operation::Get("k1"));
+  EXPECT_EQ(healthy.state(), CorrectableState::kUpdating);
+  EXPECT_EQ(h1->held(), 1u);
+  EXPECT_EQ(router->ShardSheds(1), 0);
+
+  // Draining the queue frees the slots; the retried invocation is admitted.
+  h0->ReleaseAll();
+  EXPECT_EQ(a.Final().value().value, "h0/k0");
+  EXPECT_EQ(b.Final().value().value, "h0/k2");
+  EXPECT_EQ(router->ShardOutstanding(0), 0u);
+  auto retried = client.InvokeStrong(Operation::Get("k4"));
+  EXPECT_EQ(retried.state(), CorrectableState::kUpdating);
+  EXPECT_EQ(h0->held(), 1u);
+  h0->ReleaseAll();
+  h1->ReleaseAll();
+  EXPECT_EQ(retried.Final().value().value, "h0/k4");
+}
+
+TEST(BindingRouter, OutstandingAccountingSurvivesRingChanges) {
+  auto h0 = std::make_shared<HoldingBinding>("h0");
+  auto h1 = std::make_shared<HoldingBinding>("h1");
+  auto router = std::make_shared<BindingRouter>(
+      std::vector<std::shared_ptr<Binding>>{h0, h1}, SuffixShardFn(2));
+  CorrectableClient client(router);
+
+  auto parked_on_h0 = client.InvokeStrong(Operation::Get("k0"));
+  auto parked_on_h1 = client.InvokeStrong(Operation::Get("k1"));
+  EXPECT_EQ(router->ShardOutstanding(0), 1u);
+  EXPECT_EQ(router->ShardOutstanding(1), 1u);
+
+  // Remove h1 from the ring while it still holds an invocation. The surviving shard's
+  // slot accounting is untouched, and the departed shard's eventual completion drains
+  // into its retired counter block instead of corrupting the new ring's slots.
+  ASSERT_TRUE(router->ApplyRing(1, {h0}, [](const std::string&) -> size_t { return 0; })
+                  .ok());
+  EXPECT_EQ(router->num_shards(), 1u);
+  EXPECT_EQ(router->ShardOutstanding(0), 1u);
+  h1->ReleaseAll();  // drains the in-flight invocation against the departed shard
+  EXPECT_EQ(parked_on_h1.Final().value().value, "h1/k1");
+  EXPECT_EQ(router->ShardOutstanding(0), 1u);  // survivor still holds its own slot
+  h0->ReleaseAll();
+  EXPECT_EQ(parked_on_h0.Final().value().value, "h0/k0");
+  EXPECT_EQ(router->ShardOutstanding(0), 0u);
+}
+
+TEST(BindingRouter, ZeroLimitDisablesShedding) {
+  auto h0 = std::make_shared<HoldingBinding>("h0");
+  auto router = std::make_shared<BindingRouter>(
+      std::vector<std::shared_ptr<Binding>>{h0}, [](const std::string&) -> size_t { return 0; });
+  CorrectableClient client(router);
+  std::vector<Correctable<OpResult>> handles;
+  for (int i = 0; i < 64; ++i) {
+    handles.push_back(client.InvokeStrong(Operation::Get("k" + std::to_string(i))));
+  }
+  EXPECT_EQ(router->ShardOutstanding(0), 64u);
+  EXPECT_EQ(router->TotalSheds(), 0);
+  h0->ReleaseAll();
+  for (auto& handle : handles) {
+    EXPECT_EQ(handle.state(), CorrectableState::kFinal);
+  }
 }
 
 }  // namespace

@@ -97,46 +97,33 @@ void CheckObservation(const Observation& obs, const std::string& context) {
   }
 }
 
-constexpr int kKeys = 40;
+// kKeys is a multiple of kClients so the single-writer-per-key partition below is
+// exact: (index / kClients) * kClients + client never wraps onto another writer's key.
+constexpr int kKeys = 39;
 constexpr int kClients = 3;
 
 std::string OracleKey(int index) { return "okey" + std::to_string(index); }
 
-// One randomized trial over the sharded Cassandra deployment (3 routed clients, one per
-// region). Writes are single-writer-per-key (client c owns keys with index % 3 == c), so
-// per-key program order has a crisp oracle: the last value that key's writer submitted
-// must be what every replica converges to.
-void RunShardedOracleTrial(SimDuration window, uint64_t seed) {
-  SCOPED_TRACE("window_us=" + std::to_string(window) + " seed=" + std::to_string(seed));
-  SimWorld world(seed);
-  CassandraBindingConfig binding;
-  binding.strong_read_quorum = 2;
-  BatchConfig batch;
-  batch.batch_window = window;
-
-  auto stack = MakeShardedCassandraStack(world, /*n_coordinators=*/3, KvConfig{}, binding,
-                                         Region::kIreland,
-                                         {Region::kFrankfurt, Region::kIreland,
-                                          Region::kVirginia},
-                                         batch);
-  auto frk = AddShardedCassandraClient(world, stack, binding, Region::kFrankfurt, batch);
-  auto vrg = AddShardedCassandraClient(world, stack, binding, Region::kVirginia, batch);
-  CorrectableClient* clients[kClients] = {stack.client.get(), frk.client.get(),
-                                          vrg.client.get()};
-
-  for (int i = 0; i < kKeys; ++i) {
-    stack.cluster->Preload(OracleKey(i), "init");
-  }
-
-  Rng rng(seed * 31 + static_cast<uint64_t>(window));
-  const int ops = 400;
+// Shared submission-order bookkeeping of the sharded trials, recorded at *submission*
+// time (ops are scheduled at random instants, so creation order is not program order).
+struct OracleLoad {
   std::vector<std::shared_ptr<Observation>> observations;
-  // Per-key program order, recorded at *submission* time (ops are scheduled at random
-  // instants, so creation order is not program order).
-  auto submitted = std::make_shared<std::map<std::string, std::vector<std::string>>>();
-  auto write_order = std::make_shared<std::map<std::string, std::vector<std::shared_ptr<Observation>>>>();
-  int write_counter = 0;
+  std::shared_ptr<std::map<std::string, std::vector<std::string>>> submitted =
+      std::make_shared<std::map<std::string, std::vector<std::string>>>();
+  std::shared_ptr<std::map<std::string, std::vector<std::shared_ptr<Observation>>>>
+      write_order =
+          std::make_shared<std::map<std::string, std::vector<std::shared_ptr<Observation>>>>();
+};
 
+// Schedules `ops` random reads (weak/strong/ICG) and strong writes from the three
+// clients at random instants over three seconds. Writes are single-writer-per-key
+// (client c owns keys with index % kClients == c), so per-key program order has a crisp
+// oracle: the last value that key's writer submitted must be what every replica
+// converges to.
+OracleLoad ScheduleRandomLoad(SimWorld& world, CorrectableClient* const clients[], Rng& rng,
+                              int ops) {
+  OracleLoad load;
+  int write_counter = 0;
   for (int i = 0; i < ops; ++i) {
     const SimDuration at = static_cast<SimDuration>(rng.NextBounded(Seconds(3)));
     const size_t client_index = static_cast<size_t>(rng.NextBounded(kClients));
@@ -146,7 +133,6 @@ void RunShardedOracleTrial(SimDuration window, uint64_t seed) {
     if (is_write) {
       // Single writer per key: move to a key this client owns.
       key_index = (key_index / kClients) * kClients + static_cast<int>(client_index);
-      key_index %= kKeys;
     }
     const std::string key = OracleKey(key_index);
 
@@ -154,15 +140,16 @@ void RunShardedOracleTrial(SimDuration window, uint64_t seed) {
     obs->is_write = is_write;
     obs->client = client_index;
     obs->key = key;
-    observations.push_back(obs);
+    load.observations.push_back(obs);
 
     if (is_write) {
       const std::string value =
           "c" + std::to_string(client_index) + "-" + std::to_string(write_counter++);
       obs->written_value = value;
       obs->weakest = obs->strongest = ConsistencyLevel::kStrong;
-      world.loop().Schedule(at, [client = clients[client_index], key, value, obs, submitted,
-                                 write_order]() {
+      world.loop().Schedule(at, [client = clients[client_index], key, value, obs,
+                                 submitted = load.submitted,
+                                 write_order = load.write_order]() {
         (*submitted)[key].push_back(value);
         (*write_order)[key].push_back(obs);
         Observe(client->InvokeStrong(Operation::Put(key, value)), obs);
@@ -189,19 +176,23 @@ void RunShardedOracleTrial(SimDuration window, uint64_t seed) {
       });
     }
   }
+  return load;
+}
 
-  world.loop().Run();
-
-  // Per-invocation contract.
-  for (const auto& obs : observations) {
-    CheckObservation(*obs, "sharded");
-    EXPECT_EQ(obs->errors, 0) << "no failure injected, so nothing may fail";
+// The post-run oracles shared by the sharded trials. Per-invocation contract first, then
+// write program order per key two ways — through acknowledgements (versions a key's
+// writes were acked under never regress in submission order; a batched flush acks its
+// members under one version, so equal is fine, regression is not) and through replica
+// state (after quiescence every replica holds the key's last submitted value) — and
+// finally reads observing only preloaded or submitted values.
+void CheckLoadOracles(const OracleLoad& load, const KvCluster& cluster,
+                      const std::string& context) {
+  for (const auto& obs : load.observations) {
+    CheckObservation(*obs, context);
+    EXPECT_EQ(obs->errors, 0) << "no failure injected, so nothing may fail (key="
+                              << obs->key << ")";
   }
-
-  // Write program order per key, two ways. First through acknowledgements: versions a
-  // key's writes were acked under never regress in submission order (a batched flush
-  // acks its members under one version — equal is fine, regression is not).
-  for (const auto& [key, writes] : *write_order) {
+  for (const auto& [key, writes] : *load.write_order) {
     Version previous{};
     for (size_t i = 0; i < writes.size(); ++i) {
       if (writes[i]->finals != 1) {
@@ -212,21 +203,17 @@ void RunShardedOracleTrial(SimDuration window, uint64_t seed) {
       previous = writes[i]->ack_version;
     }
   }
-  // Then through replica state: after quiescence every replica holds the key's last
-  // submitted value (single writer per key + FIFO links + in-order batch applies).
-  for (const auto& [key, values] : *submitted) {
-    for (const auto& replica : stack.cluster->replicas()) {
+  for (const auto& [key, values] : *load.submitted) {
+    for (const auto& replica : cluster.replicas()) {
       const auto stored = replica->LocalGet(key);
       ASSERT_TRUE(stored.has_value()) << key;
       EXPECT_EQ(stored->value, values.back())
-          << "replica diverged from program order for " << key;
+          << "replica diverged from program order for " << key << " (" << context << ")";
     }
   }
-
-  // Reads only ever observe preloaded or submitted values.
-  for (const auto& obs : observations) {
+  for (const auto& obs : load.observations) {
     if (!obs->is_write && obs->finals == 1 && obs->final_value.found) {
-      const auto& history = (*submitted)[obs->key];
+      const auto& history = (*load.submitted)[obs->key];
       const bool known =
           obs->final_value.value == "init" ||
           std::find(history.begin(), history.end(), obs->final_value.value) != history.end();
@@ -234,6 +221,37 @@ void RunShardedOracleTrial(SimDuration window, uint64_t seed) {
                          << obs->final_value.value;
     }
   }
+}
+
+// One randomized trial over the sharded Cassandra deployment (3 routed clients, one per
+// region) with static membership.
+void RunShardedOracleTrial(SimDuration window, uint64_t seed) {
+  SCOPED_TRACE("window_us=" + std::to_string(window) + " seed=" + std::to_string(seed));
+  SimWorld world(seed);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  BatchConfig batch;
+  batch.batch_window = window;
+
+  auto stack = MakeShardedCassandraStack(world, /*n_coordinators=*/3, KvConfig{}, binding,
+                                         Region::kIreland,
+                                         {Region::kFrankfurt, Region::kIreland,
+                                          Region::kVirginia},
+                                         batch);
+  auto& frk = AddShardedCassandraClient(world, stack, binding, Region::kFrankfurt, batch);
+  auto& vrg = AddShardedCassandraClient(world, stack, binding, Region::kVirginia, batch);
+  CorrectableClient* clients[kClients] = {stack.client(), frk.client.get(),
+                                          vrg.client.get()};
+
+  for (int i = 0; i < kKeys; ++i) {
+    stack.cluster->Preload(OracleKey(i), "init");
+  }
+
+  Rng rng(seed * 31 + static_cast<uint64_t>(window));
+  const OracleLoad load = ScheduleRandomLoad(world, clients, rng, /*ops=*/400);
+  world.loop().Run();
+
+  CheckLoadOracles(load, *stack.cluster, "sharded");
 
   // Counter sanity: window 0 must never open a cross-tick batch; a wide window under
   // this op rate must.
@@ -252,6 +270,101 @@ TEST(BatchOracle, ShardedCassandraAcrossWindows) {
   const uint64_t seed = OracleSeed();
   for (const SimDuration window : {Millis(0), Millis(2), Millis(25)}) {
     RunShardedOracleTrial(window, seed);
+  }
+}
+
+// --- Membership churn: the same oracle while coordinators join and leave mid-run -------
+//
+// A 5-replica cluster starts with 3 coordinators; scheduled churn events promote spare
+// replicas into the ring and demote serving coordinators out of it while the 3-client
+// random load is in flight. Whatever the rebalancer re-routes, retires, or re-plans,
+// every Correctable must still satisfy the full contract — weakest-first monotone
+// delivery, exactly one terminal view, per-key write program order into replica state —
+// and no invocation may be lost to a coordinator that left with work pending.
+void RunChurnOracleTrial(SimDuration window, uint64_t seed) {
+  SCOPED_TRACE("churn window_us=" + std::to_string(window) + " seed=" + std::to_string(seed));
+  SimWorld world(seed);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  BatchConfig batch;
+  batch.batch_window = window;
+
+  auto stack = MakeShardedCassandraStack(world, /*n_coordinators=*/3, KvConfig{}, binding,
+                                         Region::kIreland,
+                                         {Region::kFrankfurt, Region::kIreland,
+                                          Region::kVirginia, Region::kCalifornia,
+                                          Region::kOregon},
+                                         batch);
+  auto& frk = AddShardedCassandraClient(world, stack, binding, Region::kFrankfurt, batch);
+  auto& vrg = AddShardedCassandraClient(world, stack, binding, Region::kVirginia, batch);
+  CorrectableClient* clients[kClients] = {stack.client(), frk.client.get(),
+                                          vrg.client.get()};
+
+  for (int i = 0; i < kKeys; ++i) {
+    stack.cluster->Preload(OracleKey(i), "init");
+  }
+
+  Rng rng(seed * 131 + static_cast<uint64_t>(window));
+  const OracleLoad load = ScheduleRandomLoad(world, clients, rng, /*ops=*/400);
+
+  // The churn schedule: 8 membership events spread through the load window, decided at
+  // fire time from a forked deterministic stream. Adds promote a random spare replica;
+  // removes demote a random serving coordinator (always keeping >= 2 in the ring). The
+  // run must exercise BOTH directions to count.
+  auto churn_rng = std::make_shared<Rng>(rng.Fork());
+  auto adds = std::make_shared<int>(0);
+  auto removes = std::make_shared<int>(0);
+  auto epochs_seen = std::make_shared<std::vector<uint64_t>>();
+  ShardedCassandraStack* stack_ptr = &stack;
+  for (int event = 0; event < 8; ++event) {
+    const SimDuration at =
+        Millis(300) + static_cast<SimDuration>(rng.NextBounded(Millis(2400)));
+    world.loop().Schedule(at, [stack_ptr, churn_rng, adds, removes, epochs_seen]() {
+      std::vector<NodeId> spares;
+      for (const auto& replica : stack_ptr->cluster->replicas()) {
+        const auto& ids = stack_ptr->coordinator_ids();
+        if (std::find(ids.begin(), ids.end(), replica->id()) == ids.end()) {
+          spares.push_back(replica->id());
+        }
+      }
+      const bool can_remove = stack_ptr->coordinator_ids().size() > 2;
+      const bool do_add = !spares.empty() && (!can_remove || churn_rng->NextBool(0.5));
+      if (do_add) {
+        const NodeId joiner = spares[churn_rng->NextBounded(spares.size())];
+        const auto diff = stack_ptr->AddCoordinator(joiner);
+        EXPECT_GT(diff.to_epoch, diff.from_epoch);
+        (*adds)++;
+      } else if (can_remove) {
+        const auto& ids = stack_ptr->coordinator_ids();
+        const NodeId leaver = ids[churn_rng->NextBounded(ids.size())];
+        const auto diff = stack_ptr->RemoveCoordinator(leaver);
+        EXPECT_GT(diff.to_epoch, diff.from_epoch);
+        (*removes)++;
+      }
+      epochs_seen->push_back(stack_ptr->ring_epoch());
+    });
+  }
+
+  world.loop().Run();
+
+  EXPECT_GE(*adds, 1) << "churn trial never promoted a coordinator";
+  EXPECT_GE(*removes, 1) << "churn trial never demoted a coordinator";
+  for (size_t i = 1; i < epochs_seen->size(); ++i) {
+    EXPECT_GT((*epochs_seen)[i], (*epochs_seen)[i - 1]) << "ring epochs must increase";
+  }
+
+  // The full static-membership contract must hold verbatim under churn: per-invocation
+  // monotone weakest-first delivery and exactly-one-terminal, per-key write program
+  // order through acked versions AND replica convergence (churn may re-route a key's
+  // writes to a new coordinator mid-stream), and reads observing only known values — a
+  // rebalance must never surface a torn batch slice or a value from the wrong key.
+  CheckLoadOracles(load, *stack.cluster, "churn");
+}
+
+TEST(BatchOracle, MembershipChurnAcrossWindows) {
+  const uint64_t seed = OracleSeed();
+  for (const SimDuration window : {Millis(0), Millis(5)}) {
+    RunChurnOracleTrial(window, seed);
   }
 }
 
@@ -403,7 +516,7 @@ TEST(BatchOracle, ReadAndWriteScopesAgreeForEveryBinding) {
   BlockchainBinding blockchain(nullptr);
 
   const std::vector<const Binding*> bindings = {
-      cassandra.binding.get(), sharded.router.get(), news.binding.get(),
+      cassandra.binding.get(), sharded.router(), news.binding.get(),
       causal.binding.get(),    zookeeper.binding.get(), &blockchain};
   for (const Binding* binding : bindings) {
     SCOPED_TRACE(binding->Name());

@@ -254,6 +254,140 @@ TEST(BatchFailures, BatchedWriteRejectionFansToExactlyTheQueuedWriters) {
   EXPECT_EQ(stats.cross_tick_batches, 1);
 }
 
+// --- Live rebalancing under failure ---------------------------------------------------
+
+TEST(RebalanceFailures, CoordinatorRemovedWithPendingWriteCohortReRoutes) {
+  // Writes queue in a batch cohort aimed at one coordinator; that coordinator leaves the
+  // ring before the window closes. The flush-time scope re-consult must re-route the
+  // whole cohort through the successor ring: no write lost, none duplicated, and the
+  // departed coordinator never sees the batch.
+  SimWorld world(12, 0.0);
+  BatchConfig batch;
+  batch.batch_window = Millis(20);
+  auto stack = MakeShardedCassandraStack(world, 3, KvConfig{}, CassandraBindingConfig{},
+                                         Region::kIreland,
+                                         {Region::kFrankfurt, Region::kIreland,
+                                          Region::kVirginia},
+                                         batch);
+
+  // Two keys owned by the doomed coordinator's shard (probe the live ring).
+  const NodeId doomed = stack.coordinator_ids().back();
+  std::vector<std::string> keys;
+  for (int i = 0; keys.size() < 2 && i < 400; ++i) {
+    const std::string key = "reroute" + std::to_string(i);
+    if (stack.shard_map().PrimaryFor(key) == doomed) {
+      keys.push_back(key);
+    }
+  }
+  ASSERT_EQ(keys.size(), 2u);
+
+  auto w1 = stack.client()->InvokeStrong(Operation::Put(keys[0], "v1"));
+  auto w2 = stack.client()->InvokeStrong(Operation::Put(keys[1], "v2"));
+  EXPECT_EQ(stack.client()->stats().errors, 0);
+  // Still inside the window: the cohort is pending, nothing has reached any store.
+  const auto diff = stack.RemoveCoordinator(doomed);
+  EXPECT_EQ(diff.removed_nodes, std::vector<NodeId>{doomed});
+  world.loop().Run();
+
+  // Exactly one terminal view per write, no errors: nothing lost, nothing duplicated.
+  ASSERT_EQ(w1.state(), CorrectableState::kFinal);
+  ASSERT_EQ(w2.state(), CorrectableState::kFinal);
+  EXPECT_EQ(stack.client()->stats().errors, 0);
+
+  // The departed coordinator never coordinated the re-routed batch...
+  KvReplica* removed_replica = nullptr;
+  for (const auto& replica : stack.cluster->replicas()) {
+    if (replica->id() == doomed) {
+      removed_replica = replica.get();
+    }
+  }
+  ASSERT_NE(removed_replica, nullptr);
+  EXPECT_EQ(removed_replica->metrics().GetCounter("writes_coordinated").value(), 0);
+  EXPECT_EQ(removed_replica->metrics().GetCounter("multi_writes_coordinated").value(), 0);
+  // ...yet converges to the written values through ordinary replication.
+  world.loop().RunFor(Seconds(1));
+  for (size_t i = 0; i < keys.size(); ++i) {
+    for (const auto& replica : stack.cluster->replicas()) {
+      const auto stored = replica->LocalGet(keys[i]);
+      ASSERT_TRUE(stored.has_value()) << keys[i];
+      EXPECT_EQ(stored->value, i == 0 ? "v1" : "v2");
+    }
+  }
+}
+
+TEST(RebalanceFailures, BackpressureShedFailsExactlyTheQueuedWaiters) {
+  // A shard at its outstanding limit sheds the next flushed cohort with a retryable
+  // OVERLOADED error delivered to exactly that cohort's waiters; the shard's in-flight
+  // work, the other shards, and a later retry are all untouched.
+  SimWorld world(13, 0.0);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  BatchConfig batch;
+  batch.batch_window = Millis(10);
+  auto stack = MakeShardedCassandraStack(world, 3, KvConfig{}, binding, Region::kIreland,
+                                         {Region::kFrankfurt, Region::kIreland,
+                                          Region::kVirginia},
+                                         batch);
+  stack.SetShardQueueLimit(1);
+
+  // Probe keys: three on one shard (one in-flight + two shed), one on another.
+  std::vector<std::string> hot;
+  std::string cold;
+  const size_t hot_shard = stack.router()->ShardIndexFor("bp0");
+  for (int i = 0; (hot.size() < 3 || cold.empty()) && i < 600; ++i) {
+    const std::string key = "bp" + std::to_string(i);
+    if (stack.router()->ShardIndexFor(key) == hot_shard) {
+      if (hot.size() < 3) {
+        hot.push_back(key);
+      }
+    } else if (cold.empty()) {
+      cold = key;
+    }
+  }
+  ASSERT_EQ(hot.size(), 3u);
+  ASSERT_FALSE(cold.empty());
+  for (const auto& key : hot) {
+    stack.cluster->Preload(key, "hot");
+  }
+  stack.cluster->Preload(cold, "cold");
+
+  // t=0: one read opens a cohort, flushes at 10 ms, and occupies the shard's only slot
+  // for the duration of its quorum round-trip (tens of ms of WAN RTT).
+  auto in_flight = stack.client()->InvokeStrong(Operation::Get(hot[0]));
+  // t=12 ms: two reads of the hot shard queue into a fresh cohort (the first already
+  // flushed); its own flush at 22 ms hits the full queue and is shed. The cold-shard
+  // read at the same instant must be admitted.
+  Correctable<OpResult> shed_1 = Correctable<OpResult>::Failed(Status::Internal("unset"));
+  Correctable<OpResult> shed_2 = Correctable<OpResult>::Failed(Status::Internal("unset"));
+  Correctable<OpResult> healthy = Correctable<OpResult>::Failed(Status::Internal("unset"));
+  world.loop().Schedule(Millis(12), [&]() {
+    shed_1 = stack.client()->InvokeStrong(Operation::Get(hot[1]));
+    shed_2 = stack.client()->InvokeStrong(Operation::Get(hot[2]));
+    healthy = stack.client()->InvokeStrong(Operation::Get(cold));
+  });
+  world.loop().Run();
+
+  ASSERT_EQ(in_flight.state(), CorrectableState::kFinal);
+  EXPECT_EQ(in_flight.Final().value().value, "hot");
+  ASSERT_EQ(shed_1.state(), CorrectableState::kError);
+  ASSERT_EQ(shed_2.state(), CorrectableState::kError);
+  EXPECT_EQ(shed_1.error().code(), StatusCode::kOverloaded);
+  EXPECT_EQ(shed_2.error().code(), StatusCode::kOverloaded);
+  EXPECT_TRUE(IsRetryable(shed_1.error()));
+  ASSERT_EQ(healthy.state(), CorrectableState::kFinal);
+  EXPECT_EQ(healthy.Final().value().value, "cold");
+
+  const ClientStats& stats = stack.client()->stats();
+  EXPECT_EQ(stats.overload_sheds, 2);  // exactly the queued waiters of the shed cohort
+  EXPECT_EQ(stack.router()->ShardSheds(hot_shard), 1);  // one shed flush covered both
+
+  // The queue drained with the in-flight read; a retry is admitted and completes.
+  auto retried = stack.client()->InvokeStrong(Operation::Get(hot[1]));
+  world.loop().Run();
+  ASSERT_EQ(retried.state(), CorrectableState::kFinal);
+  EXPECT_EQ(retried.Final().value().value, "hot");
+}
+
 TEST(SpeculationFailures, MisspeculationAbortRunsOnDivergence) {
   SimWorld world(8, 0.0);
   CassandraBindingConfig binding;

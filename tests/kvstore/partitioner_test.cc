@@ -130,5 +130,120 @@ TEST(Partitioner, RemovingOneNodeRedistributesOnlyItsKeys) {
   EXPECT_LT(fraction, 0.35);
 }
 
+// --- Versioned rings + Diff: what live rebalancing consumes -----------------------------
+
+TEST(PartitionerDiff, EpochsStrictlyIncreaseAlongSuccessorChains) {
+  Partitioner ring({0, 1, 2}, 1);
+  EXPECT_EQ(ring.epoch(), 0u);
+  Partitioner grown = ring.WithNodes({0, 1, 2, 3});
+  Partitioner shrunk = grown.WithNodes({0, 1, 3});
+  EXPECT_EQ(grown.epoch(), 1u);
+  EXPECT_EQ(shrunk.epoch(), 2u);
+  EXPECT_GT(grown.epoch(), ring.epoch());
+  EXPECT_GT(shrunk.epoch(), grown.epoch());
+  // The diff records the epochs it spans, and membership deltas come out right.
+  const auto diff = Partitioner::Diff(ring, grown);
+  EXPECT_EQ(diff.from_epoch, 0u);
+  EXPECT_EQ(diff.to_epoch, 1u);
+  EXPECT_EQ(diff.added_nodes, std::vector<NodeId>{3});
+  EXPECT_TRUE(diff.removed_nodes.empty());
+  const auto back = Partitioner::Diff(grown, shrunk);
+  EXPECT_EQ(back.removed_nodes, std::vector<NodeId>{2});
+  EXPECT_TRUE(back.added_nodes.empty());
+}
+
+TEST(PartitionerDiff, ConsistentWithReplicasForOnEveryProbedKey) {
+  const Partitioner before({0, 1, 2, 3}, 1, /*vnodes_per_node=*/64);
+  const Partitioner after = before.WithNodes({0, 1, 2, 3, 4});
+  const auto diff = Partitioner::Diff(before, after);
+  for (int i = 0; i < 20000; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    const NodeId primary_before = before.ReplicasFor(key).front();
+    const NodeId primary_after = after.ReplicasFor(key).front();
+    EXPECT_EQ(diff.MovedKey(key), primary_before != primary_after)
+        << key << ": diff and ReplicasFor disagree";
+  }
+}
+
+TEST(PartitionerDiff, MovedShareMatchesOneOverNExpectation) {
+  // Joining the 5th node should capture ~1/5 of the token space (vnode placement skew
+  // allowed), and the key-level moved set must match the range-level fraction.
+  const Partitioner before({0, 1, 2, 3}, 1, /*vnodes_per_node=*/64);
+  const Partitioner after = before.WithNodes({0, 1, 2, 3, 4});
+  const auto diff = Partitioner::Diff(before, after);
+  EXPECT_GT(diff.MovedFraction(), 0.10);
+  EXPECT_LT(diff.MovedFraction(), 0.35);
+
+  constexpr int kKeys = 20000;
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    const std::string key = "key" + std::to_string(i);
+    if (diff.MovedKey(key)) {
+      moved++;
+      // Every move must be a capture by the newcomer; survivors never trade keys.
+      EXPECT_EQ(after.PrimaryFor(key), 4) << key;
+    }
+  }
+  const double key_fraction = static_cast<double>(moved) / kKeys;
+  EXPECT_NEAR(key_fraction, diff.MovedFraction(), 0.02)
+      << "sampled keys disagree with the diff's token-space fraction";
+}
+
+TEST(PartitionerDiff, RemovalMovesExactlyTheDepartedNodesShare) {
+  const Partitioner before({0, 1, 2, 3, 4}, 1, /*vnodes_per_node=*/64);
+  const Partitioner after = before.WithNodes({0, 1, 2, 3});
+  const auto diff = Partitioner::Diff(before, after);
+  for (const auto& range : diff.moved) {
+    EXPECT_EQ(range.from, 4) << "a survivor lost a range it should have kept";
+    EXPECT_NE(range.to, 4);
+  }
+  EXPECT_GT(diff.MovedFraction(), 0.10);
+  EXPECT_LT(diff.MovedFraction(), 0.35);
+}
+
+TEST(PartitionerDiff, IdenticalRingsProduceAnEmptyDiff) {
+  const Partitioner ring({0, 1, 2}, 1, 32);
+  const auto diff = Partitioner::Diff(ring, ring.WithNodes({0, 1, 2}));
+  EXPECT_TRUE(diff.moved.empty());
+  EXPECT_EQ(diff.MovedFraction(), 0.0);
+  EXPECT_FALSE(diff.MovedKey("anything"));
+}
+
+TEST(PartitionerDiff, MovedRangesAreDisjointAndClassifyTokensExactly) {
+  const Partitioner before({0, 1, 2}, 1, 16);
+  const Partitioner after = before.WithNodes({0, 1, 2, 3});
+  const auto diff = Partitioner::Diff(before, after);
+  ASSERT_FALSE(diff.moved.empty());
+  // Range boundary tokens behave per the (begin, end] contract: begin is outside (it
+  // belongs to the preceding unmoved segment unless ranges abut), end is inside.
+  for (const auto& range : diff.moved) {
+    EXPECT_TRUE(range.Contains(range.end));
+    EXPECT_TRUE(diff.MovedToken(range.end));
+  }
+  // No token is claimed by two ranges.
+  for (size_t i = 0; i < diff.moved.size(); ++i) {
+    int claims = 0;
+    for (const auto& range : diff.moved) {
+      if (range.Contains(diff.moved[i].end)) {
+        claims++;
+      }
+    }
+    EXPECT_EQ(claims, 1);
+  }
+}
+
+TEST(Partitioner, LoadEstimateIsSeedableAndDeterministic) {
+  const Partitioner p({0, 1, 2, 3}, 1, 64);
+  const auto a = p.PrimaryLoadEstimate(5000, /*seed=*/42);
+  const auto b = p.PrimaryLoadEstimate(5000, /*seed=*/42);
+  EXPECT_EQ(a, b) << "same seed must reproduce the same sample";
+  // A different seed probes a different key universe; estimates agree only roughly.
+  const auto c = p.PrimaryLoadEstimate(5000, /*seed=*/43);
+  EXPECT_NE(a, c) << "distinct seeds should draw distinct samples";
+  for (const auto& [node, share] : c) {
+    EXPECT_NEAR(share, a.at(node), 0.05);
+  }
+}
+
 }  // namespace
 }  // namespace icg
