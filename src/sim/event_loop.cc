@@ -15,10 +15,15 @@ TimerId EventLoop::ScheduleAt(SimTime when, Task task) {
   assert(task != nullptr);
   const TimerId id = next_id_++;
   queue_.push(Event{when, id, std::move(task)});
+  pending_ids_.insert(id);
   return id;
 }
 
-void EventLoop::Cancel(TimerId id) { cancelled_.insert(id); }
+void EventLoop::Cancel(TimerId id) {
+  if (pending_ids_.erase(id) > 0) {
+    cancelled_.insert(id);
+  }
+}
 
 bool EventLoop::RunOne() {
   while (!queue_.empty()) {
@@ -31,6 +36,7 @@ bool EventLoop::RunOne() {
     assert(ev.when >= now_);
     now_ = ev.when;
     events_processed_++;
+    pending_ids_.erase(ev.id);
     ev.task();
     return true;
   }

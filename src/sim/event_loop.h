@@ -50,7 +50,7 @@ class EventLoop {
   void RunFor(SimDuration d) { RunUntil(now_ + d); }
 
   int64_t events_processed() const { return events_processed_; }
-  size_t pending_events() const { return queue_.size() - cancelled_.size(); }
+  size_t pending_events() const { return pending_ids_.size(); }
 
  private:
   struct Event {
@@ -71,6 +71,9 @@ class EventLoop {
   TimerId next_id_ = 1;
   int64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Ids scheduled but not yet fired or cancelled. Cancel only tombstones ids found here,
+  // so cancelling an already-fired (or unknown) id cannot grow `cancelled_` forever.
+  std::unordered_set<TimerId> pending_ids_;
   std::unordered_set<TimerId> cancelled_;
 };
 

@@ -151,6 +151,40 @@ TEST(EventLoop, CancelledEventNotCounted) {
   EXPECT_EQ(loop.events_processed(), 0);
 }
 
+TEST(EventLoop, CancelAfterFireDoesNotLeakTombstones) {
+  EventLoop loop;
+  // Cancelling ids that already fired used to insert a tombstone forever; with more
+  // tombstones than queued events, pending_events() (queue size minus tombstones)
+  // underflowed size_t to an astronomically large value.
+  const TimerId a = loop.Schedule(Millis(1), []() {});
+  const TimerId b = loop.Schedule(Millis(2), []() {});
+  loop.Run();
+  loop.Cancel(a);
+  loop.Cancel(b);
+  loop.Cancel(a);  // repeated cancels of fired ids must stay no-ops
+  EXPECT_EQ(loop.pending_events(), 0u);
+
+  int ran = 0;
+  loop.Schedule(Millis(1), [&]() { ran++; });
+  EXPECT_EQ(loop.pending_events(), 1u);  // previously underflowed here
+  loop.Run();
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoop, PendingEventsExcludesCancelled) {
+  EventLoop loop;
+  const TimerId id = loop.Schedule(Millis(1), []() {});
+  loop.Schedule(Millis(2), []() {});
+  EXPECT_EQ(loop.pending_events(), 2u);
+  loop.Cancel(id);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.Cancel(id);  // double cancel of a pending id counts once
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.Run();
+  EXPECT_EQ(loop.pending_events(), 0u);
+}
+
 TEST(EventLoop, ManyEventsStressOrdering) {
   EventLoop loop;
   SimTime last = -1;
