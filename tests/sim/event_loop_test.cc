@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <iterator>
 #include <vector>
 
 namespace icg {
@@ -183,6 +185,116 @@ TEST(EventLoop, PendingEventsExcludesCancelled) {
   EXPECT_EQ(loop.pending_events(), 1u);
   loop.Run();
   EXPECT_EQ(loop.pending_events(), 0u);
+}
+
+TEST(EventLoop, CascadeAcrossWheelLevelsPreservesOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  // One event per wheel level: 10us (L0), 1ms (L1), 100ms (L2), 5s (L3), 20min (L4),
+  // 2h (L5) — interleaved with near-boundary times that force multi-step cascades.
+  const SimTime times[] = {
+      Micros(10),     Micros(63),      Micros(64),     Micros(4095),
+      Micros(4096),   Millis(1),       Millis(100),    Micros(262143),
+      Micros(262144), Seconds(5),      Seconds(1200),  Seconds(7200),
+  };
+  std::vector<SimTime> sorted(std::begin(times), std::end(times));
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < static_cast<int>(std::size(times)); ++i) {
+    loop.ScheduleAt(times[i], [&order, i]() { order.push_back(i); });
+  }
+  std::vector<int> expect;
+  for (const SimTime t : sorted) {
+    for (int i = 0; i < static_cast<int>(std::size(times)); ++i) {
+      if (times[i] == t) {
+        expect.push_back(i);
+      }
+    }
+  }
+  loop.Run();
+  EXPECT_EQ(order, expect);
+  EXPECT_EQ(loop.Now(), Seconds(7200));
+}
+
+TEST(EventLoop, SameTimeFifoSurvivesCascade) {
+  EventLoop loop;
+  // Two events at the same far-future instant scheduled from different wheel epochs:
+  // the first goes in while the wheel is at t=0 (lands in a high level), the second
+  // after the wheel advanced (lands lower). Cascading must not reorder them.
+  std::vector<int> order;
+  const SimTime target = Millis(50);
+  loop.Schedule(target, [&]() { order.push_back(1); });
+  loop.Schedule(Millis(10), [&]() {
+    loop.ScheduleAt(target, [&]() { order.push_back(2); });
+  });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventLoop, OverflowHorizonEvents) {
+  EventLoop loop;
+  // Beyond the top wheel level's span (~19.1h of virtual time) events sit in the
+  // overflow list and must still fire in order.
+  std::vector<int> order;
+  loop.ScheduleAt(Seconds(100000), [&]() { order.push_back(2); });  // ~27.8h
+  loop.ScheduleAt(Seconds(90000), [&]() { order.push_back(1); });
+  loop.ScheduleAt(Seconds(110000), [&]() { order.push_back(3); });
+  loop.Schedule(Millis(1), [&]() { order.push_back(0); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(loop.Now(), Seconds(110000));
+}
+
+TEST(EventLoop, CancelEventParkedInHighLevel) {
+  EventLoop loop;
+  bool ran = false;
+  const TimerId id = loop.ScheduleAt(Seconds(5), [&]() { ran = true; });  // L3 territory
+  loop.RunUntil(Seconds(1));
+  loop.Cancel(id);
+  EXPECT_EQ(loop.pending_events(), 0u);
+  loop.Run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(loop.events_processed(), 0);
+}
+
+TEST(EventLoop, StaleIdAfterSlotReuseIsNoop) {
+  EventLoop loop;
+  int ran = 0;
+  const TimerId old_id = loop.Schedule(Millis(1), [&]() { ran += 1; });
+  loop.Run();
+  // The pool slot is recycled for the next timer under a fresh generation; cancelling
+  // with the stale id must not kill the new occupant.
+  loop.Schedule(Millis(1), [&]() { ran += 10; });
+  loop.Cancel(old_id);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.Run();
+  EXPECT_EQ(ran, 11);
+}
+
+TEST(EventLoop, ScheduleAfterLongIdleRunUntil) {
+  EventLoop loop;
+  // An event-free RunUntil drags now_ far past the wheel's position; a fresh schedule
+  // must re-anchor instead of landing in a distant level.
+  loop.RunUntil(Seconds(50000));
+  std::vector<int> order;
+  loop.Schedule(Micros(5), [&]() { order.push_back(1); });
+  loop.Schedule(Millis(3), [&]() { order.push_back(2); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(loop.Now(), Seconds(50000) + Millis(3));
+}
+
+TEST(EventLoop, NextEventTimeReportsEarliest) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.NextEventTime().has_value());
+  loop.Schedule(Millis(20), []() {});
+  const TimerId id = loop.Schedule(Millis(5), []() {});
+  ASSERT_TRUE(loop.NextEventTime().has_value());
+  EXPECT_EQ(*loop.NextEventTime(), Millis(5));
+  loop.Cancel(id);
+  ASSERT_TRUE(loop.NextEventTime().has_value());
+  EXPECT_EQ(*loop.NextEventTime(), Millis(20));
+  loop.Run();
+  EXPECT_FALSE(loop.NextEventTime().has_value());
 }
 
 TEST(EventLoop, ManyEventsStressOrdering) {
