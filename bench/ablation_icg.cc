@@ -125,7 +125,7 @@ void AblateConfirmations() {
 void AblateViewCount() {
   struct Selection {
     const char* label;
-    std::vector<ConsistencyLevel> levels;
+    LevelVec levels;
   };
   const std::vector<Selection> selections = {
       {"1 view (STRONG)", {ConsistencyLevel::kStrong}},

@@ -6,8 +6,7 @@
 namespace icg {
 namespace {
 
-std::string CohortKey(bool is_read, const std::string& scope,
-                      const std::vector<ConsistencyLevel>& levels) {
+std::string CohortKey(bool is_read, const std::string& scope, const LevelVec& levels) {
   std::string key(is_read ? "r" : "w");
   key.push_back('\0');
   key += scope;
@@ -31,9 +30,8 @@ BatchScheduler::~BatchScheduler() {
   }
 }
 
-void BatchScheduler::Admit(bool is_read, std::string scope,
-                           const std::vector<ConsistencyLevel>& levels, Operation op,
-                           std::shared_ptr<void> waiter) {
+void BatchScheduler::Admit(bool is_read, std::string scope, const LevelVec& levels,
+                           Operation op, std::shared_ptr<void> waiter) {
   assert(enabled());
   std::string key = CohortKey(is_read, scope, levels);
   auto it = pending_.find(key);

@@ -57,7 +57,7 @@ class BatchScheduler {
   struct Cohort {
     bool is_read = false;
     std::string scope;
-    std::vector<ConsistencyLevel> levels;
+    LevelVec levels;
     std::vector<Pending> ops;
   };
 
@@ -79,8 +79,8 @@ class BatchScheduler {
   // Queues `op` into the pending cohort for (is_read, scope, levels), opening the cohort
   // (and arming its flush timer) if none is pending. May flush synchronously when the
   // cohort hits max_batch_ops. Requires enabled().
-  void Admit(bool is_read, std::string scope, const std::vector<ConsistencyLevel>& levels,
-             Operation op, std::shared_ptr<void> waiter);
+  void Admit(bool is_read, std::string scope, const LevelVec& levels, Operation op,
+             std::shared_ptr<void> waiter);
 
   // Flushes every pending cohort now (drain before teardown, tests, explicit barriers).
   void FlushAll();

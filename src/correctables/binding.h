@@ -16,6 +16,8 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/inline_function.h"
+#include "src/common/small_vec.h"
 #include "src/common/status.h"
 #include "src/correctables/consistency.h"
 #include "src/correctables/operation.h"
@@ -32,7 +34,9 @@ enum class ResponseKind {
 class LevelSet {
  public:
   LevelSet() = default;
-  explicit LevelSet(std::vector<ConsistencyLevel> levels) : levels_(std::move(levels)) {}
+  explicit LevelSet(LevelVec levels) : levels_(std::move(levels)) {}
+  explicit LevelSet(const std::vector<ConsistencyLevel>& levels)
+      : levels_(levels.begin(), levels.end()) {}
 
   bool Contains(ConsistencyLevel level) const {
     for (const ConsistencyLevel l : levels_) {
@@ -46,10 +50,10 @@ class LevelSet {
   ConsistencyLevel strongest() const { return levels_.back(); }
   bool single() const { return levels_.size() == 1; }
   bool empty() const { return levels_.empty(); }
-  const std::vector<ConsistencyLevel>& levels() const { return levels_; }
+  const LevelVec& levels() const { return levels_; }
 
  private:
-  std::vector<ConsistencyLevel> levels_;
+  LevelVec levels_;
 };
 
 // Delivery handle a LevelFetcher uses to report responses. Cheap to copy into store
@@ -57,7 +61,12 @@ class LevelSet {
 // confirmation counts, emit repeatedly at the same level).
 class LevelEmitter {
  public:
-  using Sink = std::function<void(ConsistencyLevel, StatusOr<OpResult>, ResponseKind)>;
+  // 64 inline bytes: the pipeline's sinks capture a shared plan/batch handle plus an
+  // inline level list, and must not heap-allocate per emission chain. The result passes
+  // by rvalue reference so the chain of sinks forwards one materialized StatusOr instead
+  // of moving it at every hop.
+  using Sink =
+      InlineFunction<void(ConsistencyLevel, StatusOr<OpResult>&&, ResponseKind), 64>;
 
   explicit LevelEmitter(Sink sink) : sink_(std::move(sink)) {}
 
@@ -71,36 +80,37 @@ class LevelEmitter {
 };
 
 // Adapter from a LevelEmitter to the single-response callback shape most store clients
-// take, reporting at a fixed `level`.
-inline std::function<void(StatusOr<OpResult>)> EmitAt(LevelEmitter emit,
-                                                      ConsistencyLevel level) {
+// take, reporting at a fixed `level`. The capacity fits the captured emitter inline, so
+// handing it to a store client costs no allocation.
+inline InlineFunction<void(StatusOr<OpResult>), 80> EmitAt(LevelEmitter emit,
+                                                           ConsistencyLevel level) {
   return [emit = std::move(emit), level](StatusOr<OpResult> result) {
     emit(level, std::move(result));
   };
 }
 
 // Issues the store round-trip for one FetchStep, reporting responses through `emit`.
-using LevelFetcher = std::function<void(const Operation& op, LevelEmitter emit)>;
+using LevelFetcher = InlineFunction<void(const Operation& op, LevelEmitter emit), 64>;
 
 // One store round-trip covering an ascending subset of the requested levels. A
 // single-level step emits exactly one response; a multi-level step (the single-request
 // ICG path) emits a preliminary at its weakest level and a final at its strongest.
 // The declaration is enforced: the executors drop emissions at undeclared levels.
 struct FetchStep {
-  std::vector<ConsistencyLevel> levels;
+  LevelVec levels;
   LevelFetcher fetch;
 };
 
 // Write-through hook the pipeline invokes with every successful full-value response, so
 // client caches stay coherent with the freshest view the store surfaced.
-using RefreshHook = std::function<void(const Operation&, const OpResult&, ConsistencyLevel)>;
+using RefreshHook = InlineFunction<void(const Operation&, const OpResult&, ConsistencyLevel), 48>;
 
 // How one invocation is satisfied: the fetch steps together cover the requested level
 // set exactly. Implementations are expected to exploit the level set — e.g. a
 // single-level request must not pay the multi-response protocol cost.
 struct InvocationPlan {
   Status reject;           // non-OK: fail the invocation without issuing any request
-  std::vector<FetchStep> steps;
+  SmallVec<FetchStep, 2> steps;  // a plan is 1 step (single round-trip) or 2 (fallback)
   RefreshHook refresh;     // optional cache write-through
 
   static InvocationPlan Rejected(Status status) {
@@ -110,10 +120,10 @@ struct InvocationPlan {
   }
 
   InvocationPlan& AddStep(ConsistencyLevel level, LevelFetcher fetch) {
-    steps.push_back(FetchStep{{level}, std::move(fetch)});
+    steps.push_back(FetchStep{LevelVec{level}, std::move(fetch)});
     return *this;
   }
-  InvocationPlan& AddSpan(std::vector<ConsistencyLevel> levels, LevelFetcher fetch) {
+  InvocationPlan& AddSpan(LevelVec levels, LevelFetcher fetch) {
     steps.push_back(FetchStep{std::move(levels), std::move(fetch)});
     return *this;
   }
@@ -163,7 +173,7 @@ class Binding {
   // Convenience: plans `op` and runs the fetch steps, forwarding each raw response (and
   // applying the plan's refresh hook). Ordering/confirmation semantics live in the
   // stateful InvocationPipeline, not here. Implemented in invocation_pipeline.cc.
-  void SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
+  void SubmitOperation(const Operation& op, const LevelVec& levels,
                        ResponseCallback callback);
 };
 

@@ -51,7 +51,7 @@ struct GatherState {
   // a confirmation promises the final equals the preliminary this shard already sent).
   std::vector<std::optional<OpResult>> latest_value;
 
-  GatherState(std::vector<ShardSlice> s, size_t keys, const std::vector<ConsistencyLevel>& lvls,
+  GatherState(std::vector<ShardSlice> s, size_t keys, const LevelVec& lvls,
               LevelEmitter e)
       : slices(std::move(s)), total_keys(keys), emit(std::move(e)),
         latest_value(slices.size()) {

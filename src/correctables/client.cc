@@ -6,34 +6,34 @@
 namespace icg {
 
 CorrectableClient::CorrectableClient(std::shared_ptr<Binding> binding, EventLoop* loop)
-    : binding_(std::move(binding)), loop_(loop), pipeline_(binding_.get(), loop, &stats_) {
+    : binding_(std::move(binding)), loop_(loop),
+      supported_levels_(binding_->SupportedLevels()),
+      pipeline_(binding_.get(), loop, &stats_) {
   assert(binding_ != nullptr);
-  assert(!binding_->SupportedLevels().empty());
+  assert(!supported_levels_.empty());
 }
 
 Correctable<OpResult> CorrectableClient::InvokeWeak(Operation op) {
   stats_.weak_invocations++;
-  return Submit(std::move(op), {binding_->SupportedLevels().front()});
+  return Submit(std::move(op), LevelVec{supported_levels_.front()});
 }
 
 Correctable<OpResult> CorrectableClient::InvokeStrong(Operation op) {
   stats_.strong_invocations++;
-  return Submit(std::move(op), {binding_->SupportedLevels().back()});
+  return Submit(std::move(op), LevelVec{supported_levels_.back()});
 }
 
 Correctable<OpResult> CorrectableClient::Invoke(Operation op) {
   stats_.icg_invocations++;
-  return Submit(std::move(op), binding_->SupportedLevels());
+  return Submit(std::move(op), LevelVec(supported_levels_.begin(), supported_levels_.end()));
 }
 
-Correctable<OpResult> CorrectableClient::Invoke(Operation op,
-                                                std::vector<ConsistencyLevel> levels) {
+Correctable<OpResult> CorrectableClient::Invoke(Operation op, LevelVec levels) {
   stats_.icg_invocations++;
   return Submit(std::move(op), std::move(levels));
 }
 
-Correctable<OpResult> CorrectableClient::Submit(Operation op,
-                                                std::vector<ConsistencyLevel> levels) {
+Correctable<OpResult> CorrectableClient::Submit(Operation op, LevelVec levels) {
   stats_.invocations++;
   return pipeline_.Submit(std::move(op), std::move(levels));
 }

@@ -45,7 +45,7 @@ class CorrectableClient {
   Correctable<OpResult> Invoke(Operation op);
   // A chosen subset; must be ascending and supported, else the result is already failed
   // with INVALID_ARGUMENT.
-  Correctable<OpResult> Invoke(Operation op, std::vector<ConsistencyLevel> levels);
+  Correctable<OpResult> Invoke(Operation op, LevelVec levels);
 
   const ClientStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ClientStats{}; }
@@ -54,10 +54,13 @@ class CorrectableClient {
   EventLoop* loop() const { return loop_; }
 
  private:
-  Correctable<OpResult> Submit(Operation op, std::vector<ConsistencyLevel> levels);
+  Correctable<OpResult> Submit(Operation op, LevelVec levels);
 
   std::shared_ptr<Binding> binding_;
   EventLoop* loop_;
+  // Cached once (the Binding contract declares the set stable): SupportedLevels()
+  // returns a fresh vector per call, which would put an allocation on every invoke.
+  std::vector<ConsistencyLevel> supported_levels_;
   ClientStats stats_;
   InvocationPipeline pipeline_;  // must follow binding_ and stats_ (init order)
 };

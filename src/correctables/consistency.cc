@@ -18,7 +18,7 @@ const char* ConsistencyLevelName(ConsistencyLevel level) {
   return "?";
 }
 
-bool ValidLevelSelection(const std::vector<ConsistencyLevel>& levels,
+bool ValidLevelSelection(const LevelVec& levels,
                          const std::vector<ConsistencyLevel>& supported) {
   if (levels.empty()) {
     return false;
@@ -34,7 +34,7 @@ bool ValidLevelSelection(const std::vector<ConsistencyLevel>& levels,
   return true;
 }
 
-std::string LevelsToString(const std::vector<ConsistencyLevel>& levels) {
+std::string LevelsToString(const LevelVec& levels) {
   std::string out = "[";
   for (size_t i = 0; i < levels.size(); ++i) {
     if (i > 0) {

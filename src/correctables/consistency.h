@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/small_vec.h"
+
 namespace icg {
 
 enum class ConsistencyLevel : int32_t {
@@ -27,6 +29,10 @@ enum class ConsistencyLevel : int32_t {
 
 const char* ConsistencyLevelName(ConsistencyLevel level);
 
+// The hot-path level container: invocations select 1-4 levels (there are only four), so
+// the selection travels inline through the whole pipeline without touching the heap.
+using LevelVec = SmallVec<ConsistencyLevel, 4>;
+
 constexpr bool IsStronger(ConsistencyLevel a, ConsistencyLevel b) {
   return static_cast<int32_t>(a) > static_cast<int32_t>(b);
 }
@@ -36,10 +42,10 @@ constexpr bool IsStrongerOrEqual(ConsistencyLevel a, ConsistencyLevel b) {
 
 // True if `levels` is non-empty, strictly ascending, and every entry occurs in
 // `supported` (which is itself ordered weakest to strongest).
-bool ValidLevelSelection(const std::vector<ConsistencyLevel>& levels,
+bool ValidLevelSelection(const LevelVec& levels,
                          const std::vector<ConsistencyLevel>& supported);
 
-std::string LevelsToString(const std::vector<ConsistencyLevel>& levels);
+std::string LevelsToString(const LevelVec& levels);
 
 }  // namespace icg
 

@@ -27,6 +27,9 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/inline_function.h"
+#include "src/common/pooled.h"
+#include "src/common/small_vec.h"
 #include "src/common/status.h"
 #include "src/common/types.h"
 #include "src/correctables/consistency.h"
@@ -59,9 +62,13 @@ struct CorrectableShared {
   EventLoop* loop = nullptr;  // for view timestamps; may be null
   int firing_updates = 0;     // FireUpdate reentrancy depth (see ReleaseCallbacks)
 
-  std::vector<std::function<void(const View<T>&)>> on_update;
-  std::vector<std::function<void(const View<T>&)>> on_final;
-  std::vector<std::function<void(const Status&)>> on_error;
+  // One or two callbacks per list is the norm (a handler plus maybe a combinator), and
+  // typical captures are a shared handle or two — both stay inline on the hot path.
+  using ViewCallback = InlineFunction<void(const View<T>&), 48>;
+  using StatusCallback = InlineFunction<void(const Status&), 48>;
+  SmallVec<ViewCallback, 2> on_update;
+  SmallVec<ViewCallback, 2> on_final;
+  SmallVec<StatusCallback, 2> on_error;
 
   SimTime NowOrZero() const { return loop != nullptr ? loop->Now() : 0; }
 
@@ -123,7 +130,7 @@ template <typename T>
 class CorrectableSource {
  public:
   explicit CorrectableSource(EventLoop* loop = nullptr)
-      : shared_(std::make_shared<internal::CorrectableShared<T>>()) {
+      : shared_(PooledMakeShared<internal::CorrectableShared<T>>()) {
     shared_->loop = loop;
   }
 
@@ -140,12 +147,13 @@ class CorrectableSource {
     if (s.strongest_delivered.has_value() && IsStronger(*s.strongest_delivered, level)) {
       return false;
     }
-    View<T> v;
+    // Built in place: emplace destroys the previous view and default-constructs the new
+    // one directly in the optional, so no intermediate View is moved.
+    View<T>& v = s.latest.emplace();
     v.value = std::move(value);
     v.level = level;
     v.is_final = false;
     v.delivered_at = s.NowOrZero();
-    s.latest = v;
     s.strongest_delivered = level;
     s.views_delivered++;
     s.FireUpdate(*s.latest);
@@ -158,13 +166,12 @@ class CorrectableSource {
     if (s.state != CorrectableState::kUpdating) {
       return false;
     }
-    View<T> v;
+    View<T>& v = s.latest.emplace();  // in place, as in Update
     v.value = std::move(value);
     v.level = level;
     v.is_final = true;
     v.confirmed_preliminary = confirmed_preliminary;
     v.delivered_at = s.NowOrZero();
-    s.latest = v;
     s.strongest_delivered = level;
     s.views_delivered++;
     s.state = CorrectableState::kFinal;
@@ -202,6 +209,13 @@ class CorrectableSource {
   }
 
   CorrectableState state() const { return shared_->state; }
+  // Producer-side peeks at the delivered sequence (no consumer handle needed, so hot
+  // paths avoid the shared_ptr copy a GetCorrectable() would cost).
+  bool HasView() const { return shared_->latest.has_value(); }
+  const View<T>& LatestView() const {
+    assert(HasView());
+    return *shared_->latest;
+  }
 
  private:
   std::shared_ptr<internal::CorrectableShared<T>> shared_;
@@ -211,9 +225,9 @@ class CorrectableSource {
 template <typename T>
 class Correctable {
  public:
-  using UpdateCallback = std::function<void(const View<T>&)>;
-  using FinalCallback = std::function<void(const View<T>&)>;
-  using ErrorCallback = std::function<void(const Status&)>;
+  using UpdateCallback = InlineFunction<void(const View<T>&), 48>;
+  using FinalCallback = InlineFunction<void(const View<T>&), 48>;
+  using ErrorCallback = InlineFunction<void(const Status&), 48>;
 
   // An empty Correctable that is already failed; useful for argument-validation paths.
   static Correctable<T> Failed(Status status) {
@@ -375,8 +389,8 @@ class Correctable {
 
       explicit SpecState(EventLoop* loop) : out(loop) {}
     };
-    auto st = std::make_shared<SpecState>(shared_->loop);
-    auto spec_fn = std::make_shared<F>(std::move(spec));
+    auto st = PooledMakeShared<SpecState>(shared_->loop);
+    auto spec_fn = PooledMakeShared<F>(std::move(spec));
 
     auto run_abort = [abort = std::move(abort)](const T& invalidated_input) {
       if constexpr (!std::is_same_v<AbortFn, std::nullptr_t>) {
@@ -485,7 +499,7 @@ Correctable<std::vector<T>> WhenAll(const std::vector<Correctable<T>>& parts) {
     std::vector<Correctable<T>> parts;
     size_t finals = 0;
   };
-  auto st = std::make_shared<AggState>();
+  auto st = PooledMakeShared<AggState>();
   st->parts = parts;
 
   if (parts.empty()) {

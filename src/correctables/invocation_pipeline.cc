@@ -9,22 +9,26 @@
 namespace icg {
 namespace {
 
-bool StepDeclares(const std::vector<ConsistencyLevel>& declared, ConsistencyLevel level) {
+bool StepDeclares(const LevelVec& declared, ConsistencyLevel level) {
   return std::find(declared.begin(), declared.end(), level) != declared.end();
 }
 
 // Coalescing key: operations join the same batch only if key, level set, and the
 // binding's routing scope all match (different level sets need different view
 // sequences; different scopes mean different store endpoints, so sharing a round-trip
-// would send one waiter's read to the wrong coordinator).
-std::string BatchKey(const Binding& binding, const Operation& op,
-                     const std::vector<ConsistencyLevel>& levels) {
-  std::string key = binding.CoalescingScope(op);
-  key.push_back('\0');
-  key += op.key;
-  key.push_back('\0');
-  key += LevelsToString(levels);
-  return key;
+// would send one waiter's read to the wrong coordinator). Builds into `out` so a
+// persistent scratch buffer absorbs the construction.
+void BatchKeyInto(std::string& out, const Binding& binding, const Operation& op,
+                  const LevelVec& levels) {
+  out.clear();
+  out += binding.CoalescingScope(op);
+  out.push_back('\0');
+  out += op.key;
+  out.push_back('\0');
+  for (const ConsistencyLevel level : levels) {
+    out += ConsistencyLevelName(level);
+    out.push_back(',');
+  }
 }
 
 // A plan whose steps never declare the strongest requested level could not possibly
@@ -42,7 +46,11 @@ bool PlanCoversFinal(const InvocationPlan& plan, ConsistencyLevel strongest) {
 struct PlanRun {
   std::shared_ptr<const Operation> op;
   RefreshHook refresh;
-  std::string binding_name;
+  // Points at the pipeline's cached name (pipeline path) or at owned_name (raw
+  // SubmitOperation path): referenced only by the undeclared-level debug log, so the
+  // hot path never constructs a name string.
+  const std::string* binding_name = nullptr;
+  std::string owned_name;
   LevelEmitter::Sink sink;  // receives declaration-checked, refresh-applied emissions
 };
 
@@ -50,13 +58,13 @@ struct PlanRun {
 // Binding::SubmitOperation path: runs every fetch step, enforcing the step's declared
 // levels (an emission at an undeclared level is a binding bug and is dropped) and
 // applying the plan's write-through refresh hook before forwarding to the sink.
-void RunPlanSteps(std::shared_ptr<PlanRun> run, std::vector<FetchStep> steps) {
+void RunPlanSteps(std::shared_ptr<PlanRun> run, SmallVec<FetchStep, 2>& steps) {
   for (FetchStep& step : steps) {
     LevelEmitter emit([run, declared = std::move(step.levels)](
-                          ConsistencyLevel level, StatusOr<OpResult> result,
+                          ConsistencyLevel level, StatusOr<OpResult>&& result,
                           ResponseKind kind) {
       if (!StepDeclares(declared, level)) {
-        ICG_DEBUG << "binding " << run->binding_name << " emitted undeclared level "
+        ICG_DEBUG << "binding " << *run->binding_name << " emitted undeclared level "
                   << ConsistencyLevelName(level) << "; dropped";
         return;
       }
@@ -73,6 +81,8 @@ void RunPlanSteps(std::shared_ptr<PlanRun> run, std::vector<FetchStep> steps) {
 
 InvocationPipeline::InvocationPipeline(Binding* binding, EventLoop* loop, ClientStats* stats)
     : binding_(binding), loop_(loop), stats_(stats),
+      supported_levels_(binding->SupportedLevels()),
+      binding_name_(binding->Name()),
       scheduler_(loop, [this](BatchScheduler::Cohort cohort) {
         OnCohortFlush(std::move(cohort));
       }) {
@@ -80,9 +90,8 @@ InvocationPipeline::InvocationPipeline(Binding* binding, EventLoop* loop, Client
   assert(stats_ != nullptr);
 }
 
-Correctable<OpResult> InvocationPipeline::Submit(Operation op,
-                                                 std::vector<ConsistencyLevel> levels) {
-  if (!ValidLevelSelection(levels, binding_->SupportedLevels())) {
+Correctable<OpResult> InvocationPipeline::Submit(Operation op, LevelVec levels) {
+  if (!ValidLevelSelection(levels, supported_levels_)) {
     stats_->errors++;
     return Correctable<OpResult>::Failed(Status::InvalidArgument(
         "invalid consistency level selection " + LevelsToString(levels) + " for binding " +
@@ -97,7 +106,7 @@ Correctable<OpResult> InvocationPipeline::Submit(Operation op,
     op.timestamp = last_write_stamp_;
   }
 
-  auto inv = std::make_shared<Invocation>(loop_, levels.back());
+  auto inv = PooledMakeShared<Invocation>(loop_, levels.back());
   auto correctable = inv->source.GetCorrectable();
   // Arm the timeout before launching so even a binding that never emits is covered.
   ArmTimeout(inv);
@@ -117,7 +126,6 @@ Correctable<OpResult> InvocationPipeline::Submit(Operation op,
   }
 
   const bool coalescable = loop_ != nullptr && op.type == OpType::kGet;
-  std::string key;
   if (coalescable) {
     // Joinability ends with the tick: once virtual time advances, every remaining entry
     // (e.g. a batch whose final response was lost) is dead weight — drop them all so the
@@ -127,8 +135,8 @@ Correctable<OpResult> InvocationPipeline::Submit(Operation op,
       batch_tick_ = loop_->Now();
       open_batches_.clear();
     }
-    key = BatchKey(*binding_, op, levels);
-    auto it = open_batches_.find(key);
+    BatchKeyInto(scratch_key_, *binding_, op, levels);
+    auto it = open_batches_.find(scratch_key_);
     if (it != open_batches_.end()) {
       const std::shared_ptr<Batch>& batch = it->second;
       if (!batch->done) {
@@ -149,13 +157,13 @@ Correctable<OpResult> InvocationPipeline::Submit(Operation op,
     }
   }
 
-  auto batch = std::make_shared<Batch>();
+  auto batch = PooledMakeShared<Batch>();
   batch->op = std::move(op);
   batch->level_set = LevelSet(std::move(levels));
   batch->coalescable = coalescable;
   batch->waiters.push_back(std::move(inv));
   if (coalescable) {
-    batch->map_key = std::move(key);
+    batch->map_key = scratch_key_;  // short keys stay in SSO storage
     open_batches_[batch->map_key] = batch;
   }
   Launch(batch);
@@ -196,18 +204,18 @@ void InvocationPipeline::RunPlan(std::shared_ptr<const Operation> op, const Leve
          ResponseKind::kValue);
     return;
   }
-  auto run = std::make_shared<PlanRun>();
+  auto run = PooledMakeShared<PlanRun>();
   run->op = std::move(op);
   run->refresh = std::move(plan.refresh);
-  run->binding_name = binding_->Name();
+  run->binding_name = &binding_name_;
   run->sink = std::move(sink);
-  RunPlanSteps(std::move(run), std::move(plan.steps));
+  RunPlanSteps(std::move(run), plan.steps);
 }
 
 void InvocationPipeline::Launch(const std::shared_ptr<Batch>& batch) {
   // Aliasing constructor: the run shares the batch's operation instead of copying it.
   RunPlan(std::shared_ptr<const Operation>(batch, &batch->op), batch->level_set,
-          [this, batch](ConsistencyLevel level, StatusOr<OpResult> result,
+          [this, batch](ConsistencyLevel level, StatusOr<OpResult>&& result,
                         ResponseKind kind) {
             OnEmission(batch, level, std::move(result), kind);
           });
@@ -237,14 +245,31 @@ void InvocationPipeline::OnEmission(const std::shared_ptr<Batch>& batch,
   if (batch->coalescable && !batch->done) {
     batch->history.push_back(Batch::Emission{level, result, kind});
   }
-  // Deliver to the waiters present when this response arrived. A callback may submit a
-  // new same-tick read that joins this batch mid-loop; such joiners already received
-  // this emission through the history replay, so the bound must not move. Copy the
-  // shared_ptr per iteration: push_back may reallocate the vector under us.
+  // Deliver to the waiters present when this response arrived; the last one is handed
+  // the result itself (no copy).
   const size_t present = batch->waiters.size();
+  if (!batch->coalescable) {
+    // Only coalescable batches are joinable, so this waiter list cannot grow (or
+    // reallocate) under the loop: deliver by reference, skipping the shared_ptr copies.
+    for (size_t i = 0; i < present; ++i) {
+      if (i + 1 == present) {
+        Deliver(*batch->waiters[i], level, std::move(result), kind);
+      } else {
+        Deliver(*batch->waiters[i], level, result, kind);
+      }
+    }
+    return;
+  }
+  // A callback may submit a new same-tick read that joins this batch mid-loop; such
+  // joiners already received this emission through the history replay, so the bound must
+  // not move. Copy the shared_ptr per iteration: push_back may reallocate under us.
   for (size_t i = 0; i < present; ++i) {
     std::shared_ptr<Invocation> inv = batch->waiters[i];
-    Deliver(*inv, level, result, kind);
+    if (i + 1 == present) {
+      Deliver(*inv, level, std::move(result), kind);
+    } else {
+      Deliver(*inv, level, result, kind);
+    }
   }
 }
 
@@ -271,7 +296,7 @@ void InvocationPipeline::OnCohortFlush(BatchScheduler::Cohort cohort) {
   }
 }
 
-void InvocationPipeline::FlushReadGroup(const std::vector<ConsistencyLevel>& levels,
+void InvocationPipeline::FlushReadGroup(const LevelVec& levels,
                                         std::vector<BatchScheduler::Pending> ops) {
   const size_t waiters = ops.size();
   std::vector<std::string> keys;  // distinct, in arrival order
@@ -295,32 +320,34 @@ void InvocationPipeline::FlushReadGroup(const std::vector<ConsistencyLevel>& lev
   if (keys.size() == 1) {
     // One distinct key: the flush is an ordinary (possibly multi-waiter) read batch; the
     // existing launch/delivery machinery applies unchanged.
-    auto batch = std::make_shared<Batch>();
+    auto batch = PooledMakeShared<Batch>();
     batch->op = Operation::Get(keys.front());
     batch->level_set = LevelSet(levels);
-    batch->waiters = std::move(key_waiters.front());
+    for (auto& inv : key_waiters.front()) {
+      batch->waiters.push_back(std::move(inv));
+    }
     Launch(batch);
     return;
   }
 
-  auto fanout = std::make_shared<Fanout>();
+  auto fanout = PooledMakeShared<Fanout>();
   fanout->op = Operation::MultiGet(keys);
   fanout->level_set = LevelSet(levels);
   fanout->is_read = true;
   fanout->keys = std::move(keys);
   fanout->key_waiters = std::move(key_waiters);
   RunPlan(std::shared_ptr<const Operation>(fanout, &fanout->op), fanout->level_set,
-          [this, fanout](ConsistencyLevel level, StatusOr<OpResult> result,
+          [this, fanout](ConsistencyLevel level, StatusOr<OpResult>&& result,
                          ResponseKind kind) {
             OnFanoutEmission(fanout, level, std::move(result), kind);
           });
 }
 
-void InvocationPipeline::FlushWriteGroup(const std::vector<ConsistencyLevel>& levels,
+void InvocationPipeline::FlushWriteGroup(const LevelVec& levels,
                                          std::vector<BatchScheduler::Pending> ops) {
   if (ops.size() == 1) {
     // A lone queued write launches exactly like an unbatched one (just window-delayed).
-    auto batch = std::make_shared<Batch>();
+    auto batch = PooledMakeShared<Batch>();
     batch->op = std::move(ops.front().op);
     batch->level_set = LevelSet(levels);
     batch->waiters.push_back(std::static_pointer_cast<Invocation>(std::move(ops.front().waiter)));
@@ -332,7 +359,7 @@ void InvocationPipeline::FlushWriteGroup(const std::vector<ConsistencyLevel>& le
 
   // Arrival order is program order: the multiput applies entries in vector order, so two
   // queued writes to the same key land in submission order.
-  auto fanout = std::make_shared<Fanout>();
+  auto fanout = PooledMakeShared<Fanout>();
   std::vector<std::string> keys;
   std::vector<std::string> values;
   std::vector<SimTime> timestamps;
@@ -351,7 +378,7 @@ void InvocationPipeline::FlushWriteGroup(const std::vector<ConsistencyLevel>& le
   fanout->level_set = LevelSet(levels);
   fanout->is_read = false;
   RunPlan(std::shared_ptr<const Operation>(fanout, &fanout->op), fanout->level_set,
-          [this, fanout](ConsistencyLevel level, StatusOr<OpResult> result,
+          [this, fanout](ConsistencyLevel level, StatusOr<OpResult>&& result,
                          ResponseKind kind) {
             OnFanoutEmission(fanout, level, std::move(result), kind);
           });
@@ -434,7 +461,7 @@ void InvocationPipeline::OnFanoutEmission(const std::shared_ptr<Fanout>& fanout,
 }
 
 void InvocationPipeline::Deliver(Invocation& inv, ConsistencyLevel level,
-                                 const StatusOr<OpResult>& result, ResponseKind kind) {
+                                 StatusOr<OpResult> result, ResponseKind kind) {
   const bool is_final_level = (level == inv.strongest);
   if (!result.ok()) {
     // Errors at preliminary levels are tolerated: a stronger view may still arrive.
@@ -456,7 +483,7 @@ void InvocationPipeline::Deliver(Invocation& inv, ConsistencyLevel level,
   }
 
   if (!is_final_level) {
-    if (inv.source.Update(result.value(), level)) {
+    if (inv.source.Update(std::move(result).value(), level)) {
       stats_->views_delivered++;
     } else {
       stats_->stale_views_dropped++;
@@ -477,11 +504,10 @@ void InvocationPipeline::Deliver(Invocation& inv, ConsistencyLevel level,
   }
   // A full final: if a preliminary was delivered and differs, record the divergence
   // (this is the client-observable misspeculation signal of Figure 7).
-  auto handle = inv.source.GetCorrectable();
-  if (handle.HasView() && !(handle.LatestView().value == result.value())) {
+  if (inv.source.HasView() && !(inv.source.LatestView().value == result.value())) {
     stats_->divergences++;
   }
-  if (inv.source.Close(result.value(), level)) {
+  if (inv.source.Close(std::move(result).value(), level)) {
     stats_->views_delivered++;
   }
 }
@@ -489,7 +515,7 @@ void InvocationPipeline::Deliver(Invocation& inv, ConsistencyLevel level,
 // Binding::SubmitOperation lives here rather than in a binding translation unit so the
 // raw fan-out path and the pipeline share RunPlanSteps, the one definition of "run a
 // plan" (rejection, coverage validation, declaration enforcement, refresh write-through).
-void Binding::SubmitOperation(const Operation& op, const std::vector<ConsistencyLevel>& levels,
+void Binding::SubmitOperation(const Operation& op, const LevelVec& levels,
                               ResponseCallback callback) {
   LevelSet set(levels);
   InvocationPlan plan = PlanInvocation(op, set);
@@ -503,15 +529,16 @@ void Binding::SubmitOperation(const Operation& op, const std::vector<Consistency
              set.strongest(), ResponseKind::kValue);
     return;
   }
-  auto run = std::make_shared<PlanRun>();
+  auto run = PooledMakeShared<PlanRun>();
   run->op = std::make_shared<const Operation>(op);
   run->refresh = std::move(plan.refresh);
-  run->binding_name = Name();
-  run->sink = [callback](ConsistencyLevel level, StatusOr<OpResult> result,
+  run->owned_name = Name();
+  run->binding_name = &run->owned_name;
+  run->sink = [callback](ConsistencyLevel level, StatusOr<OpResult>&& result,
                          ResponseKind kind) {
     callback(std::move(result), level, kind);
   };
-  RunPlanSteps(std::move(run), std::move(plan.steps));
+  RunPlanSteps(std::move(run), plan.steps);
 }
 
 }  // namespace icg

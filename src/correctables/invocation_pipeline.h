@@ -32,6 +32,8 @@
 #include <string>
 #include <vector>
 
+#include "src/common/pooled.h"
+#include "src/common/small_vec.h"
 #include "src/correctables/batch_scheduler.h"
 #include "src/correctables/binding.h"
 #include "src/correctables/correctable.h"
@@ -87,7 +89,7 @@ class InvocationPipeline {
   // level set within one event-loop tick coalesce onto the first submission's round-trip;
   // with a batch window configured, kGet/kPut submissions accumulate per coalescing
   // scope and flush as batched store submissions.
-  Correctable<OpResult> Submit(Operation op, std::vector<ConsistencyLevel> levels);
+  Correctable<OpResult> Submit(Operation op, LevelVec levels);
 
  private:
   // Per-waiter delivery state: one per submitted Correctable.
@@ -106,13 +108,13 @@ class InvocationPipeline {
     bool coalescable = false;
     bool done = false;           // strongest-level response delivered
     std::string map_key;         // open_batches_ entry while joinable
-    std::vector<std::shared_ptr<Invocation>> waiters;
+    SmallVec<std::shared_ptr<Invocation>, 2> waiters;
     struct Emission {
       ConsistencyLevel level;
       StatusOr<OpResult> result;
       ResponseKind kind;
     };
-    std::vector<Emission> history;  // replayed to late same-tick joiners
+    SmallVec<Emission, 2> history;  // replayed to late same-tick joiners
   };
 
   // One flushed cross-tick cohort running as a batched store submission. For reads the
@@ -138,19 +140,23 @@ class InvocationPipeline {
                   StatusOr<OpResult> result, ResponseKind kind);
   // Cross-tick flush handlers.
   void OnCohortFlush(BatchScheduler::Cohort cohort);
-  void FlushReadGroup(const std::vector<ConsistencyLevel>& levels,
-                      std::vector<BatchScheduler::Pending> ops);
-  void FlushWriteGroup(const std::vector<ConsistencyLevel>& levels,
-                       std::vector<BatchScheduler::Pending> ops);
+  void FlushReadGroup(const LevelVec& levels, std::vector<BatchScheduler::Pending> ops);
+  void FlushWriteGroup(const LevelVec& levels, std::vector<BatchScheduler::Pending> ops);
   void OnFanoutEmission(const std::shared_ptr<Fanout>& fanout, ConsistencyLevel level,
                         StatusOr<OpResult> result, ResponseKind kind);
-  // Translates one raw response into a view transition on one waiter.
-  void Deliver(Invocation& inv, ConsistencyLevel level, const StatusOr<OpResult>& result,
+  // Translates one raw response into a view transition on one waiter. Takes the result
+  // by value: fan-out callers copy per waiter anyway, and the last waiter of an emission
+  // can be handed the original without a copy.
+  void Deliver(Invocation& inv, ConsistencyLevel level, StatusOr<OpResult> result,
                ResponseKind kind);
 
   Binding* binding_;
   EventLoop* loop_;
   ClientStats* stats_;
+  // SupportedLevels() and Name() return fresh containers per call; both are stable by
+  // contract, so hot paths read these cached copies instead of allocating per submission.
+  std::vector<ConsistencyLevel> supported_levels_;
+  std::string binding_name_;
   SimDuration timeout_ = 0;
   // Joinable read batches of the current submission tick; wholesale-cleared when the
   // tick advances (entries for lost responses must not accumulate).
@@ -159,7 +165,14 @@ class InvocationPipeline {
   // submission, so a writer's same-key writes carry strictly increasing LWW timestamps
   // however they are later batched or re-routed (see Operation::timestamp).
   SimTime last_write_stamp_ = 0;
-  std::map<std::string, std::shared_ptr<Batch>> open_batches_;
+  // Pool-allocated nodes: map churn (one insert/erase per coalescable read batch)
+  // recycles node blocks instead of hitting the global allocator.
+  std::map<std::string, std::shared_ptr<Batch>, std::less<std::string>,
+           PoolAllocator<std::pair<const std::string, std::shared_ptr<Batch>>>>
+      open_batches_;
+  // Reused lookup-key buffer for BatchKey construction; its capacity persists across
+  // submissions, so steady-state key building allocates nothing.
+  std::string scratch_key_;
   BatchScheduler scheduler_;  // must follow loop_ (init order)
 };
 

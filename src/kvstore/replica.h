@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/inline_function.h"
 #include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/correctables/binding.h"
@@ -65,7 +66,9 @@ struct ReadOptions {
 
 // Client-side completion for one view of a read/write. `kind` distinguishes full values
 // from confirmations; the bool marks the final view.
-using KvResponseFn = std::function<void(StatusOr<OpResult>, bool is_final, ResponseKind kind)>;
+// 96 inline bytes: fits the pipeline's per-level emission adapters inline.
+using KvResponseFn =
+    InlineFunction<void(StatusOr<OpResult>, bool is_final, ResponseKind kind), 96>;
 
 class KvReplica {
  public:

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/inline_function.h"
 #include "src/common/status.h"
 #include "src/correctables/operation.h"
 #include "src/sim/network.h"
@@ -33,7 +34,8 @@ struct CausalConfig {
   SimDuration multi_per_key_service = Micros(50);
 };
 
-using CausalResponseFn = std::function<void(StatusOr<OpResult>)>;
+// 96 inline bytes: fits the pipeline's EmitAt adapters (emitter + level) inline.
+using CausalResponseFn = InlineFunction<void(StatusOr<OpResult>), 96>;
 
 class CausalReplica {
  public:

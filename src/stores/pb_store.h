@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/inline_function.h"
 #include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/correctables/operation.h"
@@ -31,7 +32,9 @@ struct PbConfig {
   SimDuration multi_per_key_service = Micros(50);
 };
 
-using PbResponseFn = std::function<void(StatusOr<OpResult>)>;
+// 96 inline bytes: the pipeline's EmitAt adapters (a captured emitter plus a level)
+// must reach the store without a heap-allocated callback per request.
+using PbResponseFn = InlineFunction<void(StatusOr<OpResult>), 96>;
 
 class PbNode {
  public:

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/inline_function.h"
 #include "src/common/metrics.h"
 #include "src/common/status.h"
 #include "src/correctables/binding.h"
@@ -69,7 +70,8 @@ struct ZabApplyResult {
 };
 
 // Completion for a client request against a ZabServer; mirrors KvResponseFn.
-using ZabResponseFn = std::function<void(StatusOr<OpResult>, bool is_final, ResponseKind kind)>;
+using ZabResponseFn =
+    InlineFunction<void(StatusOr<OpResult>, bool is_final, ResponseKind kind), 96>;
 
 class ZabServer {
  public:

@@ -30,7 +30,10 @@ class MockBinding : public Binding {
     plan.AddSpan(levels.levels(),
                  [this, requested = levels.levels()](const Operation& planned,
                                                      LevelEmitter emit) {
-                   calls_.push_back(Call{planned, requested, std::move(emit)});
+                   calls_.push_back(Call{
+                       planned,
+                       std::vector<ConsistencyLevel>(requested.begin(), requested.end()),
+                       std::move(emit)});
                  });
     (void)op;
     return plan;

@@ -53,7 +53,7 @@ TEST(ValidLevelSelection, RejectsUnsupported) {
 TEST(ValidLevelSelection, ThreeLevelBinding) {
   const std::vector<ConsistencyLevel> supported = {
       ConsistencyLevel::kCache, ConsistencyLevel::kWeak, ConsistencyLevel::kStrong};
-  EXPECT_TRUE(ValidLevelSelection(supported, supported));
+  EXPECT_TRUE(ValidLevelSelection(LevelVec(supported.begin(), supported.end()), supported));
   EXPECT_TRUE(ValidLevelSelection({ConsistencyLevel::kCache, ConsistencyLevel::kStrong},
                                   supported));
 }
