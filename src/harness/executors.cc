@@ -167,4 +167,40 @@ OpExecutor MakeTwissandraExecutor(Twissandra* twissandra, bool use_icg) {
       twissandra->config().num_users);
 }
 
+int PinWorld(LoopGroup& group, SimWorld& world) { return group.Attach(&world.loop()); }
+
+namespace {
+
+void AddInto(ClientStats& into, const ClientStats& from) {
+  into.invocations += from.invocations;
+  into.weak_invocations += from.weak_invocations;
+  into.strong_invocations += from.strong_invocations;
+  into.icg_invocations += from.icg_invocations;
+  into.views_delivered += from.views_delivered;
+  into.confirmations += from.confirmations;
+  into.divergences += from.divergences;
+  into.stale_views_dropped += from.stale_views_dropped;
+  into.errors += from.errors;
+  into.timeouts += from.timeouts;
+  into.batched_invocations += from.batched_invocations;
+  into.coalesced_reads += from.coalesced_reads;
+  into.cross_tick_batches += from.cross_tick_batches;
+  into.batched_writes += from.batched_writes;
+  into.overload_sheds += from.overload_sheds;
+}
+
+}  // namespace
+
+void ClientStatsGroup::Absorb(size_t i, const ClientStats& stats) {
+  AddInto(slots_.at(i).stats, stats);
+}
+
+ClientStats ClientStatsGroup::Merged() const {
+  ClientStats merged;
+  for (const Slot& slot : slots_) {
+    AddInto(merged, slot.stats);
+  }
+  return merged;
+}
+
 }  // namespace icg

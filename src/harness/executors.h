@@ -4,11 +4,14 @@
 #define ICG_HARNESS_EXECUTORS_H_
 
 #include <string>
+#include <vector>
 
 #include "src/apps/ads.h"
 #include "src/apps/twissandra.h"
 #include "src/correctables/client.h"
+#include "src/harness/deployment.h"
 #include "src/kvstore/cluster.h"
+#include "src/sim/loop_group.h"
 #include "src/ycsb/runner.h"
 
 namespace icg {
@@ -38,6 +41,38 @@ int64_t KeyIndexOf(const std::string& ycsb_key);
 
 // Installs `record_count` records of the workload's value size on every replica.
 void PreloadYcsbDataset(KvCluster* cluster, const WorkloadConfig& config);
+
+// --- Parallel execution helpers -------------------------------------------------------
+
+// Pins a SimWorld to a LoopGroup slot: everything scheduled on the world's loop (its
+// network, stores, clients, runners) runs on that slot's driving thread each round.
+// Returns the affinity index — also the natural ClientStatsGroup slot for the world.
+int PinWorld(LoopGroup& group, SimWorld& world);
+
+// Per-loop ClientStats accumulators, one cache line apart so concurrently-driven loops
+// never false-share while counting; reads fold the slots field-wise on demand.
+class ClientStatsGroup {
+ public:
+  explicit ClientStatsGroup(size_t n_loops) : slots_(n_loops) {}
+
+  size_t size() const { return slots_.size(); }
+  // The accumulator a loop's executors may mutate freely from that loop's thread.
+  ClientStats& ForLoop(size_t i) { return slots_.at(i).stats; }
+  const ClientStats& ForLoop(size_t i) const { return slots_.at(i).stats; }
+
+  // Adds a client's counters into loop `i`'s accumulator (e.g. a per-world
+  // CorrectableClient's stats() at trial end).
+  void Absorb(size_t i, const ClientStats& stats);
+
+  // Field-wise sum over every slot: the system-wide view.
+  ClientStats Merged() const;
+
+ private:
+  struct alignas(64) Slot {
+    ClientStats stats;
+  };
+  std::vector<Slot> slots_;
+};
 
 }  // namespace icg
 

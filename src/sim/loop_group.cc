@@ -1,0 +1,208 @@
+#include "src/sim/loop_group.h"
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+#include <optional>
+#include <utility>
+
+namespace icg {
+namespace {
+
+// Which attached loop the current thread is driving, so Post can stamp the sender
+// deterministically without any shared counter. -1 outside DriveLoop.
+thread_local int tls_driving_loop = -1;
+
+}  // namespace
+
+LoopGroup::LoopGroup(Options options) : options_(options) {}
+
+LoopGroup::~LoopGroup() {
+  if (!workers_.empty()) {
+    {
+      std::lock_guard<std::mutex> lock(round_mu_);
+      stopping_ = true;
+    }
+    round_cv_.notify_all();
+    for (std::thread& worker : workers_) {
+      worker.join();
+    }
+  }
+}
+
+int LoopGroup::Attach(EventLoop* loop) {
+  assert(loop != nullptr);
+  assert(loop->Now() == now_ && "attached loops must share the group clock");
+  assert(workers_.empty() && "attach loops before the first threaded round");
+  const int index = static_cast<int>(slots_.size());
+  Slot slot;
+  slot.loop = loop;
+  slots_.push_back(slot);
+  stripes_.push_back(std::make_unique<Stripe>());
+  return index;
+}
+
+void LoopGroup::Post(int target, SimTime when, EventLoop::Task task) {
+  assert(target >= 0 && target < size());
+  Message message;
+  message.when = when;
+  message.sender = tls_driving_loop;
+  message.task = std::move(task);
+  if (message.sender >= 0) {
+    // One thread drives a loop per round, so its counter needs no synchronization.
+    message.seq = ++slots_[static_cast<size_t>(message.sender)].post_seq;
+  } else {
+    std::lock_guard<std::mutex> lock(external_mu_);
+    message.seq = ++external_seq_;
+  }
+  Stripe& stripe = *stripes_[static_cast<size_t>(target)];
+  std::lock_guard<std::mutex> lock(stripe.mu);
+  stripe.queue.push_back(std::move(message));
+}
+
+size_t LoopGroup::pending_messages() const {
+  size_t total = 0;
+  for (const auto& stripe : stripes_) {
+    std::lock_guard<std::mutex> lock(stripe->mu);
+    total += stripe->queue.size();
+  }
+  return total;
+}
+
+void LoopGroup::DrainChannel() {
+  // Runs on the driver thread between rounds: no loop is executing, so scheduling onto
+  // targets is race-free. Sorting by (delivery time, sender, per-sender seq) fixes the
+  // schedule order — and thereby the target's same-timestamp FIFO order — regardless of
+  // which thread interleaving filled the stripe.
+  for (size_t target = 0; target < stripes_.size(); ++target) {
+    std::vector<Message> batch;
+    {
+      std::lock_guard<std::mutex> lock(stripes_[target]->mu);
+      batch.swap(stripes_[target]->queue);
+    }
+    if (batch.empty()) {
+      continue;
+    }
+    for (Message& message : batch) {
+      message.when = std::max(message.when, now_);
+    }
+    std::sort(batch.begin(), batch.end(), [](const Message& a, const Message& b) {
+      if (a.when != b.when) return a.when < b.when;
+      if (a.sender != b.sender) return a.sender < b.sender;
+      return a.seq < b.seq;
+    });
+    EventLoop* loop = slots_[target].loop;
+    for (Message& message : batch) {
+      loop->ScheduleAt(message.when, std::move(message.task));
+    }
+  }
+}
+
+void LoopGroup::DriveLoop(int index, SimTime barrier) {
+  tls_driving_loop = index;
+  slots_[static_cast<size_t>(index)].loop->RunUntil(barrier);
+  tls_driving_loop = -1;
+}
+
+void LoopGroup::StartWorkers() {
+  worker_count_ = std::min(options_.threads, size());
+  workers_.reserve(static_cast<size_t>(worker_count_));
+  for (int w = 0; w < worker_count_; ++w) {
+    workers_.emplace_back([this, w]() { WorkerMain(w); });
+  }
+}
+
+void LoopGroup::WorkerMain(int worker_index) {
+  const int stride = worker_count_;
+  uint64_t seen = 0;
+  while (true) {
+    SimTime barrier;
+    {
+      std::unique_lock<std::mutex> lock(round_mu_);
+      round_cv_.wait(lock, [&]() { return stopping_ || round_gen_ != seen; });
+      if (stopping_) {
+        return;
+      }
+      seen = round_gen_;
+      barrier = round_barrier_;
+    }
+    // Static round-robin ownership: worker w drives loops w, w+K, w+2K, ... — each loop
+    // is touched by exactly one thread per round.
+    for (int i = worker_index; i < size(); i += stride) {
+      DriveLoop(i, barrier);
+    }
+    {
+      std::lock_guard<std::mutex> lock(round_mu_);
+      if (--workers_active_ == 0) {
+        done_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void LoopGroup::RunRound(SimTime barrier) {
+  assert(barrier >= now_);
+  // Deliver everything queued before the round, so externally posted work (and last
+  // round's messages) is on its target before that target runs.
+  DrainChannel();
+  if (threaded() && size() > 1) {
+    if (workers_.empty()) {
+      StartWorkers();
+    }
+    {
+      std::lock_guard<std::mutex> lock(round_mu_);
+      round_barrier_ = barrier;
+      workers_active_ = static_cast<int>(workers_.size());
+      ++round_gen_;
+    }
+    round_cv_.notify_all();
+    std::unique_lock<std::mutex> lock(round_mu_);
+    done_cv_.wait(lock, [&]() { return workers_active_ == 0; });
+  } else {
+    for (int i = 0; i < size(); ++i) {
+      DriveLoop(i, barrier);
+    }
+  }
+  now_ = barrier;
+  ++rounds_;
+}
+
+void LoopGroup::RunUntil(SimTime until) {
+  while (now_ < until) {
+    RunRound(std::min<SimTime>(until, now_ + options_.quantum));
+  }
+}
+
+void LoopGroup::RunAll() {
+  while (true) {
+    // Earliest pending activity anywhere: loop events, or queued messages (delivered at
+    // max(when, now) — never in the past).
+    std::optional<SimTime> earliest;
+    for (const Slot& slot : slots_) {
+      const auto next = slot.loop->NextEventTime();
+      if (next.has_value() && (!earliest.has_value() || *next < *earliest)) {
+        earliest = *next;
+      }
+    }
+    for (const auto& stripe : stripes_) {
+      std::lock_guard<std::mutex> lock(stripe->mu);
+      for (const Message& message : stripe->queue) {
+        const SimTime at = std::max(message.when, now_);
+        if (!earliest.has_value() || at < *earliest) {
+          earliest = at;
+        }
+      }
+    }
+    if (!earliest.has_value()) {
+      return;
+    }
+    RunRound(std::max(*earliest, now_) + options_.quantum);
+  }
+}
+
+int LoopGroup::HardwareThreads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace icg

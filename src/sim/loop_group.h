@@ -1,0 +1,138 @@
+// LoopGroup: N EventLoops advanced in lockstep virtual-time quanta, optionally on N
+// real threads — the parallel execution substrate behind the multi-world benchmarks.
+//
+// Affinity model: everything scheduled on one EventLoop (a SimWorld's network, stores,
+// clients, runners) stays on that loop, and each loop is driven by exactly one thread
+// within any round, so simulated components need no locking. The only object shared
+// between loops is the cross-loop channel below.
+//
+// Synchronization model: virtual time advances in quanta. Within a round every loop
+// independently runs its own events up to the round's barrier time; at the barrier the
+// driver drains the cross-loop channel and schedules delivered messages onto their
+// target loops. A message posted during round R becomes visible on its target at round
+// R+1, at virtual time max(when, barrier_R) — in threaded AND sequential mode alike, so
+// the quantum (not thread interleaving) bounds cross-loop latency.
+//
+// Determinism: bit-for-bit. Each loop's event sequence is a pure function of its own
+// schedule (loops never touch each other mid-round), and drained messages are sorted by
+// (delivery time, sender, per-sender sequence) before scheduling, which pins the
+// target's FIFO tie-break order. Running with `threads = 0` (sequential), 2, or N
+// produces identical per-loop histories — the seeded tests and consistency oracles rely
+// on this to validate the threaded modes against the deterministic one.
+#ifndef ICG_SIM_LOOP_GROUP_H_
+#define ICG_SIM_LOOP_GROUP_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "src/common/types.h"
+#include "src/sim/event_loop.h"
+
+namespace icg {
+
+class LoopGroup {
+ public:
+  struct Options {
+    // 0 or 1: the deterministic sequential driver (no threads are ever created).
+    // K > 1: loops are driven by min(K, loops) persistent worker threads per round.
+    int threads = 0;
+    // Width of one synchronization round in virtual microseconds. Smaller quanta mean
+    // lower cross-loop latency but more barriers per simulated second.
+    SimDuration quantum = 1000;
+  };
+
+  LoopGroup() : LoopGroup(Options()) {}
+  explicit LoopGroup(Options options);
+  LoopGroup(const LoopGroup&) = delete;
+  LoopGroup& operator=(const LoopGroup&) = delete;
+  ~LoopGroup();
+
+  // Registers a loop (not owned) and returns its index — the shard/world affinity slot.
+  // The loop must currently sit at the group's virtual time (all loops advance
+  // together), and attaching after worker threads have started is not supported.
+  int Attach(EventLoop* loop);
+
+  int size() const { return static_cast<int>(slots_.size()); }
+  EventLoop& loop(int i) { return *slots_[static_cast<size_t>(i)].loop; }
+
+  // Cross-loop message: run `task` on loop `target` at virtual time >= `when`.
+  // Callable from any loop's driving thread mid-round (each target has its own striped
+  // mutex + queue; MPSC per target) and from the driver between rounds. Delivery
+  // happens at the next barrier, at max(when, barrier time).
+  void Post(int target, SimTime when, EventLoop::Task task);
+
+  // Messages accepted but not yet scheduled onto their targets. Driver-thread only.
+  size_t pending_messages() const;
+
+  // Advances every loop to `until` through repeated quantum rounds.
+  void RunUntil(SimTime until);
+
+  // Runs rounds until no loop has pending events and the channel is empty.
+  void RunAll();
+
+  // The group's uniform virtual time (every attached loop's Now() between rounds).
+  SimTime Now() const { return now_; }
+
+  // Barrier rounds executed so far (observability for tests and pacing diagnostics).
+  int64_t rounds() const { return rounds_; }
+
+  bool threaded() const { return options_.threads > 1; }
+
+  // Real cores available, for core-count-aware benchmark gates.
+  static int HardwareThreads();
+
+ private:
+  struct Message {
+    SimTime when = 0;
+    int sender = -1;  // attached loop index, or -1 for an external (driver) post
+    uint64_t seq = 0;  // per-sender submission order: the deterministic tie-break
+    EventLoop::Task task;
+  };
+
+  // Cache-line padded: adjacent slots are hammered by different worker threads.
+  struct alignas(64) Slot {
+    EventLoop* loop = nullptr;
+    uint64_t post_seq = 0;  // messages sent *by* this loop (driving thread only)
+  };
+
+  // One stripe per target loop, so posts to different targets never contend.
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::vector<Message> queue;
+  };
+
+  // Runs every loop to `barrier` (sequentially or via the worker pool), then delivers
+  // all queued cross-loop messages and advances the group clock.
+  void RunRound(SimTime barrier);
+  void DriveLoop(int index, SimTime barrier);
+  void DrainChannel();
+  void StartWorkers();
+  void WorkerMain(int worker_index);
+
+  Options options_;
+  SimTime now_ = 0;
+  int64_t rounds_ = 0;
+  std::vector<Slot> slots_;
+  std::vector<std::unique_ptr<Stripe>> stripes_;  // parallel to slots_
+
+  std::mutex external_mu_;  // guards external (non-loop) posters' sequence counter
+  uint64_t external_seq_ = 0;
+
+  // Worker pool (created lazily on the first threaded round).
+  int worker_count_ = 0;  // set before any worker starts; constant afterwards
+  std::vector<std::thread> workers_;
+  std::mutex round_mu_;
+  std::condition_variable round_cv_;   // driver -> workers: a round is ready
+  std::condition_variable done_cv_;    // workers -> driver: all loops reached the barrier
+  uint64_t round_gen_ = 0;
+  SimTime round_barrier_ = 0;
+  int workers_active_ = 0;
+  bool stopping_ = false;
+};
+
+}  // namespace icg
+
+#endif  // ICG_SIM_LOOP_GROUP_H_
