@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "src/common/histogram.h"
@@ -101,6 +102,10 @@ class JsonSummary {
 
   // Writes BENCH_<name>.json and reports the path on stdout. Returns false (with a
   // warning) if the file cannot be opened; benches never fail on summary IO.
+  //
+  // Every summary records the machine's core count as "cores" so wall-clock numbers
+  // (speedups, ns/op) committed as baselines carry the hardware they were measured on,
+  // and --check-style gates can refuse to compare across different machines.
   bool Write() const {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -109,6 +114,7 @@ class JsonSummary {
       return false;
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\"", Escape(name_).c_str());
+    std::fprintf(f, ",\n  \"cores\": %u", std::thread::hardware_concurrency());
     for (const auto& [key, value] : entries_) {
       std::fprintf(f, ",\n  \"%s\": %s", Escape(key).c_str(), value.c_str());
     }

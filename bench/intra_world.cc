@@ -1,0 +1,243 @@
+// Intra-world parallel sharding: ONE 4-coordinator sharded-Cassandra world whose
+// coordinators are placed on four LoopGroup lanes (PlaceShardsAcrossLoops) while the
+// three client endpoints drive closed-loop YCSB-B from the front loop. Unlike
+// parallel_loops (W independent worlds), the parallelism here is *inside* a single
+// deployment: every client<->coordinator request, quorum fan-out, and replication
+// crosses loops through the group channel.
+//
+// Three configurations of the same load:
+//   1-loop    : the whole world on one loop (legacy in-loop delivery) — the baseline.
+//   placed/seq: split across 5 loops, driven sequentially (threads=0).
+//   placed/N  : split across 5 loops, driven by real threads.
+//
+// The placed runs must be bit-for-bit identical to each other at every thread width
+// (the determinism contract; checked at widths 0, 2, and 4). The 1-loop baseline is a
+// *different simulation* — cross-loop messages pay up-to-a-quantum extra latency — so
+// it is only compared on wall clock. Core-count-aware gate:
+//
+//   >= 4 cores: placed/threaded must beat the 1-loop baseline by >= 1.5x,
+//    fewer     : no speedup required — determinism + error-free results only.
+//
+// Flags: --smoke shortens the trial and gates on determinism only. Writes
+// BENCH_intra_world.json with per-mode wall times, the speedup, and the threaded run's
+// round/steal statistics (barrier wait, channel traffic, per-loop event high-water).
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/harness/deployment.h"
+#include "src/harness/executors.h"
+#include "src/sim/loop_group.h"
+#include "src/ycsb/multi_runner.h"
+
+namespace icg {
+namespace {
+
+constexpr int kCoordinators = 4;
+constexpr int64_t kRecords = 4000;
+
+struct TrialOutcome {
+  double wall_seconds = 0;
+  double throughput_ops = 0;
+  int64_t measured_ops = 0;
+  int64_t errors = 0;
+  int64_t rounds = 0;
+  ClientStats stats;  // merged across the 3 endpoints, for cross-width equality
+  // Threaded-run round statistics (from LoopGroup::metrics()).
+  int64_t barrier_wait_ns = 0;
+  int64_t channel_messages = 0;
+  int64_t channel_depth_highwater = 0;
+  int64_t loop_events_highwater = 0;
+};
+
+// Builds the one world, optionally places it across lanes, runs the 3-client YCSB load
+// through the group, and collects wall-clock + merged simulated results.
+TrialOutcome RunTrial(int threads, bool placed, int runner_threads, SimDuration duration,
+                      SimDuration elide, uint64_t seed) {
+  LoopGroup::Options options;
+  options.threads = threads;
+  options.quantum = Millis(2);
+  LoopGroup group(options);
+
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  const WorkloadConfig workload =
+      WorkloadConfig::YcsbB(RequestDistribution::kUniform, kRecords);
+
+  RunnerConfig config;
+  config.threads = runner_threads;
+  config.duration = duration;
+  config.warmup = elide;
+  config.cooldown = elide;
+
+  SimWorld world(seed);
+  auto stack = std::make_unique<ShardedCassandraStack>(MakeShardedCassandraStack(
+      world, kCoordinators, KvConfig{}, binding, Region::kIreland,
+      {Region::kFrankfurt, Region::kIreland, Region::kVirginia, Region::kCalifornia}));
+  auto& frk = AddShardedCassandraClient(world, *stack, binding, Region::kFrankfurt);
+  auto& vrg = AddShardedCassandraClient(world, *stack, binding, Region::kVirginia);
+  PreloadYcsbDataset(stack->cluster.get(), workload);
+
+  if (placed) {
+    PlaceShardsAcrossLoops(group, world, *stack);
+  } else {
+    PinWorld(group, world);
+  }
+
+  MultiRunner runner(&world.loop(), config);
+  runner.AddClient(workload, seed * 3 + 1, MakeKvExecutor(stack->client(), KvMode::kIcg));
+  runner.AddClient(workload, seed * 3 + 2, MakeKvExecutor(frk.client.get(), KvMode::kIcg));
+  runner.AddClient(workload, seed * 3 + 3, MakeKvExecutor(vrg.client.get(), KvMode::kIcg));
+
+  const auto start = std::chrono::steady_clock::now();
+  runner.Begin();
+  group.RunUntil(duration + 2 * elide + Seconds(5));
+  const auto stop = std::chrono::steady_clock::now();
+
+  TrialOutcome outcome;
+  outcome.wall_seconds = std::chrono::duration<double>(stop - start).count();
+  outcome.rounds = group.rounds();
+  const RunnerResult r = runner.Collect();
+  outcome.throughput_ops = r.throughput_ops;
+  outcome.measured_ops = r.measured_ops;
+  outcome.errors = r.errors;
+  ClientStatsGroup stats(1);
+  for (const auto& endpoint : stack->endpoints()) {
+    stats.Absorb(0, endpoint->client->stats());
+  }
+  outcome.stats = stats.Merged();
+  outcome.barrier_wait_ns = group.metrics().Value("barrier_wait_ns");
+  outcome.channel_messages = group.metrics().Value("channel_messages");
+  outcome.channel_depth_highwater = group.metrics().Value("channel_depth_highwater");
+  outcome.loop_events_highwater = group.metrics().Value("loop_events_highwater");
+  return outcome;
+}
+
+bool SimEqual(const TrialOutcome& a, const TrialOutcome& b) {
+  return a.measured_ops == b.measured_ops && a.errors == b.errors &&
+         a.rounds == b.rounds &&
+         std::abs(a.throughput_ops - b.throughput_ops) < 1e-9 &&
+         a.stats.invocations == b.stats.invocations &&
+         a.stats.views_delivered == b.stats.views_delivered &&
+         a.stats.confirmations == b.stats.confirmations &&
+         a.stats.divergences == b.stats.divergences &&
+         a.stats.errors == b.stats.errors && a.stats.timeouts == b.stats.timeouts &&
+         a.stats.batched_invocations == b.stats.batched_invocations &&
+         a.stats.coalesced_reads == b.stats.coalesced_reads;
+}
+
+std::string Row(const TrialOutcome& t) {
+  return bench::Fmt(t.wall_seconds, 2);
+}
+
+}  // namespace
+}  // namespace icg
+
+int main(int argc, char** argv) {
+  using namespace icg;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+
+  const int cores = LoopGroup::HardwareThreads();
+  const int timed_width = std::min(cores < 2 ? 2 : cores, kCoordinators + 1);
+  const int runner_threads = smoke ? 12 : 24;
+  const SimDuration duration = smoke ? Seconds(4) : Seconds(15);
+  const SimDuration elide = smoke ? Seconds(1) : Seconds(4);
+  const uint64_t seed = 42;
+
+  bench::PrintHeader(
+      "Intra-world parallel sharding: one deployment across LoopGroup lanes",
+      "One 4-coordinator sharded-Cassandra world under 3-client closed-loop YCSB-B.\n"
+      "Baseline runs the whole world on one loop; the placed runs split coordinators\n"
+      "across 4 lanes (clients on the front loop) and must be bit-for-bit identical\n"
+      "at every thread width before the threaded run is timed.");
+
+  const TrialOutcome one_loop =
+      RunTrial(/*threads=*/0, /*placed=*/false, runner_threads, duration, elide, seed);
+  const TrialOutcome placed_seq =
+      RunTrial(/*threads=*/0, /*placed=*/true, runner_threads, duration, elide, seed);
+  const TrialOutcome placed_w2 =
+      RunTrial(/*threads=*/2, /*placed=*/true, runner_threads, duration, elide, seed);
+  const TrialOutcome placed_w4 =
+      RunTrial(/*threads=*/4, /*placed=*/true, runner_threads, duration, elide, seed);
+  const TrialOutcome& timed =
+      timed_width >= 4 ? placed_w4 : placed_w2;  // best width this machine can drive
+
+  const bool deterministic =
+      SimEqual(placed_seq, placed_w2) && SimEqual(placed_seq, placed_w4);
+  const double speedup =
+      timed.wall_seconds > 0 ? one_loop.wall_seconds / timed.wall_seconds : 0.0;
+
+  bench::Table table({"mode", "wall (s)", "sim throughput (ops/s)", "measured ops",
+                      "errors", "rounds", "xloop msgs"});
+  table.AddRow({"1-loop", Row(one_loop), bench::Fmt(one_loop.throughput_ops, 0),
+                std::to_string(one_loop.measured_ops), std::to_string(one_loop.errors),
+                std::to_string(one_loop.rounds), std::to_string(one_loop.channel_messages)});
+  table.AddRow({"placed seq", Row(placed_seq), bench::Fmt(placed_seq.throughput_ops, 0),
+                std::to_string(placed_seq.measured_ops),
+                std::to_string(placed_seq.errors), std::to_string(placed_seq.rounds),
+                std::to_string(placed_seq.channel_messages)});
+  table.AddRow({"placed w=2", Row(placed_w2), bench::Fmt(placed_w2.throughput_ops, 0),
+                std::to_string(placed_w2.measured_ops), std::to_string(placed_w2.errors),
+                std::to_string(placed_w2.rounds),
+                std::to_string(placed_w2.channel_messages)});
+  table.AddRow({"placed w=4", Row(placed_w4), bench::Fmt(placed_w4.throughput_ops, 0),
+                std::to_string(placed_w4.measured_ops), std::to_string(placed_w4.errors),
+                std::to_string(placed_w4.rounds),
+                std::to_string(placed_w4.channel_messages)});
+  table.Print();
+
+  bench::JsonSummary json("intra_world");
+  json.Add("coordinators", static_cast<int64_t>(kCoordinators));
+  json.Add("loops", static_cast<int64_t>(kCoordinators + 1));
+  json.Add("timed_width", static_cast<int64_t>(timed_width >= 4 ? 4 : 2));
+  json.Add("one_loop.wall_s", one_loop.wall_seconds, 3);
+  json.Add("placed_seq.wall_s", placed_seq.wall_seconds, 3);
+  json.Add("placed_threaded.wall_s", timed.wall_seconds, 3);
+  json.Add("speedup", speedup, 2);
+  json.Add("sim_throughput_ops", placed_seq.throughput_ops, 0);
+  json.Add("measured_ops", static_cast<double>(placed_seq.measured_ops), 0);
+  json.Add("errors", static_cast<double>(placed_seq.errors), 0);
+  json.Add("deterministic", deterministic ? 1.0 : 0.0, 0);
+  json.Add("channel_messages", timed.channel_messages);
+  json.Add("channel_depth_highwater", timed.channel_depth_highwater);
+  json.Add("loop_events_highwater", timed.loop_events_highwater);
+  json.Add("barrier_wait_ms", static_cast<double>(timed.barrier_wait_ns) / 1e6, 1);
+  json.Write();
+
+  if (!deterministic) {
+    std::printf("FAIL: placed runs diverged across thread widths\n");
+    return 1;
+  }
+  if (placed_seq.errors != 0 || one_loop.errors != 0) {
+    std::printf("FAIL: simulated load reported errors\n");
+    return 1;
+  }
+  if (placed_seq.channel_messages == 0) {
+    std::printf("FAIL: placement produced no cross-loop traffic\n");
+    return 1;
+  }
+
+  // Core-count-aware scaling gate. Smoke trials are too short to amortize barrier
+  // overhead, and machines under 4 cores cannot drive 4 lanes concurrently; both gate
+  // on determinism only and report the speedup informationally.
+  const double bar = (!smoke && cores >= 4) ? 1.5 : 0.0;
+  std::printf("cores=%d timed_width=%d speedup=%.2fx vs 1-loop (gate: %s)\n", cores,
+              timed_width, speedup,
+              bar > 0 ? (bench::Fmt(bar, 1) + "x").c_str() : "determinism only");
+  if (bar > 0 && speedup < bar) {
+    std::printf("FAIL: speedup %.2fx below the %.1fx bar for %d cores\n", speedup, bar,
+                cores);
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}

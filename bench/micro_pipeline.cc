@@ -10,7 +10,11 @@
 // Usage:
 //   micro_pipeline                   run, print, write BENCH_micro_pipeline.json
 //   micro_pipeline --check FILE      also compare against a baseline JSON: exits 1 if
-//                                    any *.ns_per_op regressed more than 20%.
+//                                    any *.allocs_per_op grew (machine-independent), or
+//                                    if any *.ns_per_op regressed more than 20% — the
+//                                    ns/op gates only apply when the baseline's "cores"
+//                                    matches this machine (wall-clock numbers recorded
+//                                    on different hardware are not comparable).
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -19,6 +23,7 @@
 #include <memory>
 #include <new>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -206,24 +211,61 @@ int Run(int argc, char** argv) {
     }
     std::fclose(f);
 
+    int failures = 0;
+
+    // Allocation gates are machine-independent: steady-state allocations per op are a
+    // property of the code, not the hardware, so they always apply. Absolute tolerance
+    // covers measurement noise from pool refills straddling a batch boundary.
     const struct {
       const char* key;
       double current;
-    } gates[] = {{"single.ns_per_op", single.ns_per_op}, {"icg.ns_per_op", icg.ns_per_op}};
-    int failures = 0;
-    for (const auto& gate : gates) {
+    } alloc_gates[] = {{"single.allocs_per_op", single.allocs_per_op},
+                       {"icg.allocs_per_op", icg.allocs_per_op}};
+    for (const auto& gate : alloc_gates) {
       double base = 0;
       if (!JsonNumber(text, gate.key, &base)) {
         std::fprintf(stderr, "baseline %s lacks %s\n", baseline_path, gate.key);
         failures++;
         continue;
       }
-      const double limit = base * 1.20;
+      const double limit = base + 0.01;
       const bool ok = gate.current <= limit;
-      std::printf("check %-18s current %8.1f  baseline %8.1f  limit %8.1f  %s\n", gate.key,
-                  gate.current, base, limit, ok ? "OK" : "REGRESSED");
+      std::printf("check %-21s current %8.3f  baseline %8.3f  limit %8.3f  %s\n",
+                  gate.key, gate.current, base, limit, ok ? "OK" : "REGRESSED");
       if (!ok) {
         failures++;
+      }
+    }
+
+    // Wall-clock gates only compare like with like: a baseline recorded on a machine
+    // with a different core count is informational, not enforceable.
+    double baseline_cores = 0;
+    const bool have_cores = JsonNumber(text, "cores", &baseline_cores);
+    const double machine_cores = static_cast<double>(std::thread::hardware_concurrency());
+    if (!have_cores || baseline_cores != machine_cores) {
+      std::printf("check ns/op gates skipped: baseline cores=%s, this machine has %.0f\n",
+                  have_cores ? bench::Fmt(baseline_cores, 0).c_str() : "unrecorded",
+                  machine_cores);
+    } else {
+      const struct {
+        const char* key;
+        double current;
+      } gates[] = {{"single.ns_per_op", single.ns_per_op},
+                   {"icg.ns_per_op", icg.ns_per_op}};
+      for (const auto& gate : gates) {
+        double base = 0;
+        if (!JsonNumber(text, gate.key, &base)) {
+          std::fprintf(stderr, "baseline %s lacks %s\n", baseline_path, gate.key);
+          failures++;
+          continue;
+        }
+        const double limit = base * 1.20;
+        const bool ok = gate.current <= limit;
+        std::printf("check %-21s current %8.1f  baseline %8.1f  limit %8.1f  %s\n",
+                    gate.key, gate.current, base, limit, ok ? "OK" : "REGRESSED");
+        if (!ok) {
+          failures++;
+        }
       }
     }
     if (failures > 0) {

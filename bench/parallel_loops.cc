@@ -180,7 +180,6 @@ int main(int argc, char** argv) {
 
   bench::JsonSummary json("parallel_loops");
   json.Add("worlds", static_cast<int64_t>(kWorlds));
-  json.Add("cores", static_cast<int64_t>(cores));
   json.Add("threaded_width", static_cast<int64_t>(threaded_width));
   json.Add("sequential.wall_s", sequential.wall_seconds, 3);
   json.Add("threaded.wall_s", threaded.wall_seconds, 3);

@@ -9,12 +9,16 @@
 // fallback for oversized callables, so correctness never depends on the capacity guess.
 //
 // Semantics match std::function where it matters here: copyable (deep copy of the
-// callable), movable (source becomes empty), null-comparable, const-invocable. Callables
-// must be copy-constructible, exactly as std::function requires.
+// callable), movable (source becomes empty), null-comparable, const-invocable. Unlike
+// std::function, move-only callables (unique_ptr captures and the like) are accepted on
+// both sides of the SBO boundary: they move fine, and only an actual *copy* of the
+// wrapper is an error (it aborts), so hot paths that hand closures around by move never
+// pay for copyability they don't use.
 #ifndef ICG_COMMON_INLINE_FUNCTION_H_
 #define ICG_COMMON_INLINE_FUNCTION_H_
 
 #include <cstddef>
+#include <cstdlib>
 #include <new>
 #include <type_traits>
 #include <utility>
@@ -130,7 +134,13 @@ class InlineFunction<R(Args...), Capacity> {
         return static_cast<R>((*Stored<D>(s))(std::forward<Args>(args)...));
       },
       /*copy=*/[](unsigned char* dst, const unsigned char* src) {
-        ::new (static_cast<void*>(dst)) D(*Stored<D>(src));
+        if constexpr (std::is_copy_constructible_v<D>) {
+          ::new (static_cast<void*>(dst)) D(*Stored<D>(src));
+        } else {
+          (void)dst;
+          (void)src;
+          std::abort();  // copying a wrapper that holds a move-only callable
+        }
       },
       /*relocate=*/[](unsigned char* dst, unsigned char* src) {
         ::new (static_cast<void*>(dst)) D(std::move(*Stored<D>(src)));
@@ -145,7 +155,13 @@ class InlineFunction<R(Args...), Capacity> {
         return static_cast<R>((**Stored<D*>(s))(std::forward<Args>(args)...));
       },
       /*copy=*/[](unsigned char* dst, const unsigned char* src) {
-        ::new (static_cast<void*>(dst)) D*(new D(**Stored<D*>(src)));
+        if constexpr (std::is_copy_constructible_v<D>) {
+          ::new (static_cast<void*>(dst)) D*(new D(**Stored<D*>(src)));
+        } else {
+          (void)dst;
+          (void)src;
+          std::abort();  // copying a wrapper that holds a move-only callable
+        }
       },
       /*relocate=*/[](unsigned char* dst, unsigned char* src) {
         ::new (static_cast<void*>(dst)) D*(*Stored<D*>(src));

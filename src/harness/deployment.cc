@@ -184,6 +184,41 @@ ShardedEndpoint& AddShardedCassandraClient(SimWorld& world, ShardedCassandraStac
   return stack.WireEndpoint(binding_config, client_region, batch_config);
 }
 
+IntraWorldPlacement PlaceShardsAcrossLoops(LoopGroup& group, SimWorld& world,
+                                           ShardedCassandraStack& stack) {
+  IntraWorldPlacement placement;
+  placement.front_slot = group.IndexOf(&world.loop());
+  if (placement.front_slot < 0) {
+    placement.front_slot = group.Attach(&world.loop());
+  }
+  world.network().BindGroup(&group);
+
+  // One fresh lane per coordinator; non-coordinator replicas (join candidates, quorum
+  // peers) ride the coordinator lanes round-robin so no replica stays on the front loop
+  // contending with client work.
+  const std::vector<NodeId>& coordinators = stack.coordinator_ids();
+  std::vector<int> coordinator_slots;
+  coordinator_slots.reserve(coordinators.size());
+  for (size_t i = 0; i < coordinators.size(); ++i) {
+    coordinator_slots.push_back(group.Attach(&world.AddLane()));
+  }
+  size_t next_extra = 0;
+  for (const auto& replica : stack.cluster->replicas()) {
+    const auto it =
+        std::find(coordinators.begin(), coordinators.end(), replica->id());
+    int slot;
+    if (it != coordinators.end()) {
+      slot = coordinator_slots[static_cast<size_t>(it - coordinators.begin())];
+    } else {
+      slot = coordinator_slots[next_extra++ % coordinator_slots.size()];
+    }
+    world.network().PlaceNode(replica->id(), slot);
+    replica->RebindLoop();
+    placement.replica_slots.push_back(slot);
+  }
+  return placement;
+}
+
 ZooKeeperStack MakeZooKeeperStack(SimWorld& world, ZabConfig zab_config, Region client_region,
                                   Region session_region, Region leader_region,
                                   std::vector<Region> server_regions) {

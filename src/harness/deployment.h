@@ -15,6 +15,7 @@
 #include "src/correctables/client.h"
 #include "src/kvstore/cluster.h"
 #include "src/sim/event_loop.h"
+#include "src/sim/loop_group.h"
 #include "src/sim/network.h"
 #include "src/sim/topology.h"
 #include "src/stores/pb_store.h"
@@ -24,6 +25,10 @@ namespace icg {
 
 // The simulated world: event loop + geographic topology + network. Construction order
 // matters (the network holds pointers into the other two), hence this bundle.
+//
+// For intra-world parallel sharding a world can grow extra "lanes" — additional
+// EventLoops it owns — onto which individual nodes are placed (via the network's
+// cross-loop mode), while loop() stays the front-end loop carrying clients and routers.
 class SimWorld {
  public:
   explicit SimWorld(uint64_t seed = 1, double jitter_sigma = 0.08)
@@ -33,10 +38,20 @@ class SimWorld {
   Topology& topology() { return topology_; }
   Network& network() { return network_; }
 
+  // Adds an owned lane loop (for LoopGroup placement). Setup-time only: the new lane
+  // starts at virtual time 0, so create lanes before the group advances.
+  EventLoop& AddLane() {
+    lanes_.push_back(std::make_unique<EventLoop>());
+    return *lanes_.back();
+  }
+  size_t lane_count() const { return lanes_.size(); }
+  EventLoop& lane(size_t i) { return *lanes_.at(i); }
+
  private:
   EventLoop loop_;
   Topology topology_;
   Network network_;
+  std::vector<std::unique_ptr<EventLoop>> lanes_;
 };
 
 // The paper's default Cassandra deployment: replicas in FRK/IRL/VRG (configurable),
@@ -146,6 +161,30 @@ class ShardedCassandraStack {
   size_t queue_limit_ = 0;
   std::vector<std::unique_ptr<ShardedEndpoint>> endpoints_;  // [0] is the primary
 };
+
+// Intra-world placement: which LoopGroup slot each piece of a sharded world landed on.
+struct IntraWorldPlacement {
+  int front_slot = -1;             // clients + routers (the world's own loop)
+  std::vector<int> replica_slots;  // parallel to stack.cluster->replicas()
+};
+
+// Splits ONE sharded deployment across the loops of `group`: each coordinator (and its
+// round-robin share of any non-coordinator replicas) is pinned to its own fresh lane of
+// `world`, while every client endpoint and router stays on the world's front loop.
+// Attaches the front loop to the group if it is not already attached, binds the world's
+// network to the group, and rebinds each replica's timers/service queue to its lane.
+//
+// Latency trade: messages between loops are delivered at the group's next round
+// barrier, so `group.Options::quantum` bounds the added cross-loop latency — a smaller
+// quantum tightens client<->coordinator and quorum round trips at the cost of more
+// barriers (synchronization overhead) per simulated second. Quanta well under the
+// topology's RTTs make the added latency negligible.
+//
+// Call right after building the stack and its endpoints, before any load runs.
+// Coordinators added live (AddCoordinator) afterwards default to the front loop unless
+// explicitly placed.
+IntraWorldPlacement PlaceShardsAcrossLoops(LoopGroup& group, SimWorld& world,
+                                           ShardedCassandraStack& stack);
 
 // Builds a cluster with one replica per `replica_regions` entry and routes traffic
 // across the first `n_coordinators` of them (clamped to [1, #replicas]); the remaining

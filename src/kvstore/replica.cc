@@ -17,6 +17,13 @@ KvReplica::KvReplica(Network* network, NodeId id, const KvConfig* config, const 
   assert(config_ != nullptr);
 }
 
+void KvReplica::RebindLoop() {
+  assert(pending_reads_.empty() && pending_multi_reads_.empty() &&
+         "rebind before any traffic");
+  loop_ = network_->LoopFor(id_);
+  service_.RebindLoop(loop_);
+}
+
 void KvReplica::SetPeers(std::vector<KvReplica*> peers) {
   peers_ = std::move(peers);
   // Keep peers ordered nearest-first from this node, so quorum requests go to the

@@ -82,6 +82,12 @@ class KvReplica {
   ServiceQueue& service_queue() { return service_; }
   MetricRegistry& metrics() { return metrics_; }
 
+  // Re-resolves this replica's loop through Network::LoopFor after the node has been
+  // placed on a LoopGroup lane (intra-world sharding): its timers and service queue move
+  // to the placed loop so all of its activity runs on that lane's driving thread.
+  // Setup-time only — call before any traffic reaches the replica.
+  void RebindLoop();
+
   // --- Coordinator entry points (invoked at this node; client_id is the requester) ----
   void CoordinateRead(NodeId client_id, const std::string& key, const ReadOptions& options,
                       KvResponseFn respond);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <memory>
 #include <optional>
 #include <utility>
@@ -48,6 +49,17 @@ void LoopGroup::Post(int target, SimTime when, EventLoop::Task task) {
   message.when = when;
   message.sender = tls_driving_loop;
   message.task = std::move(task);
+  if (!threaded()) {
+    // Sequential fast path: in threads <= 1 mode every Post runs on the lone driver
+    // thread (no workers are ever constructed — see the assert), so the striped mutex
+    // and the external-seq mutex would be pure uncontended overhead. Skip both.
+    assert(workers_.empty() && "sequential mode must never have started workers");
+    message.seq = message.sender >= 0
+                      ? ++slots_[static_cast<size_t>(message.sender)].post_seq
+                      : ++external_seq_;
+    stripes_[static_cast<size_t>(target)]->queue.push_back(std::move(message));
+    return;
+  }
   if (message.sender >= 0) {
     // One thread drives a loop per round, so its counter needs no synchronization.
     message.seq = ++slots_[static_cast<size_t>(message.sender)].post_seq;
@@ -58,6 +70,15 @@ void LoopGroup::Post(int target, SimTime when, EventLoop::Task task) {
   Stripe& stripe = *stripes_[static_cast<size_t>(target)];
   std::lock_guard<std::mutex> lock(stripe.mu);
   stripe.queue.push_back(std::move(message));
+}
+
+int LoopGroup::IndexOf(const EventLoop* loop) const {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].loop == loop) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
 }
 
 size_t LoopGroup::pending_messages() const {
@@ -74,15 +95,19 @@ void LoopGroup::DrainChannel() {
   // targets is race-free. Sorting by (delivery time, sender, per-sender seq) fixes the
   // schedule order — and thereby the target's same-timestamp FIFO order — regardless of
   // which thread interleaving filled the stripe.
+  int64_t drained = 0;
   for (size_t target = 0; target < stripes_.size(); ++target) {
     std::vector<Message> batch;
-    {
+    if (threaded()) {
       std::lock_guard<std::mutex> lock(stripes_[target]->mu);
+      batch.swap(stripes_[target]->queue);
+    } else {
       batch.swap(stripes_[target]->queue);
     }
     if (batch.empty()) {
       continue;
     }
+    drained += static_cast<int64_t>(batch.size());
     for (Message& message : batch) {
       message.when = std::max(message.when, now_);
     }
@@ -96,12 +121,41 @@ void LoopGroup::DrainChannel() {
       loop->ScheduleAt(message.when, std::move(message.task));
     }
   }
+  if (drained > 0) {
+    metrics_.GetCounter("channel_messages").Increment(drained);
+    RaiseTo("channel_depth_highwater", drained);
+  }
+}
+
+void LoopGroup::RaiseTo(const char* name, int64_t candidate) {
+  Counter& counter = metrics_.GetCounter(name);
+  if (candidate > counter.value()) {
+    counter.Increment(candidate - counter.value());
+  }
+}
+
+void LoopGroup::RecordRoundStats() {
+  // Driver-thread only, after the barrier (the round mutex orders the workers' slot
+  // writes before these reads). Exposes where a round's time went: the hottest loop's
+  // event count is the serial floor of the round, channel depth shows cross-loop
+  // pressure, and barrier_wait_ns (recorded in RunRound) shows what the driver paid.
+  int64_t hottest = 0;
+  int64_t total = 0;
+  for (const Slot& slot : slots_) {
+    hottest = std::max(hottest, slot.round_events);
+    total += slot.round_events;
+  }
+  RaiseTo("loop_events_highwater", hottest);
+  RaiseTo("round_events_highwater", total);
 }
 
 void LoopGroup::DriveLoop(int index, SimTime barrier) {
+  Slot& slot = slots_[static_cast<size_t>(index)];
+  const int64_t before = slot.loop->events_processed();
   tls_driving_loop = index;
-  slots_[static_cast<size_t>(index)].loop->RunUntil(barrier);
+  slot.loop->RunUntil(barrier);
   tls_driving_loop = -1;
+  slot.round_events = slot.loop->events_processed() - before;
 }
 
 void LoopGroup::StartWorkers() {
@@ -113,7 +167,7 @@ void LoopGroup::StartWorkers() {
 }
 
 void LoopGroup::WorkerMain(int worker_index) {
-  const int stride = worker_count_;
+  (void)worker_index;
   uint64_t seen = 0;
   while (true) {
     SimTime barrier;
@@ -126,10 +180,15 @@ void LoopGroup::WorkerMain(int worker_index) {
       seen = round_gen_;
       barrier = round_barrier_;
     }
-    // Static round-robin ownership: worker w drives loops w, w+K, w+2K, ... — each loop
-    // is touched by exactly one thread per round.
-    for (int i = worker_index; i < size(); i += stride) {
-      DriveLoop(i, barrier);
+    // Work stealing: claim the next undriven loop off the shared index until the round
+    // is exhausted. Each loop is still touched by exactly one thread per round (a claim
+    // is exclusive), so loops need no locking and per-loop event order — and therefore
+    // determinism — is untouched; stealing only decides *which thread* drives a loop.
+    // Unlike a static stripe, a worker that drew a hot loop no longer pins the rest of
+    // its stripe behind it: idle workers steal those loops instead.
+    int index;
+    while ((index = claim_.fetch_add(1, std::memory_order_relaxed)) < size()) {
+      DriveLoop(index, barrier);
     }
     {
       std::lock_guard<std::mutex> lock(round_mu_);
@@ -153,16 +212,26 @@ void LoopGroup::RunRound(SimTime barrier) {
       std::lock_guard<std::mutex> lock(round_mu_);
       round_barrier_ = barrier;
       workers_active_ = static_cast<int>(workers_.size());
+      claim_.store(0, std::memory_order_relaxed);
       ++round_gen_;
     }
     round_cv_.notify_all();
-    std::unique_lock<std::mutex> lock(round_mu_);
-    done_cv_.wait(lock, [&]() { return workers_active_ == 0; });
+    const auto wait_start = std::chrono::steady_clock::now();
+    {
+      std::unique_lock<std::mutex> lock(round_mu_);
+      done_cv_.wait(lock, [&]() { return workers_active_ == 0; });
+    }
+    metrics_.GetCounter("barrier_wait_ns")
+        .Increment(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                       std::chrono::steady_clock::now() - wait_start)
+                       .count());
+    metrics_.GetCounter("rounds_threaded").Increment();
   } else {
     for (int i = 0; i < size(); ++i) {
       DriveLoop(i, barrier);
     }
   }
+  RecordRoundStats();
   now_ = barrier;
   ++rounds_;
 }

@@ -19,15 +19,24 @@
 // target's FIFO tie-break order. Running with `threads = 0` (sequential), 2, or N
 // produces identical per-loop histories — the seeded tests and consistency oracles rely
 // on this to validate the threaded modes against the deterministic one.
+//
+// Scheduling model: within a round, loops are claimable units on a shared index —
+// workers steal the next unclaimed loop instead of owning a static stripe, so one hot
+// loop never serializes the whole round behind a fixed owner. Stealing only changes
+// *which thread* drives a loop, never the loop's own event order, so determinism is
+// untouched. Per-round imbalance is visible through metrics(): events/loop high-water,
+// barrier wait time, and channel depth.
 #ifndef ICG_SIM_LOOP_GROUP_H_
 #define ICG_SIM_LOOP_GROUP_H_
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "src/common/metrics.h"
 #include "src/common/types.h"
 #include "src/sim/event_loop.h"
 
@@ -58,6 +67,9 @@ class LoopGroup {
   int size() const { return static_cast<int>(slots_.size()); }
   EventLoop& loop(int i) { return *slots_[static_cast<size_t>(i)].loop; }
 
+  // Slot index of an attached loop, or -1 if it is not attached to this group.
+  int IndexOf(const EventLoop* loop) const;
+
   // Cross-loop message: run `task` on loop `target` at virtual time >= `when`.
   // Callable from any loop's driving thread mid-round (each target has its own striped
   // mutex + queue; MPSC per target) and from the driver between rounds. Delivery
@@ -81,6 +93,20 @@ class LoopGroup {
 
   bool threaded() const { return options_.threads > 1; }
 
+  // Worker threads actually constructed. Stays 0 forever in sequential mode — the
+  // regression tests assert this, since the sequential driver must never spawn or block.
+  int workers_started() const { return worker_count_; }
+
+  // Per-round imbalance and channel observability, updated by the driver at each
+  // barrier (driver-thread reads only):
+  //   "rounds_threaded"          rounds executed through the worker pool
+  //   "loop_events_highwater"    most events one loop processed within a single round
+  //   "round_events_highwater"   most events all loops processed within a single round
+  //   "barrier_wait_ns"          total real time the driver spent blocked at barriers
+  //   "channel_messages"         cross-loop messages delivered across all barriers
+  //   "channel_depth_highwater"  most messages drained at a single barrier
+  const MetricRegistry& metrics() const { return metrics_; }
+
   // Real cores available, for core-count-aware benchmark gates.
   static int HardwareThreads();
 
@@ -96,6 +122,8 @@ class LoopGroup {
   struct alignas(64) Slot {
     EventLoop* loop = nullptr;
     uint64_t post_seq = 0;  // messages sent *by* this loop (driving thread only)
+    int64_t round_events = 0;  // events this loop ran last round (its driver writes,
+                               // the group driver reads after the barrier)
   };
 
   // One stripe per target loop, so posts to different targets never contend.
@@ -111,12 +139,16 @@ class LoopGroup {
   void DrainChannel();
   void StartWorkers();
   void WorkerMain(int worker_index);
+  void RecordRoundStats();
+  // Counter-as-high-water: bumps `name` up to `candidate` if it is a new maximum.
+  void RaiseTo(const char* name, int64_t candidate);
 
   Options options_;
   SimTime now_ = 0;
   int64_t rounds_ = 0;
   std::vector<Slot> slots_;
   std::vector<std::unique_ptr<Stripe>> stripes_;  // parallel to slots_
+  MetricRegistry metrics_;  // driver-thread only (updated between rounds)
 
   std::mutex external_mu_;  // guards external (non-loop) posters' sequence counter
   uint64_t external_seq_ = 0;
@@ -131,6 +163,10 @@ class LoopGroup {
   SimTime round_barrier_ = 0;
   int workers_active_ = 0;
   bool stopping_ = false;
+
+  // The work-stealing index: workers fetch_add to claim the next undriven loop of the
+  // round. Reset by the driver before it publishes a round.
+  std::atomic<int> claim_{0};
 };
 
 }  // namespace icg

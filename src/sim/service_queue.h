@@ -8,6 +8,7 @@
 #ifndef ICG_SIM_SERVICE_QUEUE_H_
 #define ICG_SIM_SERVICE_QUEUE_H_
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 
@@ -23,6 +24,13 @@ class ServiceQueue {
   // Enqueues work consuming `service_time` of server time; runs `done` at completion.
   // Non-preemptive FIFO: completion = max(now, previous completion) + service_time.
   void Submit(SimDuration service_time, EventLoop::Task done);
+
+  // Moves this server onto another loop — used when its node is placed on a LoopGroup
+  // lane after construction. Setup-time only: nothing may be in flight.
+  void RebindLoop(EventLoop* loop) {
+    assert(InFlight() == 0 && "rebind before any work is submitted");
+    loop_ = loop;
+  }
 
   // Time at which the server frees up if no further work arrives.
   SimTime busy_until() const { return busy_until_; }

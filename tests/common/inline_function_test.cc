@@ -1,0 +1,133 @@
+#include "src/common/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <utility>
+
+namespace icg {
+namespace {
+
+// A resource whose lifetime the tests can audit: every construction must be matched by
+// exactly one destruction, across inline storage, heap fallback, and relocation.
+struct Tracked {
+  static int live;
+  static int moves;
+  static int copies;
+
+  explicit Tracked(int v) : value(v) { ++live; }
+  Tracked(const Tracked& other) : value(other.value) {
+    ++live;
+    ++copies;
+  }
+  Tracked(Tracked&& other) noexcept : value(other.value) {
+    ++live;
+    ++moves;
+    other.value = -1;
+  }
+  ~Tracked() { --live; }
+
+  int value;
+};
+int Tracked::live = 0;
+int Tracked::moves = 0;
+int Tracked::copies = 0;
+
+struct TrackedReset {
+  TrackedReset() { Tracked::live = Tracked::moves = Tracked::copies = 0; }
+};
+
+// Padding pushes a callable past a given inline capacity without changing behavior.
+template <std::size_t Bytes>
+struct Pad {
+  unsigned char bytes[Bytes] = {};
+};
+
+TEST(InlineFunction, MoveOnlyCaptureInline) {
+  TrackedReset reset;
+  using Fn = InlineFunction<int(), 48>;
+  auto p = std::make_unique<Tracked>(7);
+  Fn f = [p = std::move(p)]() { return p->value; };  // unique_ptr: move-only closure
+  static_assert(sizeof(std::unique_ptr<Tracked>) <= 48);
+  EXPECT_EQ(Tracked::live, 1);
+  EXPECT_EQ(f(), 7);
+
+  // Across the wrapper move the closure relocates; the source must end up empty and the
+  // resource must survive in the target, with no copy ever made.
+  Fn g = std::move(f);
+  EXPECT_EQ(f, nullptr);
+  EXPECT_TRUE(static_cast<bool>(g));
+  EXPECT_EQ(g(), 7);
+  EXPECT_EQ(Tracked::live, 1);
+  EXPECT_EQ(Tracked::copies, 0);
+
+  g = nullptr;
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(InlineFunction, MoveOnlyCaptureAcrossTheSboBoundary) {
+  TrackedReset reset;
+  using Fn = InlineFunction<int(), 32>;
+  // unique_ptr + 64 bytes of padding cannot fit a 32-byte buffer: heap fallback.
+  auto p = std::make_unique<Tracked>(11);
+  Fn f = [p = std::move(p), pad = Pad<64>{}]() { return p->value; };
+  EXPECT_EQ(Tracked::live, 1);
+  EXPECT_EQ(f(), 11);
+
+  // Heap representation moves by pointer steal: no element moves, no copies.
+  const int moves_before = Tracked::moves;
+  Fn g = std::move(f);
+  EXPECT_EQ(f, nullptr);
+  EXPECT_EQ(g(), 11);
+  EXPECT_EQ(Tracked::moves, moves_before);
+  EXPECT_EQ(Tracked::copies, 0);
+
+  g = nullptr;
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(InlineFunction, MoveAssignReplacesMoveOnlyTarget) {
+  TrackedReset reset;
+  using Fn = InlineFunction<int(), 48>;
+  Fn f = [p = std::make_unique<Tracked>(1)]() { return p->value; };
+  Fn g = [p = std::make_unique<Tracked>(2)]() { return p->value; };
+  EXPECT_EQ(Tracked::live, 2);
+  g = std::move(f);  // g's old closure must be destroyed, f's relocated in
+  EXPECT_EQ(Tracked::live, 1);
+  EXPECT_EQ(g(), 1);
+  EXPECT_EQ(f, nullptr);
+}
+
+TEST(InlineFunction, CopyableClosureStillDeepCopiesOnBothSides) {
+  TrackedReset reset;
+  {
+    // Small: inline on both the original and the copy.
+    InlineFunction<int(), 48> f = [t = Tracked(5)]() { return t.value; };
+    auto g = f;
+    EXPECT_EQ(f(), 5);
+    EXPECT_EQ(g(), 5);
+    EXPECT_GE(Tracked::copies, 1);
+
+    // Large: heap fallback; the copy must own its own heap closure.
+    InlineFunction<int(), 32> big = [t = Tracked(9), pad = Pad<64>{}]() { return t.value; };
+    auto big2 = big;
+    EXPECT_EQ(big(), 9);
+    EXPECT_EQ(big2(), 9);
+  }
+  EXPECT_EQ(Tracked::live, 0);
+}
+
+TEST(InlineFunction, MovedFromWrapperIsReusable) {
+  TrackedReset reset;
+  using Fn = InlineFunction<int(), 48>;
+  Fn f = [p = std::make_unique<Tracked>(3)]() { return p->value; };
+  Fn g = std::move(f);
+  EXPECT_EQ(f, nullptr);
+  f = [p = std::make_unique<Tracked>(4)]() { return p->value; };
+  EXPECT_EQ(f(), 4);
+  EXPECT_EQ(g(), 3);
+  EXPECT_EQ(Tracked::live, 2);
+}
+
+}  // namespace
+}  // namespace icg

@@ -1,0 +1,137 @@
+#include "src/common/small_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace icg {
+namespace {
+
+// Lifetime-audited element: constructions must match destructions exactly across the
+// inline->heap spill, and spills must move (never copy) the live elements.
+struct Elem {
+  static int live;
+  static int moves;
+  static int copies;
+
+  explicit Elem(std::string v) : value(std::move(v)) { ++live; }
+  Elem(const Elem& other) : value(other.value) {
+    ++live;
+    ++copies;
+  }
+  Elem(Elem&& other) noexcept : value(std::move(other.value)) {
+    ++live;
+    ++moves;
+  }
+  ~Elem() { --live; }
+
+  friend bool operator==(const Elem& a, const Elem& b) { return a.value == b.value; }
+
+  std::string value;
+};
+int Elem::live = 0;
+int Elem::moves = 0;
+int Elem::copies = 0;
+
+struct ElemReset {
+  ElemReset() { Elem::live = Elem::moves = Elem::copies = 0; }
+};
+
+TEST(SmallVec, GrowOnSpillMovesNonTrivialElements) {
+  ElemReset reset;
+  {
+    SmallVec<Elem, 2> v;
+    v.emplace_back("a");
+    v.emplace_back("b");
+    EXPECT_EQ(v.capacity(), 2u);
+    EXPECT_EQ(Elem::moves, 0);
+
+    // The third element spills to the heap: the two live elements must relocate by
+    // move, never by copy, and stay intact.
+    v.emplace_back("c");
+    EXPECT_GT(v.capacity(), 2u);
+    EXPECT_EQ(Elem::copies, 0);
+    EXPECT_EQ(Elem::moves, 2);
+    ASSERT_EQ(v.size(), 3u);
+    EXPECT_EQ(v[0].value, "a");
+    EXPECT_EQ(v[1].value, "b");
+    EXPECT_EQ(v[2].value, "c");
+    EXPECT_EQ(Elem::live, 3);
+
+    // Keep growing well past the inline capacity; contents stay in order.
+    for (int i = 0; i < 29; ++i) {
+      v.emplace_back("x" + std::to_string(i));
+    }
+    EXPECT_EQ(v.size(), 32u);
+    EXPECT_EQ(v[2].value, "c");
+    EXPECT_EQ(v.back().value, "x28");
+    EXPECT_EQ(Elem::copies, 0);
+    EXPECT_EQ(Elem::live, 32);
+  }
+  EXPECT_EQ(Elem::live, 0);  // heap storage destroyed every element exactly once
+}
+
+TEST(SmallVec, MoveOnlyElementsSpill) {
+  // unique_ptr elements compile and survive the spill (move-construct relocation).
+  SmallVec<std::unique_ptr<int>, 2> v;
+  for (int i = 0; i < 8; ++i) {
+    v.push_back(std::make_unique<int>(i));
+  }
+  ASSERT_EQ(v.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_NE(v[static_cast<size_t>(i)], nullptr);
+    EXPECT_EQ(*v[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(SmallVec, CopyOfSpilledVectorOwnsItsElements) {
+  ElemReset reset;
+  {
+    SmallVec<Elem, 2> v;
+    for (int i = 0; i < 5; ++i) {
+      v.emplace_back(std::to_string(i));
+    }
+    SmallVec<Elem, 2> w = v;
+    ASSERT_EQ(w.size(), 5u);
+    w[0].value = "changed";
+    EXPECT_EQ(v[0].value, "0");  // deep copy: originals untouched
+    EXPECT_EQ(Elem::live, 10);
+  }
+  EXPECT_EQ(Elem::live, 0);
+}
+
+TEST(SmallVec, MoveOfSpilledVectorStealsTheHeapBuffer) {
+  ElemReset reset;
+  SmallVec<Elem, 2> v;
+  for (int i = 0; i < 6; ++i) {
+    v.emplace_back(std::to_string(i));
+  }
+  const int moves_before = Elem::moves;
+  SmallVec<Elem, 2> w = std::move(v);
+  EXPECT_EQ(Elem::moves, moves_before);  // pointer steal: no element moved
+  ASSERT_EQ(w.size(), 6u);
+  EXPECT_EQ(w[5].value, "5");
+  EXPECT_TRUE(v.empty());
+  v.emplace_back("reuse");  // moved-from vector is reset to inline storage and usable
+  EXPECT_EQ(v[0].value, "reuse");
+}
+
+TEST(SmallVec, ClearAndReuseAfterSpill) {
+  ElemReset reset;
+  SmallVec<Elem, 2> v;
+  for (int i = 0; i < 10; ++i) {
+    v.emplace_back(std::to_string(i));
+  }
+  const size_t spilled_capacity = v.capacity();
+  v.clear();
+  EXPECT_EQ(Elem::live, 0);
+  EXPECT_EQ(v.capacity(), spilled_capacity);  // grow-only: capacity is retained
+  v.emplace_back("again");
+  EXPECT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].value, "again");
+}
+
+}  // namespace
+}  // namespace icg

@@ -1,0 +1,264 @@
+// Intra-world parallel sharding oracle: ONE sharded-Cassandra world whose four
+// coordinators live on four LoopGroup lanes (PlaceShardsAcrossLoops) while its three
+// client endpoints drive load from the front loop. Every client<->coordinator request,
+// quorum fan-out, read repair, and replication now crosses loops through the group
+// channel — the real §6-style deployment, not independent worlds.
+//
+// The trial runs at thread widths 0 (deterministic sequential), 2, and 4 (and 8 when
+// ICG_ORACLE_WIDTH8=1 — the TSan job sets it). Every width must (a) leave every
+// observation oracle-clean — weakest-first monotone delivery, exactly one terminal,
+// per-key program order into replica state — and (b) produce a bit-for-bit identical
+// outcome fingerprint, validating work-stealing threaded rounds against the sequential
+// driver over genuinely cross-loop message flows.
+//
+// The RNG seed comes from ICG_ORACLE_SEED (default 12345); CI sweeps several seeds.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/random.h"
+#include "src/harness/deployment.h"
+#include "src/harness/executors.h"
+#include "src/sim/loop_group.h"
+
+namespace icg {
+namespace {
+
+uint64_t OracleSeed() {
+  const char* env = std::getenv("ICG_ORACLE_SEED");
+  if (env != nullptr && *env != '\0') {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 12345;
+}
+
+bool Width8Enabled() {
+  const char* env = std::getenv("ICG_ORACLE_WIDTH8");
+  return env != nullptr && *env == '1';
+}
+
+constexpr int kCoordinators = 4;
+constexpr int kKeys = 36;
+constexpr int kClients = 3;
+constexpr int kOps = 300;
+
+std::string OracleKey(int index) { return "ikey" + std::to_string(index); }
+
+struct Observation {
+  bool is_write = false;
+  std::string key;
+  std::string written_value;
+  ConsistencyLevel weakest = ConsistencyLevel::kStrong;
+  ConsistencyLevel strongest = ConsistencyLevel::kStrong;
+  std::vector<ConsistencyLevel> delivered;
+  int finals = 0;
+  int errors = 0;
+  bool view_after_terminal = false;
+  OpResult final_value;
+  SimTime final_at = -1;  // virtual delivery time: part of the cross-width fingerprint
+};
+
+void Observe(Correctable<OpResult> c, const std::shared_ptr<Observation>& obs,
+             EventLoop* loop) {
+  c.SetCallbacks(
+      [obs](const View<OpResult>& v) {
+        if (obs->finals + obs->errors > 0) obs->view_after_terminal = true;
+        obs->delivered.push_back(v.level);
+      },
+      [obs, loop](const View<OpResult>& v) {
+        if (obs->finals + obs->errors > 0) obs->view_after_terminal = true;
+        obs->finals++;
+        obs->delivered.push_back(v.level);
+        obs->final_value = v.value;
+        obs->final_at = loop->Now();
+      },
+      [obs](const Status&) {
+        if (obs->finals + obs->errors > 0) obs->view_after_terminal = true;
+        obs->errors++;
+      });
+}
+
+void CheckObservation(const Observation& obs) {
+  SCOPED_TRACE("key=" + obs.key);
+  EXPECT_EQ(obs.finals + obs.errors, 1) << "invocation must close exactly once";
+  EXPECT_EQ(obs.errors, 0) << "no failure injected, so nothing may fail";
+  EXPECT_FALSE(obs.view_after_terminal);
+  for (size_t i = 1; i < obs.delivered.size(); ++i) {
+    EXPECT_TRUE(IsStrongerOrEqual(obs.delivered[i], obs.delivered[i - 1]))
+        << "view level regressed at position " << i;
+  }
+  if (obs.finals == 1) {
+    ASSERT_FALSE(obs.delivered.empty());
+    EXPECT_EQ(obs.delivered.back(), obs.strongest);
+    for (const ConsistencyLevel level : obs.delivered) {
+      EXPECT_TRUE(IsStrongerOrEqual(obs.strongest, level));
+      EXPECT_TRUE(IsStrongerOrEqual(level, obs.weakest));
+    }
+  }
+}
+
+struct TrialState {
+  explicit TrialState(uint64_t seed) : world(seed) {}
+
+  SimWorld world;
+  std::unique_ptr<ShardedCassandraStack> stack;
+  std::vector<CorrectableClient*> clients;
+  std::vector<std::shared_ptr<Observation>> observations;
+  std::map<std::string, std::vector<std::string>> submitted;
+};
+
+// Everything observable about the run, serialized in creation order. Equal strings
+// across thread widths == bit-for-bit identical outcomes.
+std::string Fingerprint(const TrialState& trial) {
+  std::ostringstream out;
+  for (const auto& obs : trial.observations) {
+    out << obs->key << (obs->is_write ? "W" : "R") << "[";
+    for (const ConsistencyLevel level : obs->delivered) {
+      out << static_cast<int>(level);
+    }
+    out << "]=" << obs->final_value.value << "#" << obs->final_value.version.timestamp
+        << "." << obs->final_value.version.writer << "@" << obs->final_at << ";";
+  }
+  return out.str();
+}
+
+std::string RunTrial(int threads, uint64_t seed) {
+  SCOPED_TRACE("threads=" + std::to_string(threads) + " seed=" + std::to_string(seed));
+  LoopGroup::Options options;
+  options.threads = threads;
+  options.quantum = Millis(2);
+  LoopGroup group(options);
+
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  BatchConfig batch;
+  batch.batch_window = Millis(2);
+
+  TrialState trial(seed * 11);
+  trial.stack = std::make_unique<ShardedCassandraStack>(MakeShardedCassandraStack(
+      trial.world, kCoordinators, KvConfig{}, binding, Region::kIreland,
+      {Region::kFrankfurt, Region::kIreland, Region::kVirginia, Region::kCalifornia},
+      batch));
+  auto& frk = AddShardedCassandraClient(trial.world, *trial.stack, binding,
+                                        Region::kFrankfurt, batch);
+  auto& vrg = AddShardedCassandraClient(trial.world, *trial.stack, binding,
+                                        Region::kVirginia, batch);
+  trial.clients = {trial.stack->client(), frk.client.get(), vrg.client.get()};
+  for (int i = 0; i < kKeys; ++i) {
+    trial.stack->cluster->Preload(OracleKey(i), "init");
+  }
+
+  const IntraWorldPlacement placement =
+      PlaceShardsAcrossLoops(group, trial.world, *trial.stack);
+  EXPECT_EQ(placement.replica_slots.size(), static_cast<size_t>(kCoordinators));
+  // Every coordinator must have left the front loop, each on its own lane.
+  std::set<int> lanes;
+  for (const int slot : placement.replica_slots) {
+    EXPECT_NE(slot, placement.front_slot);
+    lanes.insert(slot);
+  }
+  EXPECT_EQ(lanes.size(), static_cast<size_t>(kCoordinators));
+  EXPECT_EQ(group.size(), kCoordinators + 1);
+
+  // Random client load from the front loop: reads at every level plus ICG reads, writes
+  // key-partitioned per client so per-key program order is a checkable invariant.
+  Rng rng(seed * 41);
+  EventLoop* front = &trial.world.loop();
+  int write_counter = 0;
+  for (int i = 0; i < kOps; ++i) {
+    const SimDuration at = static_cast<SimDuration>(rng.NextBounded(Seconds(2)));
+    const size_t client_index = static_cast<size_t>(rng.NextBounded(kClients));
+    const bool is_write = rng.NextBool(0.25);
+    const int flavor = static_cast<int>(rng.NextBounded(3));
+    int key_index = static_cast<int>(rng.NextBounded(kKeys));
+    if (is_write) {
+      key_index = (key_index / kClients) * kClients + static_cast<int>(client_index);
+    }
+    const std::string key = OracleKey(key_index);
+
+    auto obs = std::make_shared<Observation>();
+    obs->is_write = is_write;
+    obs->key = key;
+    trial.observations.push_back(obs);
+    CorrectableClient* client = trial.clients[client_index];
+
+    if (is_write) {
+      const std::string value =
+          "c" + std::to_string(client_index) + "-" + std::to_string(write_counter++);
+      obs->written_value = value;
+      obs->weakest = obs->strongest = ConsistencyLevel::kStrong;
+      front->Schedule(at, [client, front, key, value, obs, &trial]() {
+        trial.submitted[key].push_back(value);
+        Observe(client->InvokeStrong(Operation::Put(key, value)), obs, front);
+      });
+    } else if (flavor == 0) {
+      obs->weakest = obs->strongest = ConsistencyLevel::kWeak;
+      front->Schedule(at, [client, front, key, obs]() {
+        Observe(client->InvokeWeak(Operation::Get(key)), obs, front);
+      });
+    } else if (flavor == 1) {
+      obs->weakest = obs->strongest = ConsistencyLevel::kStrong;
+      front->Schedule(at, [client, front, key, obs]() {
+        Observe(client->InvokeStrong(Operation::Get(key)), obs, front);
+      });
+    } else {
+      obs->weakest = ConsistencyLevel::kWeak;
+      obs->strongest = ConsistencyLevel::kStrong;
+      front->Schedule(at, [client, front, key, obs]() {
+        Observe(client->Invoke(Operation::Get(key)), obs, front);
+      });
+    }
+  }
+
+  group.RunAll();
+  EXPECT_EQ(group.pending_messages(), 0u);
+  // The placement must have been exercised: client<->coordinator flows cross loops.
+  EXPECT_GT(group.metrics().Value("channel_messages"), 0);
+
+  for (const auto& obs : trial.observations) {
+    CheckObservation(*obs);
+  }
+  // Per-key program order: the last client-submitted write is what every replica
+  // converged to (replication + read repair ran across lanes).
+  for (const auto& [key, values] : trial.submitted) {
+    for (const auto& replica : trial.stack->cluster->replicas()) {
+      const auto stored = replica->LocalGet(key);
+      EXPECT_TRUE(stored.has_value()) << key;
+      if (!stored.has_value()) continue;
+      EXPECT_EQ(stored->value, values.back())
+          << "replica diverged from program order for " << key;
+    }
+  }
+
+  ClientStats merged;
+  ClientStatsGroup stats(1);
+  for (const auto& endpoint : trial.stack->endpoints()) {
+    stats.Absorb(0, endpoint->client->stats());
+  }
+  merged = stats.Merged();
+  EXPECT_EQ(merged.invocations, kOps);
+  EXPECT_GE(merged.views_delivered, merged.invocations);
+  EXPECT_EQ(merged.errors, 0);
+
+  return Fingerprint(trial);
+}
+
+TEST(IntraWorldOracle, WidthsAgreeBitForBit) {
+  const uint64_t seed = OracleSeed();
+  const std::string sequential = RunTrial(/*threads=*/0, seed);
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(RunTrial(/*threads=*/2, seed), sequential);
+  EXPECT_EQ(RunTrial(/*threads=*/4, seed), sequential);
+  if (Width8Enabled()) {
+    EXPECT_EQ(RunTrial(/*threads=*/8, seed), sequential);
+  }
+}
+
+}  // namespace
+}  // namespace icg

@@ -174,6 +174,36 @@ TEST(EventLoop, CancelAfterFireDoesNotLeakTombstones) {
   EXPECT_EQ(loop.pending_events(), 0u);
 }
 
+TEST(EventLoop, CancelOfFiredTimerFromInsideACallback) {
+  EventLoop loop;
+  // Mid-run cancels of ids that already fired this run (including the currently
+  // executing one) must be no-ops that neither disturb still-pending timers nor skew
+  // pending_events() accounting.
+  std::vector<int> order;
+  TimerId first = 0;
+  TimerId second = 0;
+  first = loop.Schedule(Micros(10), [&]() { order.push_back(1); });
+  second = loop.Schedule(Micros(20), [&]() {
+    order.push_back(2);
+    loop.Cancel(first);   // already fired
+    loop.Cancel(second);  // currently executing
+  });
+  loop.Schedule(Micros(30), [&]() { order.push_back(3); });
+  loop.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.pending_events(), 0u);
+  EXPECT_EQ(loop.events_processed(), 3);
+
+  // The fired ids stay dead no-ops even once new timers occupy the same wheel region.
+  int late = 0;
+  loop.Schedule(Micros(10), [&]() { late++; });
+  loop.Cancel(first);
+  loop.Cancel(second);
+  EXPECT_EQ(loop.pending_events(), 1u);
+  loop.Run();
+  EXPECT_EQ(late, 1);
+}
+
 TEST(EventLoop, PendingEventsExcludesCancelled) {
   EventLoop loop;
   const TimerId id = loop.Schedule(Millis(1), []() {});

@@ -157,12 +157,90 @@ TEST(LoopGroup, ThreadedIsBitForBitDeterministic) {
 }
 
 TEST(LoopGroup, ThreadedManyLoopsFewThreads) {
-  // More loops than workers: round-robin ownership must still cover every loop.
+  // More loops than workers: work stealing must still cover every loop.
   EXPECT_EQ(RunMesh(7, /*threads=*/3), RunMesh(7, /*threads=*/0));
+}
+
+TEST(LoopGroup, ThreadedWidthEight) {
+  // Width 8: as many workers as loops hammering the steal index — the TSan job runs
+  // this to shake races out of claim_/barrier signalling at full contention.
+  EXPECT_EQ(RunMesh(8, /*threads=*/8), RunMesh(8, /*threads=*/0));
 }
 
 TEST(LoopGroup, HardwareThreadsIsPositive) {
   EXPECT_GE(LoopGroup::HardwareThreads(), 1);
+}
+
+TEST(LoopGroup, SequentialModeNeverStartsWorkers) {
+  // The sequential driver (threads = 0 or 1) must never construct a thread or block:
+  // Post takes the lock-free fast path and rounds run inline on the caller.
+  for (const int threads : {0, 1}) {
+    LoopGroup::Options options;
+    options.threads = threads;
+    options.quantum = 500;
+    Mesh mesh(4, options);
+    for (int i = 0; i < 4; ++i) {
+      mesh.StartChain(i, /*hops=*/10, "chain" + std::to_string(i));
+    }
+    mesh.group.RunAll();
+    EXPECT_EQ(mesh.group.workers_started(), 0) << "threads=" << threads;
+    EXPECT_EQ(mesh.group.metrics().Value("rounds_threaded"), 0) << "threads=" << threads;
+  }
+}
+
+TEST(LoopGroup, ThreadedStartsBoundedWorkers) {
+  // min(K, loops) workers, created lazily on the first threaded round.
+  LoopGroup::Options options;
+  options.threads = 8;
+  options.quantum = 500;
+  Mesh mesh(3, options);
+  EXPECT_EQ(mesh.group.workers_started(), 0);  // lazy: nothing ran yet
+  mesh.StartChain(0, /*hops=*/6, "chain0");
+  mesh.group.RunAll();
+  EXPECT_EQ(mesh.group.workers_started(), 3);
+  EXPECT_GT(mesh.group.metrics().Value("rounds_threaded"), 0);
+}
+
+TEST(LoopGroup, IndexOfFindsAttachedLoops) {
+  LoopGroup group;
+  EventLoop a, b, stranger;
+  group.Attach(&a);
+  group.Attach(&b);
+  EXPECT_EQ(group.IndexOf(&a), 0);
+  EXPECT_EQ(group.IndexOf(&b), 1);
+  EXPECT_EQ(group.IndexOf(&stranger), -1);
+}
+
+TEST(LoopGroup, RoundStatsTrackWorkAndChannelTraffic) {
+  LoopGroup::Options options;
+  options.threads = 2;
+  options.quantum = 500;
+  Mesh mesh(4, options);
+  for (int i = 0; i < 4; ++i) {
+    mesh.StartChain(i, /*hops=*/20, "chain" + std::to_string(i));
+  }
+  mesh.group.RunAll();
+  const MetricRegistry& m = mesh.group.metrics();
+  // Every hop crosses loops, so the channel carried all of them.
+  EXPECT_GE(m.Value("channel_messages"), 4 * 20);
+  EXPECT_GT(m.Value("channel_depth_highwater"), 0);
+  EXPECT_LE(m.Value("channel_depth_highwater"), m.Value("channel_messages"));
+  // Some loop processed at least one event in some round, and the per-round total
+  // dominates the per-loop high-water.
+  EXPECT_GT(m.Value("loop_events_highwater"), 0);
+  EXPECT_GE(m.Value("round_events_highwater"), m.Value("loop_events_highwater"));
+  EXPECT_GT(m.Value("rounds_threaded"), 0);
+}
+
+TEST(LoopGroup, ChannelMetricsCountInSequentialModeToo) {
+  LoopGroup::Options options;
+  options.threads = 0;
+  options.quantum = 500;
+  Mesh mesh(2, options);
+  mesh.StartChain(0, /*hops=*/8, "chain0");
+  mesh.group.RunAll();
+  EXPECT_GE(mesh.group.metrics().Value("channel_messages"), 8);
+  EXPECT_EQ(mesh.group.metrics().Value("barrier_wait_ns"), 0);  // never blocked
 }
 
 }  // namespace

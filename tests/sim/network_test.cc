@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <vector>
+
 #include "src/common/histogram.h"
+#include "src/sim/loop_group.h"
 #include "src/sim/topology.h"
 
 namespace icg {
@@ -152,6 +156,115 @@ TEST_F(NetworkTest, DroppedMessagesStillAccountBytes) {
   net.Crash(frk_);
   net.Send(irl_, frk_, 77, []() {});
   EXPECT_EQ(net.Sent(irl_, frk_).bytes, 77);
+}
+
+// --- Cross-loop mode ---------------------------------------------------------------
+
+class CrossLoopNetworkTest : public NetworkTest {
+ protected:
+  // Home loop on slot 0, one lane on slot 1, frk placed on the lane.
+  void Bind(Network& net, SimDuration quantum) {
+    LoopGroup::Options options;
+    options.quantum = quantum;
+    group_ = std::make_unique<LoopGroup>(options);
+    group_->Attach(&loop_);
+    group_->Attach(&lane_);
+    net.BindGroup(group_.get());
+    net.PlaceNode(frk_, 1);
+  }
+
+  std::unique_ptr<LoopGroup> group_;
+  EventLoop lane_;
+};
+
+TEST_F(CrossLoopNetworkTest, PlacementResolvesSlotsAndLoops) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  EXPECT_FALSE(net.cross_loop());
+  EXPECT_EQ(net.SlotOf(frk_), 0);
+  EXPECT_EQ(net.LoopFor(frk_), &loop_);
+  Bind(net, Millis(1));
+  EXPECT_TRUE(net.cross_loop());
+  EXPECT_EQ(net.SlotOf(irl_), 0);  // unplaced nodes stay on the home slot
+  EXPECT_EQ(net.SlotOf(frk_), 1);
+  EXPECT_EQ(net.LoopFor(irl_), &loop_);
+  EXPECT_EQ(net.LoopFor(frk_), &lane_);
+}
+
+TEST_F(CrossLoopNetworkTest, CrossLoopDeliveryRunsOnPlacedLoop) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  Bind(net, Millis(1));
+  SimTime delivered = -1;
+  loop_.Schedule(0, [&]() {
+    net.Send(irl_, frk_, 100, [&]() { delivered = lane_.Now(); });
+  });
+  group_->RunAll();
+  // Quantum (1 ms) is well under the 10 ms one-way delay, so barrier clamping adds
+  // nothing: delivery lands at the exact raw delay — on the lane's clock.
+  EXPECT_EQ(delivered, Millis(10));
+}
+
+TEST_F(CrossLoopNetworkTest, QuantumBoundsCrossLoopLatency) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  Bind(net, Millis(25));
+  SimTime delivered = -1;
+  loop_.Schedule(0, [&]() {
+    net.Send(irl_, frk_, 100, [&]() { delivered = lane_.Now(); });
+  });
+  group_->RunAll();
+  // The raw delay (10 ms) falls inside round 0, so the message is clamped to that
+  // round's barrier: the quantum is exactly the added-latency bound documented on Send.
+  EXPECT_EQ(delivered, Millis(25));
+}
+
+TEST_F(CrossLoopNetworkTest, SameLoopSendsSkipTheChannel) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  Bind(net, Millis(25));
+  SimTime delivered = -1;
+  // irl and vrg both live on the home loop: in-loop scheduling, no barrier rounding
+  // even with a coarse quantum.
+  loop_.Schedule(0, [&]() {
+    net.Send(irl_, vrg_, 100, [&]() { delivered = loop_.Now(); });
+  });
+  group_->RunAll();
+  // With jitter off the delay is the constant half-RTT, not rounded to any barrier.
+  EXPECT_EQ(delivered, net.SampleDelay(irl_, vrg_));
+  EXPECT_GT(delivered % Millis(25), 0);  // not a barrier multiple: delivered in-round
+  EXPECT_EQ(group_->metrics().Value("channel_messages"), 0);
+}
+
+TEST_F(CrossLoopNetworkTest, FifoHoldsAcrossTheBarrier) {
+  // Jitter on: delays vary, but a later message on the same directed link must never
+  // overtake an earlier one even though both cross the channel.
+  Network net(&loop_, &topology_, 99, /*jitter_sigma=*/0.4);
+  Bind(net, Millis(1));
+  std::vector<int> order;
+  loop_.Schedule(0, [&]() {
+    for (int i = 0; i < 32; ++i) {
+      net.Send(irl_, frk_, 1, [&order, i]() { order.push_back(i); });
+    }
+  });
+  group_->RunAll();
+  ASSERT_EQ(order.size(), 32u);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST_F(CrossLoopNetworkTest, AccountingAggregatesAcrossShards) {
+  Network net(&loop_, &topology_, 1, 0.0);
+  Bind(net, Millis(1));
+  loop_.Schedule(0, [&]() { net.Send(irl_, frk_, 100, []() {}); });
+  // The reply shard lives on the lane: frk's sends draw from slot 1's state.
+  lane_.Schedule(Millis(15), [&]() { net.Send(frk_, irl_, 40, []() {}); });
+  group_->RunAll();
+  EXPECT_EQ(net.Sent(irl_, frk_).bytes, 100);
+  EXPECT_EQ(net.Sent(frk_, irl_).bytes, 40);
+  EXPECT_EQ(net.BytesBetween(irl_, frk_), 140);
+  EXPECT_EQ(net.MessagesBetween(irl_, frk_), 2);
+  EXPECT_EQ(net.total_bytes(), 140);
+  net.ResetStats();
+  EXPECT_EQ(net.total_bytes(), 0);
+  EXPECT_EQ(net.Sent(frk_, irl_).bytes, 0);
 }
 
 }  // namespace
