@@ -1,0 +1,374 @@
+// Coordinator crash + failover under load: durability cost, detection, failover dip,
+// and post-recovery throughput for a sharded deployment whose coordinators log every
+// write to a WAL before acking.
+//
+// Setup: one Cassandra-style cluster (FRK/IRL/VRG replicas, all three coordinators),
+// three routed clients (one per region) driving uniform-key YCSB-B in a closed loop
+// with durable writes (fsync charged on the coordinator before the ack) and the
+// heartbeat failure detector armed. At one third of the trial, one coordinator is
+// killed (kill -9: volatile state gone, WAL and snapshot survive); the detector evicts
+// it after the configured miss window, the ring re-forms around the survivors, and
+// in-flight invocations against the corpse resolve by client timeout or queue-limit
+// shedding — never by a dangling invocation. At two thirds, the node restarts: it
+// replays snapshot + WAL, anti-entropy syncs both directions, and rejoins the ring at
+// a fresh epoch.
+//
+// Every invocation runs under an inline consistency oracle (weakest-first monotone view
+// levels, exactly one terminal, no views after the terminal); every acked write's
+// version is remembered and checked against the converged replicas at the end. The
+// bench FAILS on any oracle violation, on any acked-write loss, if detection takes
+// longer than the configured miss window (plus slack), or if post-recovery steady-state
+// throughput falls below 0.9x the pre-crash plateau.
+//
+// Flags: --smoke shortens the trial for CI smoke runs (the JSON summary is still
+// written); output includes BENCH_failover_load.json.
+#include <algorithm>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/harness/deployment.h"
+#include "src/harness/executors.h"
+#include "src/ycsb/multi_runner.h"
+
+namespace icg {
+namespace {
+
+constexpr int64_t kRecords = 8000;
+constexpr SimDuration kBucket = Millis(250);
+
+struct TrialState {
+  std::vector<int64_t> buckets;
+  int64_t completed = 0;
+  int64_t issued = 0;
+  int64_t errors = 0;
+  int64_t duplicate_finals = 0;
+  int64_t monotonicity_violations = 0;
+  int64_t views_after_terminal = 0;
+  // Latest acked version per key: the durability contract the bench holds the cluster to.
+  std::map<std::string, Version> acked;
+};
+
+struct InvocationCheck {
+  int finals = 0;
+  int errors = 0;
+  bool has_level = false;
+  ConsistencyLevel last_level = ConsistencyLevel::kWeak;
+};
+
+void CheckView(const std::shared_ptr<TrialState>& state,
+               const std::shared_ptr<InvocationCheck>& check, ConsistencyLevel level,
+               bool is_terminal) {
+  if (check->finals + check->errors > 0) {
+    state->views_after_terminal++;
+  }
+  if (check->has_level && !IsStrongerOrEqual(level, check->last_level)) {
+    state->monotonicity_violations++;
+  }
+  check->has_level = true;
+  check->last_level = level;
+  if (is_terminal) {
+    check->finals++;
+    if (check->finals > 1) {
+      state->duplicate_finals++;
+    }
+  }
+}
+
+void RecordCompletion(EventLoop* loop, const std::shared_ptr<TrialState>& state) {
+  const size_t bucket =
+      std::min(static_cast<size_t>(loop->Now() / kBucket), state->buckets.size() - 1);
+  state->buckets[bucket]++;
+  state->completed++;
+}
+
+OpExecutor MakeCheckedIcgExecutor(CorrectableClient* client, EventLoop* loop,
+                                  std::shared_ptr<TrialState> state) {
+  return [client, loop, state](const YcsbOp& op, std::function<void(OpOutcome)> done) {
+    const SimTime start = loop->Now();
+    auto now = [loop, start]() { return loop->Now() - start; };
+    state->issued++;
+    auto check = std::make_shared<InvocationCheck>();
+    auto outcome = std::make_shared<OpOutcome>();
+
+    if (!op.is_read) {
+      const std::string key = op.key;
+      client->InvokeStrong(Operation::Put(op.key, op.value))
+          .SetCallbacks(
+              [state, check](const View<OpResult>& v) {
+                CheckView(state, check, v.level, /*is_terminal=*/false);
+              },
+              [state, check, outcome, loop, done, now, key](const View<OpResult>& v) {
+                CheckView(state, check, v.level, /*is_terminal=*/true);
+                auto it = state->acked.find(key);
+                if (it == state->acked.end() || it->second < v.value.version) {
+                  state->acked[key] = v.value.version;
+                }
+                outcome->final_latency = now();
+                RecordCompletion(loop, state);
+                done(*outcome);
+              },
+              [state, check, outcome, loop, done, now](const Status&) {
+                // Timeouts and sheds during the failover window are expected: the write
+                // was never acked, so durability promises nothing about it.
+                check->errors++;
+                state->errors++;
+                outcome->error = true;
+                outcome->final_latency = now();
+                RecordCompletion(loop, state);
+                done(*outcome);
+              });
+      return;
+    }
+
+    client->Invoke(Operation::Get(op.key))
+        .SetCallbacks(
+            [state, check, outcome, now](const View<OpResult>& v) {
+              CheckView(state, check, v.level, /*is_terminal=*/false);
+              if (!outcome->preliminary_latency.has_value()) {
+                outcome->preliminary_latency = now();
+              }
+            },
+            [state, check, outcome, loop, done, now](const View<OpResult>& v) {
+              CheckView(state, check, v.level, /*is_terminal=*/true);
+              outcome->final_latency = now();
+              RecordCompletion(loop, state);
+              done(*outcome);
+            },
+            [state, check, outcome, loop, done, now](const Status&) {
+              check->errors++;
+              state->errors++;
+              outcome->error = true;
+              outcome->final_latency = now();
+              RecordCompletion(loop, state);
+              done(*outcome);
+            });
+  };
+}
+
+double BucketRate(const TrialState& state, SimTime from, SimTime to) {
+  const size_t first = static_cast<size_t>(from / kBucket);
+  const size_t last = std::min(static_cast<size_t>(to / kBucket), state.buckets.size());
+  if (last <= first) {
+    return 0.0;
+  }
+  int64_t ops = 0;
+  for (size_t i = first; i < last; ++i) {
+    ops += state.buckets[i];
+  }
+  return static_cast<double>(ops) /
+         ToSeconds(static_cast<SimDuration>(last - first) * kBucket);
+}
+
+}  // namespace
+}  // namespace icg
+
+int main(int argc, char** argv) {
+  using namespace icg;
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    }
+  }
+
+  const int threads = smoke ? 48 : 64;
+  const SimDuration duration = smoke ? Seconds(12) : Seconds(36);
+  const SimDuration warmup = smoke ? Seconds(2) : Seconds(5);
+  const SimDuration crash_at = duration / 3;
+  const SimDuration recover_at = 2 * duration / 3;
+  // Transition windows excluded from steady state; short enough in smoke mode that a
+  // post-recovery measurement window remains before the cooldown.
+  const SimDuration settle = smoke ? Seconds(1) : Seconds(3);
+  const uint64_t seed = 42;
+
+  bench::PrintHeader(
+      "Failover: coordinator crash + WAL recovery under YCSB load",
+      "Uniform-key YCSB-B, 3 routed clients (one per region), closed loop, durable\n"
+      "writes (WAL fsync before ack). One coordinator is killed at t=1/3 and restarted\n"
+      "at t=2/3: heartbeat eviction, ring re-formation, snapshot+WAL replay, anti-\n"
+      "entropy, re-admission. Every invocation is oracle-checked and every acked write\n"
+      "must survive.");
+
+  SimWorld world(seed);
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  KvConfig kv;
+  kv.wal_fsync_service = Micros(120);  // real durable writes: fsync charged before ack
+  kv.snapshot_every = 512;             // checkpoint cadence keeps replay tails bounded
+  auto stack = MakeShardedCassandraStack(world, /*n_coordinators=*/3, kv, binding,
+                                         Region::kIreland);
+  auto& frk = AddShardedCassandraClient(world, stack, binding, Region::kFrankfurt);
+  auto& vrg = AddShardedCassandraClient(world, stack, binding, Region::kVirginia);
+  // A corpse answers nothing: in-flight invocations against it must resolve by client
+  // timeout, and a bounded shard queue sheds the backlog that builds before eviction.
+  stack.client()->SetTimeout(Seconds(2));
+  frk.client->SetTimeout(Seconds(2));
+  vrg.client->SetTimeout(Seconds(2));
+  stack.SetShardQueueLimit(256);
+  stack.EnableFailureDetection();
+
+  const WorkloadConfig workload =
+      WorkloadConfig::YcsbB(RequestDistribution::kUniform, kRecords);
+  PreloadYcsbDataset(stack.cluster.get(), workload);
+
+  auto state = std::make_shared<TrialState>();
+  state->buckets.assign(static_cast<size_t>(duration / kBucket) + 8, 0);
+
+  RunnerConfig config;
+  config.threads = threads;
+  config.duration = duration;
+  config.warmup = warmup;
+  config.cooldown = warmup;
+
+  MultiRunner runner(&world.loop(), config);
+  runner.AddClient(workload, seed * 3 + 1,
+                   MakeCheckedIcgExecutor(stack.client(), &world.loop(), state));
+  runner.AddClient(workload, seed * 3 + 2,
+                   MakeCheckedIcgExecutor(frk.client.get(), &world.loop(), state));
+  runner.AddClient(workload, seed * 3 + 3,
+                   MakeCheckedIcgExecutor(vrg.client.get(), &world.loop(), state));
+
+  const NodeId victim = stack.coordinator_ids().front();
+  world.loop().Schedule(crash_at, [&stack, victim]() { stack.CrashCoordinator(victim); });
+  world.loop().Schedule(recover_at,
+                        [&stack, victim]() { stack.RecoverCoordinator(victim); });
+  // Stop the heartbeat chain once the measured window is over so the loop can drain.
+  world.loop().Schedule(duration + warmup + Seconds(1),
+                        [&stack]() { stack.DisableFailureDetection(); });
+
+  const RunnerResult load = runner.Run();
+
+  const double pre_crash = BucketRate(*state, warmup, crash_at);
+  const double outage = BucketRate(*state, crash_at + settle, recover_at);
+  const double post_recovery = BucketRate(*state, recover_at + settle, duration - warmup);
+  // Worst bucket right after the crash, and time until the completion rate first
+  // reached the pre-crash plateau again after the restart.
+  const size_t crash_bucket = static_cast<size_t>(crash_at / kBucket);
+  const size_t settle_buckets = static_cast<size_t>(settle / kBucket);
+  double dip = pre_crash;
+  for (size_t i = crash_bucket;
+       i < crash_bucket + settle_buckets && i < state->buckets.size(); ++i) {
+    dip = std::min(dip, static_cast<double>(state->buckets[i]) / ToSeconds(kBucket));
+  }
+  const size_t recover_bucket = static_cast<size_t>(recover_at / kBucket);
+  double rejoin_recovery_ms = -1.0;
+  for (size_t i = recover_bucket;
+       i < recover_bucket + settle_buckets && i < state->buckets.size(); ++i) {
+    const double rate = static_cast<double>(state->buckets[i]) / ToSeconds(kBucket);
+    if (rate >= 0.9 * pre_crash) {
+      rejoin_recovery_ms = ToMillis(static_cast<SimDuration>(i + 1 - recover_bucket) * kBucket);
+      break;
+    }
+  }
+
+  // Failover bookkeeping from the harness: detection latency and rejoin epoch.
+  double detection_ms = -1.0;
+  bool rejoined = false;
+  for (const FailoverEvent& event : stack.failover_log()) {
+    if (event.node != victim) continue;
+    if (event.detected_at >= 0) {
+      detection_ms = ToMillis(event.detected_at - event.crashed_at);
+    }
+    rejoined = event.rejoined_at >= 0;
+  }
+  const KvReplica* recovered = nullptr;
+  for (const auto& replica : stack.cluster->replicas()) {
+    if (replica->id() == victim) recovered = replica.get();
+  }
+
+  // The durability contract: every version a client saw acked must be at or below what
+  // the converged cluster holds for that key, on every replica.
+  int64_t acked_lost = 0;
+  for (const auto& [key, version] : state->acked) {
+    for (const auto& replica : stack.cluster->replicas()) {
+      const auto stored = replica->LocalGet(key);
+      if (!stored.has_value() || stored->version < version) {
+        acked_lost++;
+        break;
+      }
+    }
+  }
+
+  bench::Table table({"phase", "throughput (ops/s)", "notes"});
+  table.AddRow({"pre-crash (3 coordinators)", bench::Fmt(pre_crash, 0),
+                "durable writes, detector armed"});
+  table.AddRow({"crash dip", bench::Fmt(dip, 0),
+                "worst " + bench::Fmt(ToMillis(kBucket), 0) + " ms bucket after kill -9"});
+  table.AddRow({"outage (2 coordinators)", bench::Fmt(outage, 0),
+                "detection " + bench::Fmt(detection_ms, 0) + " ms, ring re-formed"});
+  table.AddRow({"post-recovery (3 coordinators)", bench::Fmt(post_recovery, 0),
+                "ring epoch " + std::to_string(stack.ring_epoch())});
+  table.Print();
+
+  const bool oracle_clean = state->duplicate_finals == 0 &&
+                            state->monotonicity_violations == 0 &&
+                            state->views_after_terminal == 0;
+  const double detection_bound_ms = 5 * 50.0;  // miss window (3x50ms) plus probe slack
+  const bool detected = detection_ms >= 0 && detection_ms <= detection_bound_ms;
+  const bool recovered_clean = rejoined && recovered != nullptr &&
+                               !recovered->crashed() &&
+                               recovered->last_recovery().bootstrap_complete;
+  const bool throughput_back = post_recovery >= 0.9 * pre_crash;
+  const bool no_acked_loss = acked_lost == 0;
+
+  std::printf("ops issued %lld, completed %lld (%lld errors during failover); oracle: %s\n",
+              static_cast<long long>(state->issued),
+              static_cast<long long>(state->completed),
+              static_cast<long long>(state->errors),
+              oracle_clean ? "clean (no duplication or reordering)" : "VIOLATED");
+  std::printf("detection %s ms (bound %.0f), rejoined=%s, wal replayed %llu records, "
+              "bootstrap merged %llu keys\n",
+              detection_ms >= 0 ? bench::Fmt(detection_ms, 0).c_str() : "n/a",
+              detection_bound_ms, rejoined ? "yes" : "no",
+              recovered != nullptr
+                  ? static_cast<unsigned long long>(recovered->last_recovery().wal_records_replayed)
+                  : 0ull,
+              recovered != nullptr
+                  ? static_cast<unsigned long long>(recovered->last_recovery().bootstrap_keys_merged)
+                  : 0ull);
+  std::printf("acked writes checked %zu, lost %lld; post-recovery %.0f ops/s %s 0.9x "
+              "pre-crash %.0f ops/s (%.2fx)\n",
+              state->acked.size(), static_cast<long long>(acked_lost), post_recovery,
+              throughput_back ? ">=" : "BELOW", pre_crash,
+              pre_crash > 0 ? post_recovery / pre_crash : 0.0);
+
+  bench::JsonSummary json("failover_load");
+  json.Add("threads_per_client", static_cast<int64_t>(threads));
+  json.Add("duration_s", ToSeconds(duration), 1);
+  json.AddString("workload", "ycsb-b-uniform-durable");
+  json.Add("pre_crash.throughput_ops", pre_crash, 1);
+  json.Add("outage.throughput_ops", outage, 1);
+  json.Add("post_recovery.throughput_ops", post_recovery, 1);
+  json.Add("transition.dip_ops", dip, 1);
+  json.Add("transition.detection_ms", detection_ms, 0);
+  json.Add("transition.rejoin_recovery_ms", rejoin_recovery_ms, 0);
+  json.Add("recovery.wal_records_replayed",
+           recovered != nullptr
+               ? static_cast<int64_t>(recovered->last_recovery().wal_records_replayed)
+               : 0);
+  json.Add("recovery.bootstrap_keys_merged",
+           recovered != nullptr
+               ? static_cast<int64_t>(recovered->last_recovery().bootstrap_keys_merged)
+               : 0);
+  json.Add("speedup_post_vs_pre", pre_crash > 0 ? post_recovery / pre_crash : 0.0, 2);
+  json.Add("ring_epoch_after", static_cast<int64_t>(stack.ring_epoch()));
+  json.Add("durability.acked_keys", static_cast<int64_t>(state->acked.size()));
+  json.Add("durability.acked_lost", acked_lost);
+  json.Add("oracle.issued", state->issued);
+  json.Add("oracle.completed", state->completed);
+  json.Add("oracle.errors", state->errors);
+  json.Add("oracle.duplicate_finals", state->duplicate_finals);
+  json.Add("oracle.monotonicity_violations", state->monotonicity_violations);
+  json.Add("oracle.views_after_terminal", state->views_after_terminal);
+  json.Add("load.errors", load.errors);
+  json.AddLatencies("load", load.throughput_ops, load.preliminary, load.final_view);
+  json.Write();
+
+  return oracle_clean && detected && recovered_clean && throughput_back && no_acked_loss
+             ? 0
+             : 1;
+}

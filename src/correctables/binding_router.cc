@@ -192,7 +192,7 @@ Status BindingRouter::ApplyRing(uint64_t epoch, std::vector<std::shared_ptr<Bind
     // A shard surviving the membership change keeps its counter block: its in-flight
     // invocations must still drain against the slots they occupy.
     std::shared_ptr<ShardCounters> counters;
-    for (const Shard& old : shards_) {
+    for (Shard& old : shards_) {
       if (old.binding == binding) {
         counters = old.counters;
         break;
@@ -201,7 +201,25 @@ Status BindingRouter::ApplyRing(uint64_t epoch, std::vector<std::shared_ptr<Bind
     if (counters == nullptr) {
       counters = std::make_shared<ShardCounters>();
     }
+    counters->retired = false;  // a re-admitted binding rejoins with live accounting
     next.push_back(Shard{std::move(binding), std::move(counters)});
+  }
+  // Retire the blocks of departed shards atomically with the ring swap: a removed (or
+  // crashed) coordinator's in-flight invocations may never emit a terminal, so the
+  // outstanding count they'd pin is dropped here; any terminal that *does* arrive late
+  // clamps at zero (ShardCounters::Release) instead of underflowing.
+  for (Shard& old : shards_) {
+    bool survives = false;
+    for (const Shard& kept : next) {
+      if (kept.counters == old.counters) {
+        survives = true;
+        break;
+      }
+    }
+    if (!survives) {
+      old.counters->retired = true;
+      old.counters->outstanding = 0;
+    }
   }
   shards_ = std::move(next);
   shard_of_ = std::move(shard_of);
@@ -295,8 +313,7 @@ void BindingRouter::TrackOutstanding(InvocationPlan& plan, ConsistencyLevel stro
                                ResponseKind kind) {
         if (level == strongest && !*done) {
           *done = true;
-          assert(counters->outstanding > 0);
-          counters->outstanding--;
+          counters->Release();
         }
         emit(level, std::move(result), kind);
       });
@@ -401,8 +418,7 @@ InvocationPlan BindingRouter::PlanInvocation(const Operation& op, const LevelSet
                        if (level == strongest && !*done) {
                          *done = true;
                          for (const auto& counters : involved_counters) {
-                           assert(counters->outstanding > 0);
-                           counters->outstanding--;
+                           counters->Release();
                          }
                        }
                        emit(level, std::move(result), kind);

@@ -71,7 +71,9 @@ class BindingRouter : public Binding {
   // increase: a stale installation (epoch <= ring_epoch()) is rejected with CONFLICT and
   // leaves the current ring untouched. Shards present in both generations (matched by
   // binding identity) keep their outstanding/shed accounting; departed shards stay alive
-  // through in-flight invocations' captures and drain on their own.
+  // through in-flight invocations' captures, but their counter blocks are retired
+  // atomically with the swap — outstanding zeroed, late decrements clamped — so a shard
+  // that never answers (crashed coordinator) cannot underflow or pin phantom load.
   Status ApplyRing(uint64_t epoch, std::vector<std::shared_ptr<Binding>> shards,
                    ShardFn shard_of);
   uint64_t ring_epoch() const { return epoch_; }
@@ -98,9 +100,23 @@ class BindingRouter : public Binding {
   // Heap-shared so emit-wrappers of in-flight invocations outlive ring changes: a
   // departed shard's decrements land on its retired counter block, never on a stale
   // index of the new ring.
+  //
+  // A block leaving the ring is *retired* atomically with ApplyRing: its outstanding
+  // count is zeroed (a removed or crashed shard will never drain normally — a count
+  // left behind would pin phantom load forever) and decrements are clamped at zero, so
+  // a late terminal from an in-flight invocation — or one that never answers at all,
+  // like a crashed coordinator's — can neither underflow the counter nor corrupt a
+  // live shard's accounting.
   struct ShardCounters {
     size_t outstanding = 0;
     int64_t sheds = 0;
+    bool retired = false;
+
+    void Release() {
+      if (outstanding > 0) {  // clamp: retirement may have zeroed it already
+        outstanding--;
+      }
+    }
   };
   struct Shard {
     std::shared_ptr<Binding> binding;

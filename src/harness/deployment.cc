@@ -154,6 +154,119 @@ void ShardedCassandraStack::SetShardQueueLimit(size_t limit) {
   }
 }
 
+void ShardedCassandraStack::CrashCoordinator(NodeId replica_id) {
+  KvReplica* replica = FindReplica(replica_id);
+  assert(replica != nullptr && "CrashCoordinator needs a replica of this cluster");
+  world_->network().Crash(replica_id);
+  replica->Crash();
+  FailoverEvent event;
+  event.node = replica_id;
+  event.crashed_at = world_->loop().Now();
+  event.was_coordinator =
+      std::find(coordinator_ids_.begin(), coordinator_ids_.end(), replica_id) !=
+      coordinator_ids_.end();
+  failover_log_.push_back(event);
+}
+
+void ShardedCassandraStack::RecoverCoordinator(NodeId replica_id) {
+  KvReplica* replica = FindReplica(replica_id);
+  assert(replica != nullptr && "RecoverCoordinator needs a replica of this cluster");
+  world_->network().Restart(replica_id);
+  replica->Recover();
+  bool was_coordinator = false;
+  for (auto it = failover_log_.rbegin(); it != failover_log_.rend(); ++it) {
+    if (it->node == replica_id && it->rejoined_at < 0) {
+      it->rejoined_at = world_->loop().Now();
+      was_coordinator = it->was_coordinator;
+      break;
+    }
+  }
+  // Re-admit through the live membership path — but only if the detector actually
+  // routed around it. A replica recovered before detection fired is still in the ring;
+  // AddCoordinator would double-insert it.
+  const bool in_ring = std::find(coordinator_ids_.begin(), coordinator_ids_.end(),
+                                 replica_id) != coordinator_ids_.end();
+  if (was_coordinator && !in_ring) {
+    AddCoordinator(replica_id);
+  }
+  unanswered_probes_[replica_id] = 0;
+}
+
+void ShardedCassandraStack::EnableFailureDetection(FailoverConfig config) {
+  failover_config_ = config;
+  for (const NodeId id : coordinator_ids_) {
+    unanswered_probes_[id] = 0;
+  }
+  if (detection_enabled_) {
+    return;  // already probing; the new config takes effect from the next tick
+  }
+  detection_enabled_ = true;
+  ScheduleProbe();
+}
+
+void ShardedCassandraStack::DisableFailureDetection() {
+  detection_enabled_ = false;
+  if (probe_timer_ != 0) {
+    world_->loop().Cancel(probe_timer_);
+    probe_timer_ = 0;
+  }
+}
+
+void ShardedCassandraStack::ScheduleProbe() {
+  probe_timer_ = world_->loop().Schedule(failover_config_.heartbeat_interval, [this]() {
+    probe_timer_ = 0;
+    if (!detection_enabled_) {
+      return;
+    }
+    ProbeOnce();
+    ScheduleProbe();
+  });
+}
+
+void ShardedCassandraStack::ProbeOnce() {
+  // Pass 1: evict anyone past the miss threshold. Collected before mutating so the
+  // ring edit cannot invalidate the iteration.
+  std::vector<NodeId> dead;
+  for (const NodeId id : coordinator_ids_) {
+    if (unanswered_probes_[id] >= failover_config_.miss_threshold) {
+      dead.push_back(id);
+    }
+  }
+  for (const NodeId id : dead) {
+    if (coordinator_ids_.size() <= 1) {
+      break;  // never evict the last coordinator; keep probing until someone rejoins
+    }
+    RemoveCoordinator(id);
+    failovers_ += 1;
+    unanswered_probes_.erase(id);
+    for (auto it = failover_log_.rbegin(); it != failover_log_.rend(); ++it) {
+      if (it->node == id && it->detected_at < 0) {
+        it->detected_at = world_->loop().Now();
+        break;
+      }
+    }
+  }
+  // Pass 2: probe every current ring member from the primary endpoint's node. Replies
+  // ride the network back to the front loop and clear the counter; probes to a corpse
+  // are dropped at send (Network crash semantics), so only silence accumulates.
+  const NodeId prober = primary().client_node;
+  for (const NodeId id : coordinator_ids_) {
+    KvReplica* replica = FindReplica(id);
+    assert(replica != nullptr);
+    unanswered_probes_[id] += 1;
+    const uint64_t probe_id = next_probe_id_++;
+    world_->network().Send(
+        prober, id, kRequestHeaderBytes, [this, replica, prober, probe_id]() {
+          replica->HandlePing(prober, probe_id, [this, id = replica->id()](uint64_t) {
+            const auto it = unanswered_probes_.find(id);
+            if (it != unanswered_probes_.end()) {
+              it->second = 0;  // late replies from an evicted node find no entry
+            }
+          });
+        });
+  }
+}
+
 ShardedCassandraStack MakeShardedCassandraStack(SimWorld& world, int n_coordinators,
                                                 KvConfig kv_config,
                                                 CassandraBindingConfig binding_config,
@@ -193,25 +306,14 @@ IntraWorldPlacement PlaceShardsAcrossLoops(LoopGroup& group, SimWorld& world,
   }
   world.network().BindGroup(&group);
 
-  // One fresh lane per coordinator; non-coordinator replicas (join candidates, quorum
-  // peers) ride the coordinator lanes round-robin so no replica stays on the front loop
-  // contending with client work.
-  const std::vector<NodeId>& coordinators = stack.coordinator_ids();
-  std::vector<int> coordinator_slots;
-  coordinator_slots.reserve(coordinators.size());
-  for (size_t i = 0; i < coordinators.size(); ++i) {
-    coordinator_slots.push_back(group.Attach(&world.AddLane()));
-  }
-  size_t next_extra = 0;
+  // One fresh lane per replica — coordinators AND join candidates. Lanes cannot be
+  // created once the group advances, so any replica that may ever coordinate (a spare
+  // promoted via AddCoordinator, a crashed coordinator re-admitted by
+  // RecoverCoordinator) must own its lane from the start; sharing would put two
+  // coordinators' service queues on one thread and break the placement policy for live
+  // membership changes.
   for (const auto& replica : stack.cluster->replicas()) {
-    const auto it =
-        std::find(coordinators.begin(), coordinators.end(), replica->id());
-    int slot;
-    if (it != coordinators.end()) {
-      slot = coordinator_slots[static_cast<size_t>(it - coordinators.begin())];
-    } else {
-      slot = coordinator_slots[next_extra++ % coordinator_slots.size()];
-    }
+    const int slot = group.Attach(&world.AddLane());
     world.network().PlaceNode(replica->id(), slot);
     replica->RebindLoop();
     placement.replica_slots.push_back(slot);

@@ -4,6 +4,7 @@
 #ifndef ICG_HARNESS_DEPLOYMENT_H_
 #define ICG_HARNESS_DEPLOYMENT_H_
 
+#include <map>
 #include <memory>
 #include <vector>
 
@@ -102,6 +103,25 @@ struct ShardedEndpoint {
   std::unique_ptr<CorrectableClient> client;
 };
 
+// Heartbeat failure detector tuning (see ShardedCassandraStack::EnableFailureDetection).
+// Defaults give a ~150 ms detection window — three 50 ms ticks of silence — comfortably
+// above the topology's worst client<->coordinator RTT (IRL<->VRG, 83 ms), so an answered
+// probe always clears the counter before it can reach the threshold.
+struct FailoverConfig {
+  SimDuration heartbeat_interval = Millis(50);
+  int miss_threshold = 3;
+};
+
+// One entry per CrashCoordinator call, timestamps filled in as the detector and the
+// recovery path catch up (-1 = not yet).
+struct FailoverEvent {
+  NodeId node = kInvalidNode;
+  SimTime crashed_at = -1;
+  SimTime detected_at = -1;   // detector fired and the ring routed around the corpse
+  SimTime rejoined_at = -1;   // RecoverCoordinator re-admitted it
+  bool was_coordinator = false;
+};
+
 // Sharded Cassandra deployment: the same replica cluster, but per-key client traffic is
 // routed across a *mutable* set of coordinator replicas through BindingRouters — one
 // CassandraBinding (over its own client<->coordinator connection) per coordinator, with
@@ -138,6 +158,35 @@ class ShardedCassandraStack {
   void SetShardQueueLimit(size_t limit);
   size_t shard_queue_limit() const { return queue_limit_; }
 
+  // --- Crash, failure detection & failover --------------------------------------------
+  // kill -9 of a replica: the network stops accepting its messages and the replica
+  // wipes its volatile state (WAL/snapshot devices survive). Deliberately does NOT
+  // touch the ring — routing around the corpse is the failure detector's job, so the
+  // failover window (crash -> detection -> ApplyRing) is observable. Until the ring
+  // changes, traffic to the dead shard piles onto its outstanding counter and — with a
+  // queue limit set — sheds with retryable OVERLOADED; after it, pending cohorts
+  // re-route at flush and new work maps to survivors.
+  //
+  // Threading: under a LoopGroup, call between rounds (driver thread) — the same
+  // contract as Network::Crash. Single-loop worlds may call from a front-loop task.
+  void CrashCoordinator(NodeId replica_id);
+  // Restart + recovery + rejoin: restarts the node, rebuilds the replica from snapshot
+  // + WAL replay (kicking off its anti-entropy bootstrap), and re-admits it through the
+  // live AddCoordinator path at a fresh ring epoch. Works for crashed plain replicas
+  // too (skipping ring re-admission unless it was a coordinator when it crashed).
+  void RecoverCoordinator(NodeId replica_id);
+
+  // Heartbeat failure detector on the front loop: probes every ring coordinator each
+  // `heartbeat_interval`; `miss_threshold` consecutive unanswered probes declare it dead
+  // and fail over (RemoveCoordinator). Recovered coordinators re-enter probing when
+  // re-admitted. The prober is a repeating timer — call DisableFailureDetection() before
+  // draining a world to quiescence (RunAll would otherwise never run out of events).
+  void EnableFailureDetection(FailoverConfig config = {});
+  void DisableFailureDetection();
+
+  const std::vector<FailoverEvent>& failover_log() const { return failover_log_; }
+  int64_t failovers() const { return failovers_; }
+
  private:
   friend ShardedCassandraStack MakeShardedCassandraStack(SimWorld&, int, KvConfig,
                                                          CassandraBindingConfig, Region,
@@ -154,12 +203,23 @@ class ShardedCassandraStack {
   // its router under the ring's epoch.
   void InstallRing(ShardedEndpoint& endpoint);
   KvReplica* FindReplica(NodeId id) const;
+  void ScheduleProbe();
+  void ProbeOnce();
 
   SimWorld* world_ = nullptr;
   std::vector<NodeId> coordinator_ids_;            // replicas acting as coordinators, ring order
   std::shared_ptr<const Partitioner> shard_map_;   // RF=1 versioned ring over coordinator_ids
   size_t queue_limit_ = 0;
   std::vector<std::unique_ptr<ShardedEndpoint>> endpoints_;  // [0] is the primary
+
+  // Failure detector state (front loop only).
+  FailoverConfig failover_config_;
+  bool detection_enabled_ = false;
+  TimerId probe_timer_ = 0;
+  uint64_t next_probe_id_ = 1;
+  std::map<NodeId, int> unanswered_probes_;  // consecutive probes without an ack
+  std::vector<FailoverEvent> failover_log_;
+  int64_t failovers_ = 0;
 };
 
 // Intra-world placement: which LoopGroup slot each piece of a sharded world landed on.
@@ -168,11 +228,18 @@ struct IntraWorldPlacement {
   std::vector<int> replica_slots;  // parallel to stack.cluster->replicas()
 };
 
-// Splits ONE sharded deployment across the loops of `group`: each coordinator (and its
-// round-robin share of any non-coordinator replicas) is pinned to its own fresh lane of
-// `world`, while every client endpoint and router stays on the world's front loop.
-// Attaches the front loop to the group if it is not already attached, binds the world's
-// network to the group, and rebinds each replica's timers/service queue to its lane.
+// Splits ONE sharded deployment across the loops of `group`: EVERY cluster replica —
+// coordinators and join candidates alike — is pinned to its own fresh lane of `world`,
+// while every client endpoint and router stays on the world's front loop. Attaches the
+// front loop to the group if it is not already attached, binds the world's network to
+// the group, and rebinds each replica's timers/service queue to its lane.
+//
+// One lane per replica (not per coordinator) is what makes LIVE membership honor the
+// placement policy: lanes cannot be created after the group starts advancing, so a
+// spare promoted via AddCoordinator — or a crashed coordinator re-admitted through
+// RecoverCoordinator — must already own the lane it will coordinate on. Previously
+// spares shared coordinator lanes round-robin, so a promotion landed the new
+// coordinator on another coordinator's lane (and a recovered one lost its placement).
 //
 // Latency trade: messages between loops are delivered at the group's next round
 // barrier, so `group.Options::quantum` bounds the added cross-loop latency — a smaller
@@ -181,8 +248,6 @@ struct IntraWorldPlacement {
 // topology's RTTs make the added latency negligible.
 //
 // Call right after building the stack and its endpoints, before any load runs.
-// Coordinators added live (AddCoordinator) afterwards default to the front loop unless
-// explicitly placed.
 IntraWorldPlacement PlaceShardsAcrossLoops(LoopGroup& group, SimWorld& world,
                                            ShardedCassandraStack& stack);
 

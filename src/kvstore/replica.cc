@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
+#include <string>
 #include <utility>
 
 #include "src/common/logging.h"
@@ -15,11 +17,16 @@ KvReplica::KvReplica(Network* network, NodeId id, const KvConfig* config, const 
       config_(config),
       service_(network->loop(), name) {
   assert(config_ != nullptr);
+  if (config_->durability) {
+    wal_ = std::make_unique<Wal>(name + ".wal");
+    wal_->SetFaults(WalFaults{config_->wal_fsync_service, config_->wal_torn_tail});
+    snapshot_ = std::make_unique<SnapshotManager>(name + ".snap");
+  }
 }
 
 void KvReplica::RebindLoop() {
   assert(pending_reads_.empty() && pending_multi_reads_.empty() &&
-         "rebind before any traffic");
+         service_.InFlight() == 0 && "rebind requires a quiescent replica");
   loop_ = network_->LoopFor(id_);
   service_.RebindLoop(loop_);
 }
@@ -48,6 +55,9 @@ OpResult KvReplica::ToOpResult(const std::optional<VersionedValue>& value) {
 void KvReplica::CoordinateRead(NodeId client_id, const std::string& key,
                                const ReadOptions& options, KvResponseFn respond) {
   assert(options.read_quorum >= 1);
+  if (crashed_) {
+    return;  // in-flight request outlived the process; the client's timeout handles it
+  }
   const uint64_t request_id = next_request_id_++;
   PendingRead& read = pending_reads_[request_id];
   read.client_id = client_id;
@@ -231,9 +241,7 @@ void KvReplica::IssueReadRepair(const PendingRead& read, const VersionedValue& f
   // Repair the coordinator's own copy synchronously (cheap local apply) and stale peers
   // asynchronously over the network.
   if (!read.local.has_value() || read.local->OlderThan(freshest.version)) {
-    auto existing = storage_.find(read.key);
-    if (existing == storage_.end() || existing->second.OlderThan(freshest.version)) {
-      storage_[read.key] = freshest;
+    if (ApplyLww(read.key, freshest, /*log=*/true)) {
       metrics_.GetCounter("read_repairs").Increment();
     }
   }
@@ -304,6 +312,9 @@ void KvReplica::CoordinateMultiRead(NodeId client_id, std::vector<std::string> k
                                     const ReadOptions& options, KvResponseFn respond) {
   assert(options.read_quorum >= 1);
   assert(!keys.empty());
+  if (crashed_) {
+    return;
+  }
   const uint64_t request_id = next_request_id_++;
   PendingMultiRead& read = pending_multi_reads_[request_id];
   read.client_id = client_id;
@@ -448,9 +459,7 @@ void KvReplica::FinishMultiRead(PendingMultiRead& read) {
       if (!merged[i].has_value()) {
         continue;
       }
-      auto existing = storage_.find(read.keys[i]);
-      if (existing == storage_.end() || existing->second.OlderThan(merged[i]->version)) {
-        storage_[read.keys[i]] = *merged[i];
+      if (ApplyLww(read.keys[i], *merged[i], /*log=*/true)) {
         metrics_.GetCounter("read_repairs").Increment();
       }
     }
@@ -489,6 +498,9 @@ void KvReplica::SendMultiReadResponse(const PendingMultiRead& read,
 void KvReplica::HandlePeerMultiRead(
     NodeId requester, const std::vector<std::string>& keys, uint64_t request_id,
     std::function<void(uint64_t, std::vector<std::optional<VersionedValue>>)> reply) {
+  if (crashed_) {
+    return;
+  }
   const auto batch_extra =
       config_->multiread_per_key_service * static_cast<SimDuration>(keys.size() - 1);
   service_.Submit(config_->peer_read_service + batch_extra,
@@ -510,6 +522,9 @@ void KvReplica::HandlePeerMultiRead(
 
 void KvReplica::CoordinateWrite(NodeId client_id, const std::string& key, std::string value,
                                 KvResponseFn respond, SimTime timestamp) {
+  if (crashed_) {
+    return;
+  }
   metrics_.GetCounter("writes_coordinated").Increment();
   service_.Submit(config_->write_service, [this, client_id, key, value = std::move(value),
                                            timestamp, respond = std::move(respond)]() mutable {
@@ -529,20 +544,47 @@ void KvReplica::CoordinateWrite(NodeId client_id, const std::string& key, std::s
       storage_[key] = vv;
     }
 
-    // W = 1: acknowledge after the local apply.
-    OpResult ack;
-    ack.found = true;
-    ack.version = version;
-    network_->Send(id_, client_id, kResponseHeaderBytes, [respond, ack]() {
-      respond(ack, /*is_final=*/true, ResponseKind::kValue);
-    });
+    // WAL-before-ack: a coordinated write is logged and fsynced before the client hears
+    // about it — an acked write survives any kill -9 from here on. The fsync latency
+    // (when configured) is charged as extra service time between append and ack; a crash
+    // inside that window leaves a durable but *unacked* record — legal either way, since
+    // the client saw no ack, and Recover()'s anti-entropy push re-replicates it so the
+    // cluster still converges on one outcome. LWW apply may have rejected an older
+    // version above, but the record is logged unconditionally: the ack promises
+    // durability of the submission, and replay re-applies under the same LWW rule
+    // (idempotent, zero duplication).
+    SimDuration fsync = 0;
+    uint64_t lsn = 0;
+    if (wal_ != nullptr) {
+      lsn = wal_->Append(key, vv.value, version);
+      fsync = wal_->Sync();
+      MaybeScheduleSnapshot();
+    }
 
-    // Asynchronous replication to the other replicas.
-    for (KvReplica* peer : peers_) {
-      const int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(key.size()) +
-                            static_cast<int64_t>(vv.value.size());
-      network_->Send(id_, peer->id(), bytes,
-                     [peer, key, vv]() { peer->HandleReplicate(key, vv); });
+    auto finish = [this, client_id, key, vv = std::move(vv), version, lsn,
+                   respond = std::move(respond)]() {
+      // W = 1: acknowledge after the local apply (+ fsync when configured).
+      OpResult ack;
+      ack.found = true;
+      ack.version = version;
+      network_->Send(id_, client_id, kResponseHeaderBytes, [respond, ack]() {
+        respond(ack, /*is_final=*/true, ResponseKind::kValue);
+      });
+
+      // Asynchronous replication to the other replicas. The fan-out makes the record
+      // cluster-visible: snapshots may cover it from here on.
+      replicated_lsn_ = std::max(replicated_lsn_, lsn);
+      for (KvReplica* peer : peers_) {
+        const int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(key.size()) +
+                              static_cast<int64_t>(vv.value.size());
+        network_->Send(id_, peer->id(), bytes,
+                       [peer, key, vv]() { peer->HandleReplicate(key, vv); });
+      }
+    };
+    if (fsync > 0) {
+      service_.Submit(fsync, std::move(finish));
+    } else {
+      finish();
     }
   });
 }
@@ -550,6 +592,9 @@ void KvReplica::CoordinateWrite(NodeId client_id, const std::string& key, std::s
 void KvReplica::CoordinateMultiWrite(NodeId client_id, std::vector<std::string> keys,
                                      std::vector<std::string> values, KvResponseFn respond,
                                      std::vector<SimTime> timestamps) {
+  if (crashed_) {
+    return;
+  }
   metrics_.GetCounter("multi_writes_coordinated").Increment();
   if (keys.empty() || keys.size() != values.size() ||
       (!timestamps.empty() && timestamps.size() != keys.size())) {
@@ -569,6 +614,8 @@ void KvReplica::CoordinateMultiWrite(NodeId client_id, std::vector<std::string> 
     ack.found = true;
     ack.seqno = static_cast<int64_t>(keys.size());
     ack.key_found.assign(keys.size(), true);
+    std::vector<VersionedValue> applied(keys.size());
+    uint64_t cohort_lsn = 0;
     for (size_t i = 0; i < keys.size(); ++i) {
       const SimTime stamp = i < timestamps.size() ? timestamps[i] : 0;
       write_seq_ = std::max({static_cast<uint64_t>(loop_->Now()), write_seq_ + 1,
@@ -583,22 +630,50 @@ void KvReplica::CoordinateMultiWrite(NodeId client_id, std::vector<std::string> 
       if (existing == storage_.end() || existing->second.OlderThan(version)) {
         storage_[keys[i]] = vv;
       }
-
-      for (KvReplica* peer : peers_) {
-        const int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(keys[i].size()) +
-                              static_cast<int64_t>(vv.value.size());
-        network_->Send(id_, peer->id(), bytes,
-                       [peer, key = keys[i], vv]() { peer->HandleReplicate(key, vv); });
+      if (wal_ != nullptr) {
+        cohort_lsn = wal_->Append(keys[i], vv.value, version);
       }
+      applied[i] = std::move(vv);
     }
-    network_->Send(id_, client_id, kResponseHeaderBytes, [respond, ack]() {
-      respond(ack, /*is_final=*/true, ResponseKind::kValue);
-    });
+    // Group commit: the whole cohort shares one fsync, then one ack covers it — either
+    // every entry of an acked batch is durable or the crash predates the ack and the
+    // client-side cohort fails as a unit (no torn batch slice).
+    SimDuration fsync = 0;
+    if (wal_ != nullptr) {
+      fsync = wal_->Sync();
+      MaybeScheduleSnapshot();
+    }
+
+    auto finish = [this, client_id, keys = std::move(keys), applied = std::move(applied),
+                   ack = std::move(ack), cohort_lsn, respond = std::move(respond)]() {
+      // The cohort's fan-out makes every record of the batch cluster-visible.
+      replicated_lsn_ = std::max(replicated_lsn_, cohort_lsn);
+      for (size_t i = 0; i < keys.size(); ++i) {
+        for (KvReplica* peer : peers_) {
+          const int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(keys[i].size()) +
+                                static_cast<int64_t>(applied[i].value.size());
+          network_->Send(id_, peer->id(), bytes, [peer, key = keys[i], vv = applied[i]]() {
+            peer->HandleReplicate(key, vv);
+          });
+        }
+      }
+      network_->Send(id_, client_id, kResponseHeaderBytes, [respond, ack]() {
+        respond(ack, /*is_final=*/true, ResponseKind::kValue);
+      });
+    };
+    if (fsync > 0) {
+      service_.Submit(fsync, std::move(finish));
+    } else {
+      finish();
+    }
   });
 }
 
 void KvReplica::HandlePeerRead(NodeId requester, const std::string& key, uint64_t request_id,
                                std::function<void(uint64_t, std::optional<VersionedValue>)> reply) {
+  if (crashed_) {
+    return;
+  }
   service_.Submit(config_->peer_read_service, [this, requester, key, request_id,
                                                reply = std::move(reply)]() {
     const auto value = LocalGet(key);
@@ -611,12 +686,254 @@ void KvReplica::HandlePeerRead(NodeId requester, const std::string& key, uint64_
 }
 
 void KvReplica::HandleReplicate(const std::string& key, VersionedValue incoming) {
+  if (crashed_) {
+    return;
+  }
   service_.Submit(config_->replicate_service, [this, key, incoming = std::move(incoming)]() {
-    auto existing = storage_.find(key);
-    if (existing == storage_.end() || existing->second.OlderThan(incoming.version)) {
-      storage_[key] = incoming;
+    if (ApplyLww(key, incoming, /*log=*/true)) {
       metrics_.GetCounter("replications_applied").Increment();
     }
+  });
+}
+
+void KvReplica::HandlePing(NodeId requester, uint64_t probe_id,
+                           std::function<void(uint64_t)> reply) {
+  if (crashed_) {
+    return;  // a dead process answers nothing — missed probes are the death signal
+  }
+  service_.Submit(config_->ping_service,
+                  [this, requester, probe_id, reply = std::move(reply)]() {
+                    network_->Send(id_, requester, kResponseHeaderBytes,
+                                   [reply, probe_id]() { reply(probe_id); });
+                  });
+}
+
+void KvReplica::HandleBootstrap(
+    NodeId requester,
+    std::function<void(std::vector<std::pair<std::string, VersionedValue>>)> deliver) {
+  if (crashed_) {
+    return;
+  }
+  const SimDuration service =
+      config_->peer_read_service +
+      config_->bootstrap_per_key_service * static_cast<SimDuration>(storage_.size());
+  service_.Submit(service, [this, requester, deliver = std::move(deliver)]() {
+    std::vector<std::pair<std::string, VersionedValue>> dump(storage_.begin(),
+                                                             storage_.end());
+    int64_t bytes = kResponseHeaderBytes;
+    for (const auto& [key, vv] : dump) {
+      bytes += static_cast<int64_t>(key.size()) + static_cast<int64_t>(vv.value.size()) + 16;
+    }
+    metrics_.GetCounter("bootstraps_served").Increment();
+    network_->Send(id_, requester, bytes,
+                   [deliver, dump = std::move(dump)]() { deliver(dump); });
+  });
+}
+
+bool KvReplica::ApplyLww(const std::string& key, const VersionedValue& incoming, bool log) {
+  auto existing = storage_.find(key);
+  if (existing != storage_.end() && !existing->second.OlderThan(incoming.version)) {
+    return false;
+  }
+  storage_[key] = incoming;
+  if (log && wal_ != nullptr) {
+    // Lazy append: replicated/repaired state is logged but not fsynced — the unsynced
+    // tail is recoverable from the peers that sent it, and it is what a torn-tail crash
+    // tears. Only coordinated (acked) writes pay for a sync.
+    const uint64_t lsn = wal_->Append(key, incoming.value, incoming.version);
+    // The value came from a cluster-visible source, so a snapshot may cover it at once.
+    replicated_lsn_ = std::max(replicated_lsn_, lsn);
+    MaybeScheduleSnapshot();
+  }
+  return true;
+}
+
+void KvReplica::MaybeScheduleSnapshot() {
+  if (wal_ == nullptr || config_->snapshot_every <= 0 || snapshot_in_flight_) {
+    return;
+  }
+  if (wal_->appended_records() - records_at_last_snapshot_ < config_->snapshot_every) {
+    return;
+  }
+  snapshot_in_flight_ = true;
+  const SimDuration service =
+      config_->snapshot_base_service +
+      config_->snapshot_per_entry_service * static_cast<SimDuration>(storage_.size());
+  // Background snapshot on the service queue: it competes with request work for the
+  // replica's CPU, the cost of bounding replay time. Crash() cancels it via the queue's
+  // generation, so no incarnation check is needed here.
+  service_.Submit(service, [this]() {
+    snapshot_in_flight_ = false;
+    // Cover only cluster-visible records: a coordinated write between its append and
+    // its replication fan-out must stay in the replayed tail, or a crash after the
+    // snapshot would resurrect it on this replica alone with no record to re-push.
+    snapshot_->Take(storage_, replicated_lsn_);
+    records_at_last_snapshot_ = wal_->appended_records();
+    wal_->TruncateThrough(snapshot_->covered_lsn());
+    metrics_.GetCounter("snapshots_taken").Increment();
+  });
+}
+
+void KvReplica::Crash() {
+  assert(!crashed_);
+  crashed_ = true;
+  incarnation_ += 1;
+  // Cancel armed timers before dropping the pending maps (tombstone hygiene).
+  for (auto& [request_id, read] : pending_reads_) {
+    loop_->Cancel(read.timeout_timer);
+  }
+  for (auto& [request_id, read] : pending_multi_reads_) {
+    loop_->Cancel(read.timeout_timer);
+  }
+  if (bootstrap_timer_ != 0) {
+    loop_->Cancel(bootstrap_timer_);
+    bootstrap_timer_ = 0;
+  }
+  pending_reads_.clear();
+  pending_multi_reads_.clear();
+  storage_.clear();
+  write_seq_ = 0;
+  snapshot_in_flight_ = false;
+  bootstrap_pending_ = false;
+  service_.CancelPending();  // queued work dies with the process
+  if (wal_ != nullptr) {
+    wal_->Crash();  // the device survives; the unsynced tail does not
+  }
+  metrics_.GetCounter("crashes").Increment();
+}
+
+void KvReplica::Recover() {
+  assert(crashed_);
+  crashed_ = false;
+  last_recovery_ = RecoveryStats{};
+  uint64_t snapshot_lsn = 0;
+  std::set<std::string> replayed_keys;
+  if (wal_ != nullptr) {
+    if (snapshot_->Load(&storage_, &snapshot_lsn)) {
+      last_recovery_.snapshot_entries = storage_.size();
+    }
+    const Wal::ReplayResult replay =
+        wal_->Replay(snapshot_lsn, [this, &replayed_keys](const Wal::Record& record) {
+          ApplyLww(record.key, VersionedValue{record.value, record.version}, /*log=*/false);
+          replayed_keys.insert(record.key);
+        });
+    last_recovery_.wal_records_replayed = replay.records;
+    last_recovery_.torn_tail = replay.torn_tail;
+    records_at_last_snapshot_ = wal_->appended_records();
+    // Restore the write clock past every stamp this replica may have issued or seen, so
+    // post-recovery coordinator stamps never regress below pre-crash acks.
+    for (const auto& [key, vv] : storage_) {
+      write_seq_ = std::max(write_seq_, static_cast<uint64_t>(vv.version.timestamp));
+    }
+  }
+  metrics_.GetCounter("recoveries").Increment();
+  // Anti-entropy push: a record can be durable (fsynced) yet unreplicated — the crash
+  // landed between the fsync and the replication fan-out. Snapshots never cover such
+  // records (they only reach replicated_lsn_), so the candidates are exactly the
+  // replayed tail. Push those keys' post-replay values to every peer; LWW-merge makes
+  // entries peers already hold no-ops, while values only this replica's disk knew
+  // finally propagate. Charged like serving a bootstrap dump of the same size.
+  if (!peers_.empty() && !replayed_keys.empty()) {
+    const uint64_t inc = incarnation_;
+    const uint64_t replayed_through = wal_ != nullptr ? wal_->next_lsn() - 1 : 0;
+    const SimDuration scan =
+        config_->bootstrap_per_key_service * static_cast<SimDuration>(replayed_keys.size());
+    service_.Submit(scan, [this, inc, replayed_through,
+                           keys = std::move(replayed_keys)]() {
+      if (inc != incarnation_ || crashed_) {
+        return;
+      }
+      metrics_.GetCounter("recovery_pushes").Increment();
+      for (KvReplica* peer : peers_) {
+        for (const std::string& key : keys) {
+          const auto it = storage_.find(key);
+          if (it == storage_.end()) continue;
+          const VersionedValue& vv = it->second;
+          const int64_t bytes = kRequestHeaderBytes + static_cast<int64_t>(key.size()) +
+                                static_cast<int64_t>(vv.value.size());
+          network_->Send(id_, peer->id(), bytes, [peer, key = key, vv = vv]() {
+            peer->HandleReplicate(key, vv);
+          });
+        }
+      }
+      // Everything replayed is now fanned out: snapshots may cover the whole tail.
+      replicated_lsn_ = std::max(replicated_lsn_, replayed_through);
+    });
+  }
+  // Anti-entropy bootstrap: writes coordinated elsewhere while this replica was down
+  // never reached it (their replication messages were dropped at send). Runs on this
+  // replica's own loop so all recovery traffic originates from its lane.
+  if (!peers_.empty()) {
+    bootstrap_pending_ = true;
+    bootstrap_round_ = 0;
+    const uint64_t inc = incarnation_;
+    loop_->Schedule(Micros(1), [this, inc]() {
+      if (inc == incarnation_ && bootstrap_pending_) {
+        StartBootstrap(0);
+      }
+    });
+  } else {
+    last_recovery_.bootstrap_complete = true;
+  }
+}
+
+void KvReplica::StartBootstrap(size_t attempt) {
+  if (crashed_ || peers_.empty()) {
+    return;
+  }
+  KvReplica* peer = peers_[attempt % peers_.size()];
+  const uint64_t inc = incarnation_;
+  metrics_.GetCounter("bootstrap_requests").Increment();
+  network_->Send(id_, peer->id(), kRequestHeaderBytes, [this, peer, inc]() {
+    peer->HandleBootstrap(
+        id_, [this, inc](std::vector<std::pair<std::string, VersionedValue>> dump) {
+          if (inc != incarnation_ || crashed_ || !bootstrap_pending_) {
+            return;  // crashed again (or already bootstrapped) since asking
+          }
+          bootstrap_pending_ = false;
+          if (bootstrap_timer_ != 0) {
+            loop_->Cancel(bootstrap_timer_);
+            bootstrap_timer_ = 0;
+          }
+          // Merging the dump is real work: charge it like a replication batch.
+          const SimDuration service =
+              config_->replicate_service +
+              config_->bootstrap_per_key_service * static_cast<SimDuration>(dump.size());
+          service_.Submit(service, [this, inc, dump = std::move(dump)]() {
+            uint64_t merged = 0;
+            for (const auto& [key, vv] : dump) {
+              if (ApplyLww(key, vv, /*log=*/true)) {
+                merged += 1;
+              }
+            }
+            last_recovery_.bootstrap_keys_merged += merged;
+            if (bootstrap_round_ == 0) {
+              // The first dump races the replication horizon: a write acked during the
+              // outage may still be in flight to the dump-serving peer. One more round
+              // after the fan-out has settled catches whatever the first one missed.
+              bootstrap_round_ = 1;
+              bootstrap_pending_ = true;
+              bootstrap_timer_ =
+                  loop_->Schedule(config_->bootstrap_settle_delay, [this, inc]() {
+                    bootstrap_timer_ = 0;
+                    if (inc == incarnation_ && bootstrap_pending_) {
+                      StartBootstrap(0);
+                    }
+                  });
+            } else {
+              last_recovery_.bootstrap_complete = true;
+              metrics_.GetCounter("bootstraps_completed").Increment();
+            }
+          });
+        });
+  });
+  // The chosen peer may be dead too (it never answers): retry against the next one.
+  bootstrap_timer_ = loop_->Schedule(config_->read_timeout, [this, inc, attempt]() {
+    if (inc != incarnation_ || !bootstrap_pending_) {
+      return;
+    }
+    metrics_.GetCounter("bootstrap_retries").Increment();
+    StartBootstrap(attempt + 1);
   });
 }
 
@@ -630,6 +947,13 @@ std::optional<VersionedValue> KvReplica::LocalGet(const std::string& key) const 
 
 void KvReplica::LocalPut(const std::string& key, std::string value, Version version) {
   storage_[key] = VersionedValue{std::move(value), version};
+  if (wal_ != nullptr) {
+    // Preloads are part of the durable dataset: log + sync so a crashed replica's
+    // recovered state includes them without leaning on the bootstrap. They are applied
+    // at every replica by construction, so they are cluster-visible immediately.
+    replicated_lsn_ = std::max(replicated_lsn_, wal_->Append(key, storage_[key].value, version));
+    wal_->Sync();
+  }
 }
 
 }  // namespace icg

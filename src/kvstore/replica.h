@@ -21,8 +21,10 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/common/inline_function.h"
@@ -30,7 +32,9 @@
 #include "src/common/status.h"
 #include "src/correctables/binding.h"
 #include "src/correctables/operation.h"
+#include "src/kvstore/snapshot.h"
 #include "src/kvstore/versioned_value.h"
+#include "src/kvstore/wal.h"
 #include "src/sim/network.h"
 #include "src/sim/service_queue.h"
 
@@ -54,6 +58,23 @@ struct KvConfig {
   SimDuration read_timeout = Millis(2000);
 
   bool read_repair = true;
+
+  // --- Durability (per-replica WAL + snapshots) ---------------------------------------
+  // The defaults keep the pre-durability event timeline bit-for-bit: appends are pure
+  // in-memory bookkeeping (no events, no service time) and snapshots never trigger.
+  // Crash/recovery tests and the failover bench opt into nonzero knobs.
+  bool durability = true;             // maintain the WAL + snapshot device
+  SimDuration wal_fsync_service = 0;  // fsync charged between WAL append and write ack
+  bool wal_torn_tail = false;         // crash may leave a torn partial record (faults)
+  int64_t snapshot_every = 0;         // snapshot every N appended records (0 = never)
+  SimDuration snapshot_base_service = Micros(400);     // fixed cost of taking a snapshot
+  SimDuration snapshot_per_entry_service = Micros(2);  // plus per stored entry
+  SimDuration ping_service = Micros(20);               // heartbeat probe handling
+  SimDuration bootstrap_per_key_service = Micros(5);   // anti-entropy dump, per entry
+  // Writes acked while this replica was down may still be in flight to the bootstrap
+  // peer when it serves the first dump (their fan-out raced the dump). A second round
+  // after this delay — past the worst one-way replication latency — closes the race.
+  SimDuration bootstrap_settle_delay = Millis(300);
 };
 
 // How a client read wants its responses delivered.
@@ -85,8 +106,38 @@ class KvReplica {
   // Re-resolves this replica's loop through Network::LoopFor after the node has been
   // placed on a LoopGroup lane (intra-world sharding): its timers and service queue move
   // to the placed loop so all of its activity runs on that lane's driving thread.
-  // Setup-time only — call before any traffic reaches the replica.
+  // Legal whenever the replica is quiescent — before any traffic, after a drain, or on
+  // a crashed replica (Crash() cancels everything in flight).
   void RebindLoop();
+
+  // --- Crash & recovery ----------------------------------------------------------------
+  // kill -9: wipes all volatile state (storage, pending reads, queued service work) and
+  // truncates the WAL's unsynced tail, exactly as a process death would. The WAL and
+  // snapshot devices survive. Callers normally pair this with Network::Crash(id) so new
+  // messages stop reaching the node; messages already in flight still deliver and are
+  // dropped by the entry-point guards here.
+  void Crash();
+  // Rebuilds state from the newest snapshot plus WAL replay strictly after it (LWW
+  // apply, so replay is idempotent — zero duplication), restores the write clock, and
+  // kicks off an asynchronous anti-entropy bootstrap from the nearest live peer to pick
+  // up writes coordinated elsewhere while this replica was down. Pair with
+  // Network::Restart(id) *before* calling so the bootstrap request can leave the node.
+  void Recover();
+  bool crashed() const { return crashed_; }
+  uint64_t incarnation() const { return incarnation_; }
+
+  struct RecoveryStats {
+    uint64_t snapshot_entries = 0;       // entries loaded from the snapshot image
+    uint64_t wal_records_replayed = 0;   // records applied past the snapshot
+    bool torn_tail = false;              // replay ended at a torn record
+    uint64_t bootstrap_keys_merged = 0;  // entries LWW-merged from the bootstrap peer
+    bool bootstrap_complete = false;
+  };
+  const RecoveryStats& last_recovery() const { return last_recovery_; }
+
+  // Durability observability (null iff KvConfig::durability is false).
+  Wal* wal() { return wal_.get(); }
+  SnapshotManager* snapshots() { return snapshot_.get(); }
 
   // --- Coordinator entry points (invoked at this node; client_id is the requester) ----
   void CoordinateRead(NodeId client_id, const std::string& key, const ReadOptions& options,
@@ -120,6 +171,14 @@ class KvReplica {
       NodeId requester, const std::vector<std::string>& keys, uint64_t request_id,
       std::function<void(uint64_t, std::vector<std::optional<VersionedValue>>)> reply);
   void HandleReplicate(const std::string& key, VersionedValue incoming);
+  // Failure-detector probe: answers with `probe_id` after a small service charge. A
+  // crashed replica never answers — missed probes are the detector's death signal.
+  void HandlePing(NodeId requester, uint64_t probe_id, std::function<void(uint64_t)> reply);
+  // Anti-entropy dump for a recovering peer: serves this replica's whole LWW store
+  // (service time proportional to its size, bytes accounted on the wire).
+  void HandleBootstrap(NodeId requester,
+                       std::function<void(std::vector<std::pair<std::string, VersionedValue>>)>
+                           deliver);
 
   // --- Direct local access (tests, dataset preloading) --------------------------------
   std::optional<VersionedValue> LocalGet(const std::string& key) const;
@@ -179,6 +238,16 @@ class KvReplica {
   static OpResult ToMultiOpResult(const std::vector<std::optional<VersionedValue>>& values);
   static Digest CombinedDigest(const std::vector<std::optional<VersionedValue>>& values);
 
+  // LWW apply to local storage; returns true if the store changed. Appends the applied
+  // record to the WAL when `log` says so (lazily — durability waits for the next Sync).
+  bool ApplyLww(const std::string& key, const VersionedValue& incoming, bool log);
+  // Snapshot cadence: once `snapshot_every` records accumulated past the last snapshot,
+  // schedules a background snapshot on the service queue (cost scales with store size).
+  void MaybeScheduleSnapshot();
+  // One attempt of the post-recovery anti-entropy bootstrap; retries on the next peer
+  // if the current one never answers (it may be dead too).
+  void StartBootstrap(size_t attempt);
+
   Network* network_;
   EventLoop* loop_;
   NodeId id_;
@@ -192,6 +261,24 @@ class KvReplica {
   std::map<uint64_t, PendingMultiRead> pending_multi_reads_;
   uint64_t next_request_id_ = 1;
   uint64_t write_seq_ = 0;  // disambiguates same-microsecond writes from this coordinator
+
+  // --- Durability & crash state --------------------------------------------------------
+  std::unique_ptr<Wal> wal_;               // survives Crash(), like the disk it models
+  std::unique_ptr<SnapshotManager> snapshot_;
+  bool crashed_ = false;
+  uint64_t incarnation_ = 0;  // bumped per crash; stale async callbacks check and no-op
+  bool snapshot_in_flight_ = false;
+  int64_t records_at_last_snapshot_ = 0;
+  // Highest WAL LSN whose record is cluster-visible: its replication fan-out was sent,
+  // or the value arrived FROM the cluster (replication, repair, bootstrap, preload).
+  // Snapshots only cover up to here, so the replayed tail after a crash is exactly the
+  // set of records that might exist on this disk alone — the recovery push re-replicates
+  // just that tail instead of the whole store.
+  uint64_t replicated_lsn_ = 0;
+  bool bootstrap_pending_ = false;
+  int bootstrap_round_ = 0;  // 0 = first dump, 1 = post-settle-delay verification round
+  TimerId bootstrap_timer_ = 0;
+  RecoveryStats last_recovery_;
 };
 
 }  // namespace icg

@@ -13,7 +13,10 @@ void ServiceQueue::Submit(SimDuration service_time, EventLoop::Task done) {
   busy_until_ = finish;
   submitted_ += 1;
   total_busy_time_ += service_time;
-  loop_->ScheduleAt(finish, [this, done = std::move(done)]() {
+  loop_->ScheduleAt(finish, [this, generation = generation_, done = std::move(done)]() {
+    if (generation != generation_) {
+      return;  // the server was killed (CancelPending) while this job was in flight
+    }
     completed_ += 1;
     done();
   });

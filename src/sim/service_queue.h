@@ -26,10 +26,24 @@ class ServiceQueue {
   void Submit(SimDuration service_time, EventLoop::Task done);
 
   // Moves this server onto another loop — used when its node is placed on a LoopGroup
-  // lane after construction. Setup-time only: nothing may be in flight.
+  // lane after construction, or when a crashed replica rejoins. Legal whenever the
+  // queue is quiescent: nothing in flight (either never used, drained, or cancelled via
+  // CancelPending).
   void RebindLoop(EventLoop* loop) {
-    assert(InFlight() == 0 && "rebind before any work is submitted");
+    assert(loop != nullptr);
+    assert(InFlight() == 0 && "rebind requires a quiescent queue");
     loop_ = loop;
+  }
+
+  // Abandons every in-flight job (kill -9 of the server): their completion callbacks
+  // never run and never count, and the server is immediately idle for new work. The
+  // completion events already scheduled on the loop stay there but no-op — cancelling
+  // by generation instead of TimerId keeps Submit free of bookkeeping.
+  void CancelPending() {
+    generation_ += 1;
+    submitted_ = completed_;
+    busy_until_ = 0;
+    cancelled_ += 1;
   }
 
   // Time at which the server frees up if no further work arrives.
@@ -40,6 +54,7 @@ class ServiceQueue {
 
   int64_t submitted() const { return submitted_; }
   int64_t completed() const { return completed_; }
+  int64_t cancellations() const { return cancelled_; }
   SimDuration total_busy_time() const { return total_busy_time_; }
 
   // Fraction of `window` the server spent busy (assuming stats reset at window start).
@@ -61,6 +76,8 @@ class ServiceQueue {
   SimTime busy_until_ = 0;
   int64_t submitted_ = 0;
   int64_t completed_ = 0;
+  int64_t cancelled_ = 0;
+  uint64_t generation_ = 0;  // bumped by CancelPending; stale completions no-op
   SimDuration total_busy_time_ = 0;
 };
 

@@ -498,6 +498,60 @@ TEST(BindingRouter, OutstandingAccountingSurvivesRingChanges) {
   EXPECT_EQ(router->ShardOutstanding(0), 0u);
 }
 
+TEST(BindingRouter, CrashedShardRetiresCountersWithoutUnderflow) {
+  // The failover regression: a shard crashes with in-flight invocations pinning its
+  // outstanding counter at the queue limit, the detector removes it from the ring, and
+  // whatever terminals eventually arrive (or never do) must neither underflow the
+  // counter nor leak phantom load into the successor ring.
+  auto h0 = std::make_shared<HoldingBinding>("h0");
+  auto h1 = std::make_shared<HoldingBinding>("h1");
+  auto router = std::make_shared<BindingRouter>(
+      std::vector<std::shared_ptr<Binding>>{h0, h1}, SuffixShardFn(2));
+  router->SetShardQueueLimit(2);
+  CorrectableClient client(router);
+
+  // Fill the doomed shard to its limit; a crashed coordinator never answers, so these
+  // slots would be pinned forever...
+  auto a = client.InvokeStrong(Operation::Get("k0"));
+  auto b = client.InvokeStrong(Operation::Get("k2"));
+  EXPECT_EQ(router->ShardOutstanding(0), 2u);
+  auto shed = client.InvokeStrong(Operation::Get("k4"));
+  EXPECT_EQ(shed.state(), CorrectableState::kError);
+  EXPECT_EQ(router->ShardSheds(0), 1);
+
+  // ...until failover retires the block atomically with the ring swap: index 0 of the
+  // new ring (the survivor) starts clean.
+  ASSERT_TRUE(
+      router->ApplyRing(1, {h1}, [](const std::string&) -> size_t { return 0; }).ok());
+  EXPECT_EQ(router->num_shards(), 1u);
+  EXPECT_EQ(router->ShardOutstanding(0), 0u);
+
+  // Late terminals from the corpse land on the retired block and clamp at zero instead
+  // of wrapping a size_t (the pre-retirement code asserted/underflowed here).
+  h0->ReleaseAll();
+  EXPECT_EQ(a.state(), CorrectableState::kFinal);
+  EXPECT_EQ(b.state(), CorrectableState::kFinal);
+  EXPECT_EQ(router->ShardOutstanding(0), 0u);
+
+  // The survivor serves the whole keyspace with clean admission accounting.
+  auto c = client.InvokeStrong(Operation::Get("k4"));
+  EXPECT_EQ(c.state(), CorrectableState::kUpdating);
+  EXPECT_EQ(router->ShardOutstanding(0), 1u);
+  h1->ReleaseAll();
+  EXPECT_EQ(c.Final().value().value, "h1/k4");
+  EXPECT_EQ(router->ShardOutstanding(0), 0u);
+
+  // Re-admission after recovery: the returning shard gets a fresh, unretired block and
+  // counts from zero again.
+  ASSERT_TRUE(router->ApplyRing(2, {h1, h0}, SuffixShardFn(2)).ok());
+  EXPECT_EQ(router->ShardOutstanding(1), 0u);
+  auto d = client.InvokeStrong(Operation::Get("k1"));  // suffix 1 -> index 1 = h0
+  EXPECT_EQ(router->ShardOutstanding(1), 1u);
+  h0->ReleaseAll();
+  EXPECT_EQ(d.Final().value().value, "h0/k1");
+  EXPECT_EQ(router->ShardOutstanding(1), 0u);
+}
+
 TEST(BindingRouter, ZeroLimitDisablesShedding) {
   auto h0 = std::make_shared<HoldingBinding>("h0");
   auto router = std::make_shared<BindingRouter>(

@@ -13,6 +13,7 @@
 #include <cstdlib>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -365,6 +366,235 @@ TEST(BatchOracle, MembershipChurnAcrossWindows) {
   const uint64_t seed = OracleSeed();
   for (const SimDuration window : {Millis(0), Millis(5)}) {
     RunChurnOracleTrial(window, seed);
+  }
+}
+
+// --- Kill -9 mid-cohort: the crash-failover oracle --------------------------------------
+//
+// The same randomized load, but a coordinator is kill -9'd mid-run (mid-batch-window and
+// mid-multiput-cohort at whatever instants the seed lands on), the heartbeat detector
+// fails over around the corpse, and the replica later recovers from snapshot + WAL
+// replay and rejoins at a fresh ring epoch. The contract under crashes:
+//
+//   * every invocation still closes exactly once — errors (timeout / retryable
+//     OVERLOADED sheds during the failover window) are legal, duplicated or lost
+//     terminals are not, and views never regress or trail a terminal;
+//   * no acked write is lost: every replica converges to a value whose version is at
+//     least the last acked version of its key, and equal versions carry equal values
+//     (replay under LWW must not duplicate an acked write under a fresh stamp);
+//   * reads only ever observe written values — a torn WAL tail must never surface;
+//   * ring epochs advance by at least two (failover + re-admission) and the failover
+//     log records detection and rejoin.
+//
+// The trial runs at LoopGroup widths 0/2/4 (8 under ICG_ORACLE_WIDTH8) and must produce
+// a bit-identical fingerprint at every width: crash, detection, recovery, and replay all
+// ride the deterministic substrate. ICG_WAL_FAULTS=1 additionally enables slow-fsync +
+// torn-tail fault injection (the CI fault sweep).
+
+bool WalFaultsEnabled() {
+  const char* env = std::getenv("ICG_WAL_FAULTS");
+  return env != nullptr && *env == '1';
+}
+
+// Per-invocation contract when failures ARE injected: errors allowed, everything else
+// identical to CheckObservation.
+void CheckCrashObservation(const Observation& obs) {
+  SCOPED_TRACE("key=" + obs.key + " client=" + std::to_string(obs.client));
+  EXPECT_EQ(obs.finals + obs.errors, 1) << "invocation must close exactly once";
+  EXPECT_FALSE(obs.view_after_terminal) << "views delivered after the terminal view";
+  for (size_t i = 1; i < obs.delivered.size(); ++i) {
+    EXPECT_TRUE(IsStrongerOrEqual(obs.delivered[i], obs.delivered[i - 1]))
+        << "view level regressed at position " << i;
+  }
+  if (obs.finals == 1) {
+    ASSERT_FALSE(obs.delivered.empty());
+    EXPECT_EQ(obs.delivered.back(), obs.strongest);
+    for (const ConsistencyLevel level : obs.delivered) {
+      EXPECT_TRUE(IsStrongerOrEqual(obs.strongest, level));
+      EXPECT_TRUE(IsStrongerOrEqual(level, obs.weakest));
+    }
+  }
+}
+
+std::string RunCrashOracleTrial(int threads, SimDuration window, uint64_t seed) {
+  SCOPED_TRACE("crash threads=" + std::to_string(threads) +
+               " window_us=" + std::to_string(window) + " seed=" + std::to_string(seed));
+  LoopGroup::Options options;
+  options.threads = threads;
+  options.quantum = Millis(2);
+  LoopGroup group(options);
+
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  BatchConfig batch;
+  batch.batch_window = window;
+  KvConfig kv;
+  kv.wal_fsync_service = Micros(120);  // acked => fsynced, with a real (simulated) cost
+  kv.snapshot_every = 64;              // snapshots + WAL truncation exercise mid-run
+  if (WalFaultsEnabled()) {
+    kv.wal_fsync_service = Micros(150);
+    kv.wal_torn_tail = true;
+  }
+
+  SimWorld world(seed * 13);
+  auto stack = MakeShardedCassandraStack(world, /*n_coordinators=*/3, kv, binding,
+                                         Region::kIreland,
+                                         {Region::kFrankfurt, Region::kIreland,
+                                          Region::kVirginia, Region::kCalifornia,
+                                          Region::kOregon},
+                                         batch);
+  auto& frk = AddShardedCassandraClient(world, stack, binding, Region::kFrankfurt, batch);
+  auto& vrg = AddShardedCassandraClient(world, stack, binding, Region::kVirginia, batch);
+  CorrectableClient* clients[kClients] = {stack.client(), frk.client.get(),
+                                          vrg.client.get()};
+  for (CorrectableClient* client : clients) {
+    // A request parked on a corpse has no coordinator-side timeout to save it: the
+    // client-side invocation timeout is what closes those terminals.
+    client->SetTimeout(Seconds(3));
+  }
+  stack.SetShardQueueLimit(32);  // failover-window backpressure: shed, don't queue
+
+  for (int i = 0; i < kKeys; ++i) {
+    stack.cluster->Preload(OracleKey(i), "init");
+  }
+  PlaceShardsAcrossLoops(group, world, stack);
+  stack.EnableFailureDetection();  // 50 ms heartbeat, 3 missed probes => failover
+
+  Rng rng(seed * 173 + static_cast<uint64_t>(window));
+  const OracleLoad load = ScheduleRandomLoad(world, clients, rng, /*ops=*/400);
+
+  const uint64_t epoch_before = stack.ring_epoch();
+  const NodeId victim =
+      stack.coordinator_ids()[static_cast<size_t>(seed % stack.coordinator_ids().size())];
+
+  // kill -9 at 1 s (mid-load, mid-window, mid-whatever-cohort the seed lined up),
+  // recover at 2 s. Both mutations happen between rounds — the LoopGroup equivalent of
+  // an external fault injector.
+  group.RunUntil(Seconds(1));
+  stack.CrashCoordinator(victim);
+  group.RunUntil(Seconds(2));
+  stack.RecoverCoordinator(victim);
+  group.RunUntil(Seconds(6));  // load + timeouts + bootstrap drain
+  stack.DisableFailureDetection();
+  group.RunAll();
+  EXPECT_EQ(group.pending_messages(), 0u);
+
+  // Failover actually happened and was logged: detected after the crash, rejoined at
+  // recovery, ring advanced by at least two epochs (route-around + re-admission).
+  EXPECT_GE(stack.failovers(), 1);
+  EXPECT_EQ(stack.failover_log().size(), 1u);
+  if (stack.failover_log().empty()) {
+    return "missing-failover-log";
+  }
+  const FailoverEvent& event = stack.failover_log().front();
+  EXPECT_EQ(event.node, victim);
+  EXPECT_TRUE(event.was_coordinator);
+  EXPECT_GT(event.detected_at, event.crashed_at);
+  EXPECT_LE(event.detected_at, Seconds(2));
+  EXPECT_GE(event.rejoined_at, Seconds(2));
+  EXPECT_GE(stack.ring_epoch(), epoch_before + 2);
+  EXPECT_EQ(stack.coordinator_ids().size(), 3u);  // the victim is back
+
+  // The recovered replica rebuilt from its own durable state and caught up.
+  KvReplica* recovered = nullptr;
+  for (const auto& replica : stack.cluster->replicas()) {
+    if (replica->id() == victim) {
+      recovered = replica.get();
+    }
+  }
+  EXPECT_NE(recovered, nullptr);
+  if (recovered == nullptr) {
+    return "missing-recovered-replica";
+  }
+  EXPECT_FALSE(recovered->crashed());
+  EXPECT_TRUE(recovered->last_recovery().bootstrap_complete);
+
+  // Per-invocation contract (errors legal in the failover window, nothing else is).
+  for (const auto& obs : load.observations) {
+    CheckCrashObservation(*obs);
+  }
+
+  // Zero acked loss, zero duplication: per key, find the LAST acked write in
+  // submission order; every replica must converge to one common value whose version is
+  // >= that ack — and if equal, carrying exactly the acked value.
+  for (const auto& [key, writes] : *load.write_order) {
+    const Observation* last_acked = nullptr;
+    Version previous{};
+    for (const auto& write : writes) {
+      if (write->finals != 1) {
+        continue;
+      }
+      EXPECT_FALSE(write->ack_version < previous)
+          << "ack versions regressed for " << key;
+      previous = write->ack_version;
+      last_acked = write.get();
+    }
+    std::optional<VersionedValue> converged;
+    for (const auto& replica : stack.cluster->replicas()) {
+      const auto stored = replica->LocalGet(key);
+      EXPECT_TRUE(stored.has_value()) << key;
+      if (!stored.has_value()) {
+        continue;
+      }
+      if (!converged.has_value()) {
+        converged = stored;
+      } else {
+        EXPECT_EQ(*stored, *converged) << "replicas diverged for " << key;
+      }
+    }
+    if (last_acked != nullptr && converged.has_value()) {
+      EXPECT_FALSE(converged->version < last_acked->ack_version)
+          << "acked write lost for " << key;
+      if (converged->version == last_acked->ack_version) {
+        EXPECT_EQ(converged->value, last_acked->written_value)
+            << "acked version resurfaced with a different value for " << key;
+      }
+    }
+  }
+
+  // Reads observe only written values — a torn WAL tail or half-replayed record must
+  // never surface.
+  for (const auto& obs : load.observations) {
+    if (!obs->is_write && obs->finals == 1 && obs->final_value.found) {
+      const auto& history = (*load.submitted)[obs->key];
+      const bool known =
+          obs->final_value.value == "init" ||
+          std::find(history.begin(), history.end(), obs->final_value.value) !=
+              history.end();
+      EXPECT_TRUE(known) << "read of " << obs->key
+                         << " returned a value never written: " << obs->final_value.value;
+    }
+  }
+
+  // The cross-width fingerprint: every delivered level, terminal kind, final value and
+  // version, in creation order.
+  std::string fingerprint;
+  for (const auto& obs : load.observations) {
+    fingerprint += obs->key + (obs->is_write ? "W" : "R") + "[";
+    for (const ConsistencyLevel level : obs->delivered) {
+      fingerprint += std::to_string(static_cast<int>(level));
+    }
+    fingerprint += "]e" + std::to_string(obs->errors) + "=" + obs->final_value.value +
+                   "#" + std::to_string(obs->final_value.version.timestamp) + "." +
+                   std::to_string(obs->final_value.version.writer) + ";";
+  }
+  fingerprint += "|epoch=" + std::to_string(stack.ring_epoch()) +
+                 "|replayed=" + std::to_string(recovered->last_recovery().wal_records_replayed) +
+                 "|merged=" + std::to_string(recovered->last_recovery().bootstrap_keys_merged);
+  return fingerprint;
+}
+
+TEST(BatchOracle, CrashFailoverRecoveryAcrossWidths) {
+  const uint64_t seed = OracleSeed();
+  for (const SimDuration window : {Millis(0), Millis(5)}) {
+    const std::string sequential = RunCrashOracleTrial(/*threads=*/0, window, seed);
+    EXPECT_FALSE(sequential.empty());
+    EXPECT_EQ(RunCrashOracleTrial(/*threads=*/2, window, seed), sequential);
+    EXPECT_EQ(RunCrashOracleTrial(/*threads=*/4, window, seed), sequential);
+    const char* width8 = std::getenv("ICG_ORACLE_WIDTH8");
+    if (width8 != nullptr && *width8 == '1') {
+      EXPECT_EQ(RunCrashOracleTrial(/*threads=*/8, window, seed), sequential);
+    }
   }
 }
 

@@ -14,6 +14,7 @@
 // The RNG seed comes from ICG_ORACLE_SEED (default 12345); CI sweeps several seeds.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
 #include <map>
 #include <memory>
@@ -247,6 +248,143 @@ std::string RunTrial(int threads, uint64_t seed) {
   EXPECT_EQ(merged.errors, 0);
 
   return Fingerprint(trial);
+}
+
+// Satellite regression: a stack built with spares (5 replicas, 3 coordinators) must give
+// EVERY replica its own lane at placement time — lanes cannot be added once the group
+// advances, so a spare promoted live via AddCoordinator mid-run coordinates from its own
+// lane instead of silently sharing the front loop. The promotion happens between rounds
+// at t=1s with load still in flight; widths 0/2/4(/8) must agree bit-for-bit.
+std::string RunPromotionTrial(int threads, uint64_t seed) {
+  SCOPED_TRACE("promotion threads=" + std::to_string(threads) +
+               " seed=" + std::to_string(seed));
+  LoopGroup::Options options;
+  options.threads = threads;
+  options.quantum = Millis(2);
+  LoopGroup group(options);
+
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+  BatchConfig batch;
+  batch.batch_window = Millis(2);
+
+  TrialState trial(seed * 13);
+  trial.stack = std::make_unique<ShardedCassandraStack>(MakeShardedCassandraStack(
+      trial.world, /*n_coordinators=*/3, KvConfig{}, binding, Region::kIreland,
+      {Region::kFrankfurt, Region::kIreland, Region::kVirginia, Region::kCalifornia,
+       Region::kOregon},
+      batch));
+  auto& frk = AddShardedCassandraClient(trial.world, *trial.stack, binding,
+                                        Region::kFrankfurt, batch);
+  trial.clients = {trial.stack->client(), frk.client.get(), trial.stack->client()};
+  for (int i = 0; i < kKeys; ++i) {
+    trial.stack->cluster->Preload(OracleKey(i), "init");
+  }
+
+  const IntraWorldPlacement placement =
+      PlaceShardsAcrossLoops(group, trial.world, *trial.stack);
+  const auto& replicas = trial.stack->cluster->replicas();
+  // Spares are laned too: 5 replica lanes + the front loop, all slots distinct.
+  EXPECT_EQ(placement.replica_slots.size(), replicas.size());
+  std::set<int> lanes(placement.replica_slots.begin(), placement.replica_slots.end());
+  EXPECT_EQ(lanes.size(), replicas.size());
+  EXPECT_EQ(lanes.count(placement.front_slot), 0u);
+  EXPECT_EQ(group.size(), replicas.size() + 1);
+
+  Rng rng(seed * 41);
+  EventLoop* front = &trial.world.loop();
+  int write_counter = 0;
+  for (int i = 0; i < kOps; ++i) {
+    const SimDuration at = static_cast<SimDuration>(rng.NextBounded(Seconds(2)));
+    const size_t client_index = static_cast<size_t>(rng.NextBounded(kClients));
+    const bool is_write = rng.NextBool(0.25);
+    int key_index = static_cast<int>(rng.NextBounded(kKeys));
+    if (is_write) {
+      key_index = (key_index / kClients) * kClients + static_cast<int>(client_index);
+    }
+    const std::string key = OracleKey(key_index);
+
+    auto obs = std::make_shared<Observation>();
+    obs->is_write = is_write;
+    obs->key = key;
+    trial.observations.push_back(obs);
+    CorrectableClient* client = trial.clients[client_index];
+    if (is_write) {
+      const std::string value =
+          "c" + std::to_string(client_index) + "-" + std::to_string(write_counter++);
+      obs->written_value = value;
+      obs->weakest = obs->strongest = ConsistencyLevel::kStrong;
+      front->Schedule(at, [client, front, key, value, obs, &trial]() {
+        trial.submitted[key].push_back(value);
+        Observe(client->InvokeStrong(Operation::Put(key, value)), obs, front);
+      });
+    } else {
+      obs->weakest = ConsistencyLevel::kWeak;
+      obs->strongest = ConsistencyLevel::kStrong;
+      front->Schedule(at, [client, front, key, obs]() {
+        Observe(client->Invoke(Operation::Get(key)), obs, front);
+      });
+    }
+  }
+
+  std::vector<NodeId> spares;
+  for (const auto& replica : replicas) {
+    const auto& ids = trial.stack->coordinator_ids();
+    if (std::find(ids.begin(), ids.end(), replica->id()) == ids.end()) {
+      spares.push_back(replica->id());
+    }
+  }
+  EXPECT_EQ(spares.size(), 2u);
+  if (spares.empty()) return "no-spares";
+
+  group.RunUntil(Seconds(1));
+  const NodeId promoted = spares[seed % spares.size()];
+  const uint64_t epoch_before = trial.stack->ring_epoch();
+  trial.stack->AddCoordinator(promoted);
+  EXPECT_EQ(trial.stack->ring_epoch(), epoch_before + 1);
+  EXPECT_EQ(trial.stack->coordinator_ids().size(), 4u);
+  group.RunAll();
+  EXPECT_EQ(group.pending_messages(), 0u);
+  EXPECT_GT(group.metrics().Value("channel_messages"), 0);
+
+  for (const auto& obs : trial.observations) {
+    CheckObservation(*obs);
+  }
+  // The joiner really coordinates from its own lane: traffic reached it post-promotion.
+  KvReplica* joined = nullptr;
+  for (const auto& replica : replicas) {
+    if (replica->id() == promoted) joined = replica.get();
+  }
+  EXPECT_NE(joined, nullptr);
+  if (joined != nullptr) {
+    EXPECT_GT(joined->metrics().Value("writes_coordinated") +
+                  joined->metrics().Value("reads_coordinated"),
+              0);
+  }
+  // Program order still converges across the membership change: client LWW stamps make
+  // the last submitted write per key win no matter which coordinator applied it.
+  for (const auto& [key, values] : trial.submitted) {
+    for (const auto& replica : replicas) {
+      const auto stored = replica->LocalGet(key);
+      EXPECT_TRUE(stored.has_value()) << key;
+      if (!stored.has_value()) continue;
+      EXPECT_EQ(stored->value, values.back())
+          << "replica diverged from program order for " << key;
+    }
+  }
+  return Fingerprint(trial) + "|epoch" + std::to_string(trial.stack->ring_epoch()) +
+         "|promoted" + std::to_string(promoted);
+}
+
+TEST(IntraWorldOracle, LivePromotionOwnsItsLaneAcrossWidths) {
+  const uint64_t seed = OracleSeed();
+  const std::string sequential = RunPromotionTrial(/*threads=*/0, seed);
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(RunPromotionTrial(/*threads=*/2, seed), sequential);
+  EXPECT_EQ(RunPromotionTrial(/*threads=*/4, seed), sequential);
+  if (Width8Enabled()) {
+    EXPECT_EQ(RunPromotionTrial(/*threads=*/8, seed), sequential);
+  }
 }
 
 TEST(IntraWorldOracle, WidthsAgreeBitForBit) {

@@ -1,0 +1,260 @@
+// WAL + snapshot durability semantics: append/sync watermarks, crash tail loss, torn
+// records, replay after a covered LSN, truncation, and snapshot load/validation.
+#include "src/kvstore/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/kvstore/snapshot.h"
+#include "src/kvstore/versioned_value.h"
+
+namespace icg {
+namespace {
+
+Wal::ReplayResult ReplayInto(const Wal& wal, std::vector<Wal::Record>* out,
+                             uint64_t from_lsn = 0) {
+  return wal.Replay(from_lsn, [out](const Wal::Record& r) { out->push_back(r); });
+}
+
+TEST(WalTest, AppendAssignsIncreasingLsns) {
+  Wal wal("w");
+  EXPECT_EQ(wal.Append("a", "1", Version{10, 1}), 1u);
+  EXPECT_EQ(wal.Append("b", "2", Version{20, 1}), 2u);
+  EXPECT_EQ(wal.Append("c", "3", Version{30, 2}), 3u);
+  EXPECT_EQ(wal.next_lsn(), 4u);
+  EXPECT_EQ(wal.appended_records(), 3);
+}
+
+TEST(WalTest, ReplayReturnsRecordsInAppendOrder) {
+  Wal wal("w");
+  wal.Append("a", "1", Version{10, 1});
+  wal.Append("b", "22", Version{20, 3});
+  wal.Sync();
+  std::vector<Wal::Record> records;
+  const auto result = ReplayInto(wal, &records);
+  ASSERT_EQ(result.records, 2u);
+  EXPECT_EQ(result.last_lsn, 2u);
+  EXPECT_FALSE(result.torn_tail);
+  EXPECT_EQ(records[0].key, "a");
+  EXPECT_EQ(records[0].value, "1");
+  EXPECT_EQ(records[0].version, (Version{10, 1}));
+  EXPECT_EQ(records[1].key, "b");
+  EXPECT_EQ(records[1].value, "22");
+  EXPECT_EQ(records[1].version, (Version{20, 3}));
+}
+
+TEST(WalTest, SyncAdvancesWatermarkAndChargesConfiguredLatency) {
+  Wal wal("w");
+  wal.SetFaults(WalFaults{.fsync_latency = Micros(150), .torn_tail = false});
+  wal.Append("a", "1", Version{1, 1});
+  EXPECT_GT(wal.unsynced_bytes(), 0);
+  EXPECT_EQ(wal.Sync(), Micros(150));
+  EXPECT_EQ(wal.unsynced_bytes(), 0);
+  EXPECT_EQ(wal.synced_bytes(), wal.device_bytes());
+  // An empty sync is free regardless of the configured latency: nothing to flush.
+  EXPECT_EQ(wal.Sync(), SimDuration{0});
+  EXPECT_EQ(wal.syncs(), 1);
+}
+
+TEST(WalTest, CrashDropsUnsyncedTail) {
+  Wal wal("w");
+  wal.Append("durable", "v", Version{1, 1});
+  wal.Sync();
+  wal.Append("lost", "v", Version{2, 1});  // never synced
+  wal.Crash();
+  std::vector<Wal::Record> records;
+  const auto result = ReplayInto(wal, &records);
+  EXPECT_EQ(result.records, 1u);
+  EXPECT_FALSE(result.torn_tail);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "durable");
+}
+
+TEST(WalTest, TornTailFaultLeavesInvalidPartialRecord) {
+  Wal wal("w");
+  wal.SetFaults(WalFaults{.fsync_latency = 0, .torn_tail = true});
+  wal.Append("durable", "v", Version{1, 1});
+  wal.Sync();
+  wal.Append("torn", "vvvvvvvv", Version{2, 1});
+  const int64_t synced_before = wal.synced_bytes();
+  const int64_t full = wal.device_bytes();
+  wal.Crash();
+  // A strict partial prefix of the unsynced record survived on the device (everything
+  // still on the medium counts as synced after the crash — it IS the disk contents)...
+  EXPECT_GT(wal.device_bytes(), synced_before);
+  EXPECT_LT(wal.device_bytes(), full);
+  // ...and replay rejects it without losing the synced record before it.
+  std::vector<Wal::Record> records;
+  const auto result = ReplayInto(wal, &records);
+  EXPECT_EQ(result.records, 1u);
+  EXPECT_TRUE(result.torn_tail);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "durable");
+}
+
+TEST(WalTest, TornTailCutIsDeterministic) {
+  auto run = [] {
+    Wal wal("w");
+    wal.SetFaults(WalFaults{.fsync_latency = 0, .torn_tail = true});
+    wal.Append("k1", "value-one", Version{1, 1});
+    wal.Sync();
+    wal.Append("k2", "value-two", Version{2, 1});
+    wal.Crash();
+    return wal.device_bytes();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(WalTest, CorruptedByteFailsChecksumAndEndsReplay) {
+  Wal wal("w");
+  wal.Append("a", "1", Version{1, 1});
+  wal.Append("b", "2", Version{2, 1});
+  wal.Sync();
+  // Corrupt the second record through the torn-tail machinery's replay validation by
+  // replaying a device whose tail was cut mid-record: truncate-by-hand via a fresh WAL
+  // is not exposed, so corrupt by crashing with a partial unsynced third record.
+  wal.SetFaults(WalFaults{.fsync_latency = 0, .torn_tail = true});
+  wal.Append("c", "3", Version{3, 1});
+  wal.Crash();
+  std::vector<Wal::Record> records;
+  const auto result = ReplayInto(wal, &records);
+  EXPECT_EQ(result.records, 2u);
+  EXPECT_TRUE(result.torn_tail);
+  EXPECT_EQ(result.last_lsn, 2u);
+}
+
+TEST(WalTest, ReplayFromLsnSkipsCoveredRecords) {
+  Wal wal("w");
+  wal.Append("a", "1", Version{1, 1});
+  wal.Append("b", "2", Version{2, 1});
+  wal.Append("c", "3", Version{3, 1});
+  wal.Sync();
+  std::vector<Wal::Record> records;
+  const auto result = ReplayInto(wal, &records, /*from_lsn=*/2);
+  EXPECT_EQ(result.records, 1u);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "c");
+  EXPECT_EQ(records[0].lsn, 3u);
+}
+
+TEST(WalTest, TruncateThroughDropsPrefixAndPreservesSuffix) {
+  Wal wal("w");
+  wal.Append("a", "1", Version{1, 1});
+  wal.Append("b", "2", Version{2, 1});
+  wal.Append("c", "3", Version{3, 1});
+  wal.Sync();
+  const int64_t before = wal.device_bytes();
+  wal.TruncateThrough(2);
+  EXPECT_LT(wal.device_bytes(), before);
+  EXPECT_EQ(wal.truncated_through(), 2u);
+  std::vector<Wal::Record> records;
+  const auto result = ReplayInto(wal, &records, /*from_lsn=*/2);
+  EXPECT_EQ(result.records, 1u);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].key, "c");
+}
+
+TEST(WalTest, CrashThenMoreAppendsKeepsLsnMonotone) {
+  Wal wal("w");
+  wal.Append("a", "1", Version{1, 1});
+  wal.Sync();
+  wal.Append("lost", "x", Version{2, 1});
+  wal.Crash();
+  // The restarted writer continues from the in-memory LSN counter: LSNs never repeat
+  // even though record 2's bytes died with the tail.
+  const uint64_t lsn = wal.Append("b", "2", Version{3, 1});
+  EXPECT_GT(lsn, 2u);
+  wal.Sync();
+  std::vector<Wal::Record> records;
+  const auto result = ReplayInto(wal, &records);
+  EXPECT_EQ(result.records, 2u);
+  EXPECT_EQ(records[0].key, "a");
+  EXPECT_EQ(records[1].key, "b");
+}
+
+TEST(SnapshotTest, LoadRoundTripsStorageAndCoveredLsn) {
+  SnapshotManager snap("s");
+  EXPECT_FALSE(snap.HasSnapshot());
+  std::map<std::string, VersionedValue> storage;
+  storage["a"] = VersionedValue{"1", Version{10, 1}};
+  storage["b"] = VersionedValue{"two", Version{20, 2}};
+  snap.Take(storage, /*through_lsn=*/7);
+  EXPECT_TRUE(snap.HasSnapshot());
+  EXPECT_EQ(snap.covered_lsn(), 7u);
+  EXPECT_EQ(snap.snapshots_taken(), 1);
+
+  std::map<std::string, VersionedValue> loaded;
+  uint64_t through = 0;
+  ASSERT_TRUE(snap.Load(&loaded, &through));
+  EXPECT_EQ(through, 7u);
+  EXPECT_EQ(loaded, storage);
+}
+
+TEST(SnapshotTest, LoadWithoutSnapshotReturnsFalse) {
+  SnapshotManager snap("s");
+  std::map<std::string, VersionedValue> loaded;
+  uint64_t through = 99;
+  EXPECT_FALSE(snap.Load(&loaded, &through));
+  EXPECT_TRUE(loaded.empty());
+  EXPECT_EQ(through, 0u);
+}
+
+TEST(SnapshotTest, TakeReplacesPreviousSnapshotAtomically) {
+  SnapshotManager snap("s");
+  std::map<std::string, VersionedValue> v1;
+  v1["a"] = VersionedValue{"old", Version{1, 1}};
+  snap.Take(v1, 3);
+  std::map<std::string, VersionedValue> v2;
+  v2["a"] = VersionedValue{"new", Version{5, 1}};
+  v2["b"] = VersionedValue{"fresh", Version{6, 1}};
+  snap.Take(v2, 9);
+  EXPECT_EQ(snap.snapshots_taken(), 2);
+
+  std::map<std::string, VersionedValue> loaded;
+  uint64_t through = 0;
+  ASSERT_TRUE(snap.Load(&loaded, &through));
+  EXPECT_EQ(through, 9u);
+  EXPECT_EQ(loaded, v2);
+}
+
+TEST(SnapshotTest, SnapshotPlusReplayRebuildsExactState) {
+  // The recovery composition the replica uses: snapshot covers a prefix, replay covers
+  // the synced suffix, LWW application makes any overlap harmless.
+  Wal wal("w");
+  SnapshotManager snap("s");
+  std::map<std::string, VersionedValue> storage;
+  auto put = [&](const std::string& key, const std::string& value, Version version) {
+    wal.Append(key, value, version);
+    storage[key] = VersionedValue{value, version};
+  };
+  put("a", "1", Version{10, 1});
+  put("b", "2", Version{20, 1});
+  wal.Sync();
+  snap.Take(storage, /*through_lsn=*/2);
+  wal.TruncateThrough(2);
+  put("a", "1b", Version{30, 1});
+  put("c", "3", Version{40, 1});
+  wal.Sync();
+  put("lost", "x", Version{50, 1});  // unsynced: dies with the crash
+  wal.Crash();
+
+  std::map<std::string, VersionedValue> rebuilt;
+  uint64_t through = 0;
+  ASSERT_TRUE(snap.Load(&rebuilt, &through));
+  const auto replay = wal.Replay(through, [&](const Wal::Record& r) {
+    auto it = rebuilt.find(r.key);
+    if (it == rebuilt.end() || it->second.OlderThan(r.version)) {
+      rebuilt[r.key] = VersionedValue{r.value, r.version};
+    }
+  });
+  EXPECT_EQ(replay.records, 2u);
+  std::map<std::string, VersionedValue> expected = storage;
+  expected.erase("lost");
+  EXPECT_EQ(rebuilt, expected);
+}
+
+}  // namespace
+}  // namespace icg

@@ -117,5 +117,61 @@ TEST(ServiceQueue, InterleavedSubmissionRespectsArrivalTime) {
   EXPECT_EQ(completions[1], Millis(10));  // waits for the first job
 }
 
+TEST(ServiceQueue, CancelPendingAbandonsInFlightJobs) {
+  EventLoop loop;
+  ServiceQueue q(&loop, "s");
+  int ran = 0;
+  q.Submit(Millis(5), [&]() { ran++; });
+  q.Submit(Millis(5), [&]() { ran++; });
+  EXPECT_EQ(q.InFlight(), 2);
+  q.CancelPending();
+  EXPECT_EQ(q.InFlight(), 0);
+  EXPECT_EQ(q.cancellations(), 1);
+  loop.Run();  // the stale completion events drain but no-op
+  EXPECT_EQ(ran, 0);
+}
+
+TEST(ServiceQueue, CancelPendingFreesServerImmediately) {
+  EventLoop loop;
+  ServiceQueue q(&loop, "s");
+  q.Submit(Millis(50), []() {});
+  q.CancelPending();
+  EXPECT_EQ(q.busy_until(), 0);
+  // A job submitted after the kill starts from idle, not behind the dead backlog.
+  SimTime completed_at = -1;
+  q.Submit(Millis(1), [&]() { completed_at = loop.Now(); });
+  loop.Run();
+  EXPECT_EQ(completed_at, Millis(1));
+}
+
+TEST(ServiceQueue, JobsSubmittedAfterCancelStillComplete) {
+  EventLoop loop;
+  ServiceQueue q(&loop, "s");
+  int ran = 0;
+  q.Submit(Millis(5), [&]() { ran++; });
+  loop.RunFor(Millis(1));
+  q.CancelPending();
+  q.Submit(Millis(2), [&]() { ran += 10; });
+  loop.Run();
+  EXPECT_EQ(ran, 10);  // only the post-cancel generation runs
+  EXPECT_EQ(q.completed(), 1 + 0);
+}
+
+TEST(ServiceQueue, RebindLegalAfterCancelPending) {
+  EventLoop a;
+  EventLoop b;
+  ServiceQueue q(&a, "s");
+  q.Submit(Millis(5), []() {});
+  // In flight on loop `a`: rebind would assert. CancelPending quiesces it first — the
+  // crashed-replica RebindLoop path.
+  q.CancelPending();
+  q.RebindLoop(&b);
+  SimTime completed_at = -1;
+  q.Submit(Millis(3), [&]() { completed_at = b.Now(); });
+  a.Run();  // drains the abandoned completion event harmlessly
+  b.Run();
+  EXPECT_EQ(completed_at, Millis(3));
+}
+
 }  // namespace
 }  // namespace icg
