@@ -105,7 +105,8 @@ class JsonSummary {
   //
   // Every summary records the machine's core count as "cores" so wall-clock numbers
   // (speedups, ns/op) committed as baselines carry the hardware they were measured on,
-  // and --check-style gates can refuse to compare across different machines.
+  // and --check-style gates can refuse to compare across different machines — plus the
+  // build's git sha as "git_sha" so the perf trajectory is attributable across PRs.
   bool Write() const {
     const std::string path = "BENCH_" + name_ + ".json";
     std::FILE* f = std::fopen(path.c_str(), "w");
@@ -115,6 +116,11 @@ class JsonSummary {
     }
     std::fprintf(f, "{\n  \"bench\": \"%s\"", Escape(name_).c_str());
     std::fprintf(f, ",\n  \"cores\": %u", std::thread::hardware_concurrency());
+#ifdef ICG_GIT_SHA
+    std::fprintf(f, ",\n  \"git_sha\": \"%s\"", ICG_GIT_SHA);
+#else
+    std::fprintf(f, ",\n  \"git_sha\": \"unknown\"");
+#endif
     for (const auto& [key, value] : entries_) {
       std::fprintf(f, ",\n  \"%s\": %s", Escape(key).c_str(), value.c_str());
     }

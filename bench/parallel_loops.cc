@@ -10,6 +10,7 @@
 //
 // Flags: --smoke shortens the trial for CI smoke runs. Writes BENCH_parallel_loops.json
 // with per-mode wall times, the speedup, and the aggregate simulated throughput.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstring>
@@ -133,7 +134,10 @@ int main(int argc, char** argv) {
   }
 
   const int cores = LoopGroup::HardwareThreads();
-  const int threaded_width = std::min(cores, kWorlds);
+  // Always drive at least 2 worker threads so the threaded path (and its determinism
+  // oracle) is exercised even on a 1-core box — where the wall-clock comparison then
+  // measures oversubscription, not scaling, and is recorded with speedup_gated=0.
+  const int threaded_width = std::max(2, std::min(cores, kWorlds));
   const int runner_threads = smoke ? 12 : 24;
   const SimDuration duration = smoke ? Seconds(4) : Seconds(20);
   const SimDuration elide = smoke ? Seconds(1) : Seconds(5);
@@ -178,12 +182,26 @@ int main(int argc, char** argv) {
                 std::to_string(threaded.rounds)});
   table.Print();
 
+  // The wall-clock comparison only gates where the hardware can actually run the
+  // worlds concurrently; a 1-core box recording speedup < 1 is expected (the threaded
+  // run pays barrier + context-switch overhead with zero parallelism available) and is
+  // flagged speedup_gated=0 so baseline checkers skip it rather than "fail" it.
+  double bar = 0.0;
+  if (!smoke) {
+    if (cores >= 4) {
+      bar = 2.0;
+    } else if (cores >= 2) {
+      bar = 1.2;
+    }
+  }
+
   bench::JsonSummary json("parallel_loops");
   json.Add("worlds", static_cast<int64_t>(kWorlds));
   json.Add("threaded_width", static_cast<int64_t>(threaded_width));
   json.Add("sequential.wall_s", sequential.wall_seconds, 3);
   json.Add("threaded.wall_s", threaded.wall_seconds, 3);
   json.Add("speedup", speedup, 2);
+  json.Add("speedup_gated", bar > 0 ? int64_t{1} : int64_t{0});
   json.Add("sim_throughput_ops", sequential.throughput_ops, 0);
   json.Add("measured_ops", static_cast<double>(sequential.measured_ops), 0);
   json.Add("errors", static_cast<double>(sequential.errors), 0);
@@ -203,14 +221,6 @@ int main(int argc, char** argv) {
   // Core-count-aware scaling gate. Smoke trials are too short to amortize barrier
   // overhead (tens of microseconds of work per round), so they gate on determinism and
   // errors only and report the speedup informationally.
-  double bar = 0.0;
-  if (!smoke) {
-    if (cores >= 4) {
-      bar = 2.0;
-    } else if (cores >= 2) {
-      bar = 1.2;
-    }
-  }
   std::printf("cores=%d threaded_width=%d speedup=%.2fx (gate: %s)\n", cores,
               threaded_width, speedup,
               bar > 0 ? (std::to_string(bar) + "x").c_str()

@@ -1,0 +1,92 @@
+#include "src/harness/placement_advisor.h"
+
+#include <algorithm>
+
+namespace icg {
+
+std::vector<PlacementMove> PlacementAdvisor::Advise(
+    const std::vector<LaneSample>& lanes, const std::vector<EntitySample>& entities) {
+  ++intervals_;
+
+  // Difference the cumulative counters against the previous call's baseline, then
+  // advance the baseline regardless of what we decide — every interval is judged on
+  // its own load, not on history compounding.
+  std::vector<LaneSample> lane_delta = lanes;
+  for (LaneSample& lane : lane_delta) {
+    int64_t& base = lane_baseline_[lane.slot];
+    const int64_t cumulative = lane.load;
+    lane.load -= base;
+    base = cumulative;
+  }
+  std::vector<EntitySample> entity_delta = entities;
+  for (EntitySample& entity : entity_delta) {
+    int64_t& base = entity_baseline_[entity.entity];
+    const int64_t cumulative = entity.load;
+    entity.load -= base;
+    base = cumulative;
+  }
+  if (!baselined_) {
+    baselined_ = true;
+    return {};
+  }
+  if (cooldown_ > 0) {
+    --cooldown_;
+    return {};
+  }
+  if (lane_delta.size() < 2) {
+    return {};
+  }
+  int64_t total = 0;
+  for (const LaneSample& lane : lane_delta) {
+    total += lane.load;
+  }
+  if (total < options_.min_total_load) {
+    return {};
+  }
+  const double mean = static_cast<double>(total) / static_cast<double>(lane_delta.size());
+
+  // Hottest and coldest lanes; ties break toward the lowest slot so the decision is
+  // deterministic for any input order.
+  const auto hotter = [](const LaneSample& a, const LaneSample& b) {
+    return a.load != b.load ? a.load > b.load : a.slot < b.slot;
+  };
+  const auto colder = [](const LaneSample& a, const LaneSample& b) {
+    return a.load != b.load ? a.load < b.load : a.slot < b.slot;
+  };
+  const LaneSample* hot = &lane_delta[0];
+  const LaneSample* cold = &lane_delta[0];
+  for (const LaneSample& lane : lane_delta) {
+    if (hotter(lane, *hot)) hot = &lane;
+    if (colder(lane, *cold)) cold = &lane;
+  }
+  if (static_cast<double>(hot->load) < options_.hot_ratio * mean ||
+      hot->slot == cold->slot) {
+    return {};
+  }
+
+  // The hot lane's hottest entity (ties toward the lowest ordinal). Moving it must
+  // strictly lower the projected maximum of the two lanes involved, which naturally
+  // rejects no-win moves like shuffling a lane's only tenant to an equally-loaded lane.
+  const EntitySample* candidate = nullptr;
+  for (const EntitySample& entity : entity_delta) {
+    if (entity.slot != hot->slot) continue;
+    if (candidate == nullptr || entity.load > candidate->load ||
+        (entity.load == candidate->load && entity.entity < candidate->entity)) {
+      candidate = &entity;
+    }
+  }
+  if (candidate == nullptr || candidate->load <= 0) {
+    return {};
+  }
+  const int64_t projected_hot = hot->load - candidate->load;
+  const int64_t projected_cold = cold->load + candidate->load;
+  if (std::max(projected_hot, projected_cold) >= hot->load) {
+    return {};
+  }
+
+  ++moves_;
+  cooldown_ = options_.cooldown_intervals;
+  return {PlacementMove{candidate->entity, hot->slot, cold->slot}};
+}
+
+}  // namespace icg

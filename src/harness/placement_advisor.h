@@ -1,0 +1,78 @@
+// Stats-driven lane placement: watches per-lane load (LoopGroup per-loop event counts
+// and per-slot delivered cross-loop messages) and recommends moving a hot entity — in
+// practice a sharded-stack coordinator — to an underloaded lane.
+//
+// The advisor is deliberately dumb and deterministic: it differences the cumulative
+// counters the caller feeds it (all derived from virtual-time execution, so identical
+// at every thread width), flags the hottest lane when it exceeds `hot_ratio` times the
+// mean, and emits a move only when shifting the lane's hottest entity to the coldest
+// lane strictly lowers the projected maximum. A cooldown keeps it from thrashing while
+// the previous move's effect is still propagating through the counters. Decisions are
+// a pure function of the sample history — the width-sweep oracles run the full
+// advise→migrate loop and demand bit-identical results.
+#ifndef ICG_HARNESS_PLACEMENT_ADVISOR_H_
+#define ICG_HARNESS_PLACEMENT_ADVISOR_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace icg {
+
+struct PlacementAdvisorOptions {
+  // A lane is "hot" when its interval load exceeds hot_ratio * mean lane load.
+  double hot_ratio = 1.5;
+  // Ignore intervals whose total load is below this — too quiet to judge.
+  int64_t min_total_load = 256;
+  // Advise() calls to sit out after emitting a move, letting the counters re-settle
+  // under the new placement before judging it.
+  int cooldown_intervals = 2;
+};
+
+// Cumulative load attributed to one lane (LoopGroup slot). The unit is caller-defined
+// (events processed + messages delivered, in the deployment glue) — only ratios matter.
+struct LaneSample {
+  int slot = 0;
+  int64_t load = 0;
+};
+
+// Cumulative load attributed to one movable entity currently living on `slot`.
+struct EntitySample {
+  int entity = 0;  // caller-defined ordinal (replica index in the deployment glue)
+  int slot = 0;
+  int64_t load = 0;
+};
+
+struct PlacementMove {
+  int entity = 0;
+  int from_slot = 0;
+  int to_slot = 0;
+};
+
+class PlacementAdvisor {
+ public:
+  PlacementAdvisor() : PlacementAdvisor(PlacementAdvisorOptions{}) {}
+  explicit PlacementAdvisor(PlacementAdvisorOptions options) : options_(options) {}
+
+  // Feed one interval's cumulative samples; returns at most one recommended move.
+  // The first call only establishes the baseline. Call between rounds with counters
+  // read on the driver thread.
+  std::vector<PlacementMove> Advise(const std::vector<LaneSample>& lanes,
+                                    const std::vector<EntitySample>& entities);
+
+  int64_t intervals_observed() const { return intervals_; }
+  int64_t moves_emitted() const { return moves_; }
+
+ private:
+  PlacementAdvisorOptions options_;
+  int64_t intervals_ = 0;
+  int64_t moves_ = 0;
+  int cooldown_ = 0;
+  bool baselined_ = false;
+  std::map<int, int64_t> lane_baseline_;    // slot -> cumulative load at last Advise
+  std::map<int, int64_t> entity_baseline_;  // entity -> cumulative load at last Advise
+};
+
+}  // namespace icg
+
+#endif  // ICG_HARNESS_PLACEMENT_ADVISOR_H_

@@ -31,6 +31,12 @@ void KvReplica::RebindLoop() {
   service_.RebindLoop(loop_);
 }
 
+void KvReplica::MigrateLoop() {
+  assert(CanMigrateLoop() && "live migration needs a timer-free replica");
+  loop_ = network_->LoopFor(id_);
+  service_.MigrateLoop(loop_);
+}
+
 void KvReplica::SetPeers(std::vector<KvReplica*> peers) {
   peers_ = std::move(peers);
   // Keep peers ordered nearest-first from this node, so quorum requests go to the

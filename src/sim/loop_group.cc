@@ -3,9 +3,15 @@
 #include <algorithm>
 #include <cassert>
 #include <chrono>
-#include <memory>
+#include <cstddef>
+#include <limits>
 #include <optional>
 #include <utility>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
 
 namespace icg {
 namespace {
@@ -14,17 +20,39 @@ namespace {
 // deterministically without any shared counter. -1 outside DriveLoop.
 thread_local int tls_driving_loop = -1;
 
+inline void CpuRelax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
+bool PinCurrentThreadToCore(int core) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(core), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)core;
+  return false;
+#endif
+}
+
 }  // namespace
 
 LoopGroup::LoopGroup(Options options) : options_(options) {}
 
 LoopGroup::~LoopGroup() {
   if (!workers_.empty()) {
+    stopping_.store(true, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lock(round_mu_);
-      stopping_ = true;
+      std::lock_guard<std::mutex> lock(park_mu_);
+      worker_cv_.notify_all();
     }
-    round_cv_.notify_all();
     for (std::thread& worker : workers_) {
       worker.join();
     }
@@ -36,10 +64,14 @@ int LoopGroup::Attach(EventLoop* loop) {
   assert(loop->Now() == now_ && "attached loops must share the group clock");
   assert(workers_.empty() && "attach loops before the first threaded round");
   const int index = static_cast<int>(slots_.size());
-  Slot slot;
-  slot.loop = loop;
-  slots_.push_back(slot);
-  stripes_.push_back(std::make_unique<Stripe>());
+  slots_.emplace_back();
+  slots_.back().loop = loop;
+  // Every sender (loops + the external poster) gets a run per target.
+  for (Slot& slot : slots_) {
+    slot.outbox.resize(slots_.size());
+  }
+  external_outbox_.resize(slots_.size());
+  units_dirty_ = true;
   return index;
 }
 
@@ -49,27 +81,19 @@ void LoopGroup::Post(int target, SimTime when, EventLoop::Task task) {
   message.when = when;
   message.sender = tls_driving_loop;
   message.task = std::move(task);
-  if (!threaded()) {
-    // Sequential fast path: in threads <= 1 mode every Post runs on the lone driver
-    // thread (no workers are ever constructed — see the assert), so the striped mutex
-    // and the external-seq mutex would be pure uncontended overhead. Skip both.
-    assert(workers_.empty() && "sequential mode must never have started workers");
-    message.seq = message.sender >= 0
-                      ? ++slots_[static_cast<size_t>(message.sender)].post_seq
-                      : ++external_seq_;
-    stripes_[static_cast<size_t>(target)]->queue.push_back(std::move(message));
+  if (message.sender >= 0) {
+    // Hot path: one thread drives a loop per round, so the sender's outbox run and
+    // sequence counter are single-writer — no lock, and (runs keep capacity across
+    // drains) no steady-state allocation either.
+    Slot& sender = slots_[static_cast<size_t>(message.sender)];
+    message.seq = ++sender.post_seq;
+    sender.outbox[static_cast<size_t>(target)].push_back(std::move(message));
     return;
   }
-  if (message.sender >= 0) {
-    // One thread drives a loop per round, so its counter needs no synchronization.
-    message.seq = ++slots_[static_cast<size_t>(message.sender)].post_seq;
-  } else {
-    std::lock_guard<std::mutex> lock(external_mu_);
-    message.seq = ++external_seq_;
-  }
-  Stripe& stripe = *stripes_[static_cast<size_t>(target)];
-  std::lock_guard<std::mutex> lock(stripe.mu);
-  stripe.queue.push_back(std::move(message));
+  // External (non-loop) poster: rare, and the only sender that needs a lock.
+  std::lock_guard<std::mutex> lock(external_mu_);
+  message.seq = ++external_seq_;
+  external_outbox_[static_cast<size_t>(target)].push_back(std::move(message));
 }
 
 int LoopGroup::IndexOf(const EventLoop* loop) const {
@@ -83,47 +107,121 @@ int LoopGroup::IndexOf(const EventLoop* loop) const {
 
 size_t LoopGroup::pending_messages() const {
   size_t total = 0;
-  for (const auto& stripe : stripes_) {
-    std::lock_guard<std::mutex> lock(stripe->mu);
-    total += stripe->queue.size();
+  for (const Slot& slot : slots_) {
+    for (const auto& run : slot.outbox) {
+      total += run.size();
+    }
+  }
+  std::lock_guard<std::mutex> lock(external_mu_);
+  for (const auto& run : external_outbox_) {
+    total += run.size();
   }
   return total;
 }
 
+bool LoopGroup::EarliestQueuedDelivery(SimTime from, SimTime* out) const {
+  SimTime best = std::numeric_limits<SimTime>::max();
+  bool found = false;
+  for (const Slot& slot : slots_) {
+    for (const auto& run : slot.outbox) {
+      for (const Message& message : run) {
+        best = std::min(best, message.when);
+        found = true;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(external_mu_);
+    for (const auto& run : external_outbox_) {
+      for (const Message& message : run) {
+        best = std::min(best, message.when);
+        found = true;
+      }
+    }
+  }
+  if (!found) {
+    return false;
+  }
+  *out = std::max(best, from);  // deliveries never land in the past
+  return true;
+}
+
 void LoopGroup::DrainChannel() {
   // Runs on the driver thread between rounds: no loop is executing, so scheduling onto
-  // targets is race-free. Sorting by (delivery time, sender, per-sender seq) fixes the
-  // schedule order — and thereby the target's same-timestamp FIFO order — regardless of
-  // which thread interleaving filled the stripe.
+  // targets is race-free. Each sender's run is clamped to the barrier FIRST and then
+  // sorted by (delivery time, seq) — clamping after sorting could invert a sender's
+  // submission order among messages that collapse onto the barrier time — and the
+  // per-sender runs are k-way merged by (delivery time, sender, seq). That is exactly
+  // the old full-sort order, so the target's same-timestamp FIFO order — and thereby
+  // determinism — is independent of which thread interleaving filled the runs.
   int64_t drained = 0;
-  for (size_t target = 0; target < stripes_.size(); ++target) {
-    std::vector<Message> batch;
-    if (threaded()) {
-      std::lock_guard<std::mutex> lock(stripes_[target]->mu);
-      batch.swap(stripes_[target]->queue);
-    } else {
-      batch.swap(stripes_[target]->queue);
+  int64_t late = 0;
+  const size_t n = slots_.size();
+  for (size_t target = 0; target < n; ++target) {
+    drain_runs_.clear();
+    for (size_t s = 0; s < n; ++s) {
+      auto& run = slots_[s].outbox[target];
+      if (!run.empty()) {
+        drain_runs_.push_back(RunRef{&run, static_cast<int>(s), 0});
+      }
     }
-    if (batch.empty()) {
+    if (!external_outbox_[target].empty()) {
+      drain_runs_.push_back(RunRef{&external_outbox_[target], -1, 0});
+    }
+    if (drain_runs_.empty()) {
       continue;
     }
-    drained += static_cast<int64_t>(batch.size());
-    for (Message& message : batch) {
-      message.when = std::max(message.when, now_);
+    size_t remaining = 0;
+    for (RunRef& ref : drain_runs_) {
+      for (Message& message : *ref.run) {
+        if (message.when < now_) {
+          message.when = now_;
+          ++late;
+        }
+      }
+      std::sort(ref.run->begin(), ref.run->end(),
+                [](const Message& a, const Message& b) {
+                  if (a.when != b.when) return a.when < b.when;
+                  return a.seq < b.seq;
+                });
+      remaining += ref.run->size();
     }
-    std::sort(batch.begin(), batch.end(), [](const Message& a, const Message& b) {
-      if (a.when != b.when) return a.when < b.when;
-      if (a.sender != b.sender) return a.sender < b.sender;
-      return a.seq < b.seq;
-    });
     EventLoop* loop = slots_[target].loop;
-    for (Message& message : batch) {
+    slots_[target].delivered_messages += static_cast<int64_t>(remaining);
+    drained += static_cast<int64_t>(remaining);
+    while (remaining > 0) {
+      size_t best = drain_runs_.size();
+      for (size_t i = 0; i < drain_runs_.size(); ++i) {
+        RunRef& ref = drain_runs_[i];
+        if (ref.pos >= ref.run->size()) {
+          continue;
+        }
+        if (best == drain_runs_.size()) {
+          best = i;
+          continue;
+        }
+        const Message& a = (*ref.run)[ref.pos];
+        const RunRef& best_ref = drain_runs_[best];
+        const Message& b = (*best_ref.run)[best_ref.pos];
+        if (a.when < b.when || (a.when == b.when && ref.sender < best_ref.sender)) {
+          best = i;
+        }
+      }
+      RunRef& ref = drain_runs_[best];
+      Message& message = (*ref.run)[ref.pos++];
       loop->ScheduleAt(message.when, std::move(message.task));
+      --remaining;
+    }
+    for (RunRef& ref : drain_runs_) {
+      ref.run->clear();  // capacity survives: steady-state sends stay allocation-free
     }
   }
   if (drained > 0) {
     metrics_.GetCounter("channel_messages").Increment(drained);
     RaiseTo("channel_depth_highwater", drained);
+  }
+  if (late > 0) {
+    metrics_.GetCounter("late_deliveries").Increment(late);
   }
 }
 
@@ -135,10 +233,11 @@ void LoopGroup::RaiseTo(const char* name, int64_t candidate) {
 }
 
 void LoopGroup::RecordRoundStats() {
-  // Driver-thread only, after the barrier (the round mutex orders the workers' slot
-  // writes before these reads). Exposes where a round's time went: the hottest loop's
-  // event count is the serial floor of the round, channel depth shows cross-loop
-  // pressure, and barrier_wait_ns (recorded in RunRound) shows what the driver paid.
+  // Driver-thread only, after the barrier (the completion handshake orders the
+  // workers' slot writes before these reads). Exposes where a round's time went: the
+  // hottest loop's event count is the serial floor of the round, channel depth shows
+  // cross-loop pressure, and barrier_wait_ns (recorded in RunRound) shows what the
+  // driver paid.
   int64_t hottest = 0;
   int64_t total = 0;
   for (const Slot& slot : slots_) {
@@ -158,8 +257,85 @@ void LoopGroup::DriveLoop(int index, SimTime barrier) {
   slot.round_events = slot.loop->events_processed() - before;
 }
 
+void LoopGroup::DriveUnit(int unit_index, SimTime barrier) {
+  // Ascending slot order — the sequential driver's order, so a fused unit behaves
+  // bit-for-bit like the sequential schedule regardless of which thread claimed it.
+  for (int slot : units_[static_cast<size_t>(unit_index)]) {
+    DriveLoop(slot, barrier);
+  }
+}
+
+void LoopGroup::FuseLanes(const std::vector<int>& lanes, SimTime until) {
+  assert(until > now_ && "a fusion window must extend past the current barrier");
+  Fusion fusion;
+  fusion.lanes = lanes;
+  std::sort(fusion.lanes.begin(), fusion.lanes.end());
+  fusion.lanes.erase(std::unique(fusion.lanes.begin(), fusion.lanes.end()),
+                     fusion.lanes.end());
+  if (fusion.lanes.size() < 2) {
+    return;
+  }
+  assert(fusion.lanes.front() >= 0 && fusion.lanes.back() < size());
+  fusion.until = until;
+  fusions_.push_back(std::move(fusion));
+  units_dirty_ = true;
+}
+
+void LoopGroup::ExpireFusions() {
+  if (fusions_.empty()) {
+    return;
+  }
+  auto expired = std::remove_if(fusions_.begin(), fusions_.end(),
+                                [&](const Fusion& f) { return f.until <= now_; });
+  if (expired != fusions_.end()) {
+    fusions_.erase(expired, fusions_.end());
+    units_dirty_ = true;
+  }
+}
+
+void LoopGroup::RebuildUnits() {
+  const int n = size();
+  std::vector<int> parent(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    parent[static_cast<size_t>(i)] = i;
+  }
+  auto find = [&parent](int x) {
+    while (parent[static_cast<size_t>(x)] != x) {
+      parent[static_cast<size_t>(x)] =
+          parent[static_cast<size_t>(parent[static_cast<size_t>(x)])];
+      x = parent[static_cast<size_t>(x)];
+    }
+    return x;
+  };
+  for (const Fusion& fusion : fusions_) {
+    const int anchor = fusion.lanes.front();
+    for (size_t i = 1; i < fusion.lanes.size(); ++i) {
+      const int a = find(anchor);
+      const int b = find(fusion.lanes[i]);
+      if (a != b) {
+        // Union by smaller root so the representative is deterministic.
+        parent[static_cast<size_t>(std::max(a, b))] = std::min(a, b);
+      }
+    }
+  }
+  units_.clear();
+  std::vector<int> unit_of(static_cast<size_t>(n), -1);
+  for (int s = 0; s < n; ++s) {
+    const int root = find(s);
+    if (unit_of[static_cast<size_t>(root)] < 0) {
+      unit_of[static_cast<size_t>(root)] = static_cast<int>(units_.size());
+      units_.emplace_back();
+    }
+    units_[static_cast<size_t>(unit_of[static_cast<size_t>(root)])].push_back(s);
+  }
+  units_dirty_ = false;
+}
+
 void LoopGroup::StartWorkers() {
   worker_count_ = std::min(options_.threads, size());
+  // Spinning on single-core hardware burns the core the other side needs: park
+  // immediately there.
+  spin_budget_ = HardwareThreads() > 1 ? options_.spin_iterations : 0;
   workers_.reserve(static_cast<size_t>(worker_count_));
   for (int w = 0; w < worker_count_; ++w) {
     workers_.emplace_back([this, w]() { WorkerMain(w); });
@@ -167,33 +343,53 @@ void LoopGroup::StartWorkers() {
 }
 
 void LoopGroup::WorkerMain(int worker_index) {
-  (void)worker_index;
+  if (options_.pin_workers &&
+      PinCurrentThreadToCore(worker_index % HardwareThreads())) {
+    workers_pinned_.fetch_add(1, std::memory_order_relaxed);
+  }
   uint64_t seen = 0;
   while (true) {
-    SimTime barrier;
-    {
-      std::unique_lock<std::mutex> lock(round_mu_);
-      round_cv_.wait(lock, [&]() { return stopping_ || round_gen_ != seen; });
-      if (stopping_) {
+    // Spin-then-park for the next round: bounded spinning keeps the publish->work
+    // handoff in user space when rounds are short; the park keeps idle workers off
+    // the cores when they are not.
+    uint64_t gen;
+    int spins = spin_budget_;
+    while ((gen = round_gen_.load(std::memory_order_acquire)) == seen) {
+      if (stopping_.load(std::memory_order_acquire)) {
         return;
       }
-      seen = round_gen_;
-      barrier = round_barrier_;
+      if (spins-- > 0) {
+        CpuRelax();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(park_mu_);
+      ++parked_workers_;
+      worker_cv_.wait(lock, [&]() {
+        return round_gen_.load(std::memory_order_acquire) != seen ||
+               stopping_.load(std::memory_order_acquire);
+      });
+      --parked_workers_;
     }
-    // Work stealing: claim the next undriven loop off the shared index until the round
-    // is exhausted. Each loop is still touched by exactly one thread per round (a claim
-    // is exclusive), so loops need no locking and per-loop event order — and therefore
-    // determinism — is untouched; stealing only decides *which thread* drives a loop.
-    // Unlike a static stripe, a worker that drew a hot loop no longer pins the rest of
-    // its stripe behind it: idle workers steal those loops instead.
-    int index;
-    while ((index = claim_.fetch_add(1, std::memory_order_relaxed)) < size()) {
-      DriveLoop(index, barrier);
+    seen = gen;
+    const SimTime barrier = round_barrier_;
+    // Work stealing: claim the next undriven unit off the shared index until the
+    // round is exhausted. Each unit is still touched by exactly one thread per round
+    // (a claim is exclusive), so loops need no locking and per-loop event order — and
+    // therefore determinism — is untouched; stealing only decides *which thread*
+    // drives a unit. Unlike a static stripe, a worker that drew a hot loop no longer
+    // pins the rest of its stripe behind it: idle workers steal those units instead.
+    int unit;
+    while ((unit = claim_.fetch_add(1, std::memory_order_relaxed)) <
+           static_cast<int>(round_units_.size())) {
+      DriveUnit(round_units_[static_cast<size_t>(unit)], barrier);
     }
-    {
-      std::lock_guard<std::mutex> lock(round_mu_);
-      if (--workers_active_ == 0) {
-        done_cv_.notify_all();
+    // acq_rel: the RMW chain on workers_active_ forms one release sequence, so the
+    // driver's final acquire observes every worker's round writes, not just the last
+    // decrementer's.
+    if (workers_active_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      std::lock_guard<std::mutex> lock(park_mu_);
+      if (driver_parked_) {
+        driver_cv_.notify_one();
       }
     }
   }
@@ -201,44 +397,138 @@ void LoopGroup::WorkerMain(int worker_index) {
 
 void LoopGroup::RunRound(SimTime barrier) {
   assert(barrier >= now_);
+  ExpireFusions();
+  if (units_dirty_) {
+    RebuildUnits();
+  }
   // Deliver everything queued before the round, so externally posted work (and last
-  // round's messages) is on its target before that target runs.
+  // round's messages) is on its target before that target runs — and before the
+  // activity scan below, so a delivered message counts as due work.
   DrainChannel();
-  if (threaded() && size() > 1) {
-    if (workers_.empty()) {
-      StartWorkers();
+  // Partition units into active (an event due by the barrier) and idle. Idle loops
+  // are advanced inline by the driver: RunUntil with nothing due runs no user code,
+  // just moves the clock, so it is safe off the worker pool and costs ~nothing. The
+  // active set depends only on virtual-time state, so it is width-independent.
+  round_units_.clear();
+  for (size_t u = 0; u < units_.size(); ++u) {
+    bool active = false;
+    for (int s : units_[u]) {
+      const auto next = slots_[static_cast<size_t>(s)].loop->NextEventTime();
+      if (next.has_value() && *next <= barrier) {
+        active = true;
+        break;
+      }
     }
+    if (active) {
+      round_units_.push_back(static_cast<int>(u));
+    } else {
+      for (int s : units_[u]) {
+        Slot& slot = slots_[static_cast<size_t>(s)];
+        slot.loop->RunUntil(barrier);
+        slot.round_events = 0;
+      }
+    }
+  }
+  const bool use_pool = threaded() && size() > 1;
+  if (use_pool && workers_.empty()) {
+    StartWorkers();
+  }
+  if (round_units_.empty()) {
+    metrics_.GetCounter("rounds_idle").Increment();
+  } else if (!use_pool || round_units_.size() == 1) {
+    // One active unit can't be parallelized: drive it here instead of paying a
+    // publish + wakeup + barrier wait to hand it to a worker.
+    for (int unit : round_units_) {
+      DriveUnit(unit, barrier);
+    }
+    if (use_pool) {
+      metrics_.GetCounter("rounds_inline").Increment();
+    }
+  } else {
+    // Publish the round: round state first, then the generation bump (release) that
+    // spinning workers acquire; parked workers additionally need the notify.
+    round_barrier_ = barrier;
+    claim_.store(0, std::memory_order_relaxed);
+    workers_active_.store(worker_count_, std::memory_order_relaxed);
+    round_gen_.fetch_add(1, std::memory_order_release);
     {
-      std::lock_guard<std::mutex> lock(round_mu_);
-      round_barrier_ = barrier;
-      workers_active_ = static_cast<int>(workers_.size());
-      claim_.store(0, std::memory_order_relaxed);
-      ++round_gen_;
+      std::lock_guard<std::mutex> lock(park_mu_);
+      if (parked_workers_ > 0) {
+        worker_cv_.notify_all();
+      }
     }
-    round_cv_.notify_all();
+    // The driver is a claimant too: it joins the steal loop instead of idling.
+    int unit;
+    while ((unit = claim_.fetch_add(1, std::memory_order_relaxed)) <
+           static_cast<int>(round_units_.size())) {
+      DriveUnit(round_units_[static_cast<size_t>(unit)], barrier);
+    }
     const auto wait_start = std::chrono::steady_clock::now();
-    {
-      std::unique_lock<std::mutex> lock(round_mu_);
-      done_cv_.wait(lock, [&]() { return workers_active_ == 0; });
+    int spins = spin_budget_;
+    while (workers_active_.load(std::memory_order_acquire) != 0) {
+      if (spins-- > 0) {
+        CpuRelax();
+        continue;
+      }
+      std::unique_lock<std::mutex> lock(park_mu_);
+      driver_parked_ = true;
+      driver_cv_.wait(lock, [&]() {
+        return workers_active_.load(std::memory_order_acquire) == 0;
+      });
+      driver_parked_ = false;
     }
     metrics_.GetCounter("barrier_wait_ns")
         .Increment(std::chrono::duration_cast<std::chrono::nanoseconds>(
                        std::chrono::steady_clock::now() - wait_start)
                        .count());
     metrics_.GetCounter("rounds_threaded").Increment();
-  } else {
-    for (int i = 0; i < size(); ++i) {
-      DriveLoop(i, barrier);
-    }
   }
   RecordRoundStats();
+  if (options_.adaptive_quantum && barrier - now_ > options_.quantum) {
+    metrics_.GetCounter("rounds_widened").Increment();
+  }
   now_ = barrier;
   ++rounds_;
+  schedule_hash_ ^= static_cast<uint64_t>(barrier);
+  schedule_hash_ *= 1099511628211ULL;
+  if (options_.record_barrier_schedule) {
+    barrier_history_.push_back(barrier);
+  }
+}
+
+SimTime LoopGroup::NextBarrier(SimTime from, SimTime limit) {
+  if (!options_.adaptive_quantum) {
+    return std::min<SimTime>(limit, from + options_.quantum);
+  }
+  // Activity-following width: run to the earliest pending event or queued delivery,
+  // never closer than one base quantum (the barrier-rate floor bounds overhead AND the
+  // late-delivery clamp: anything posted mid-round is late by at most `quantum`) and
+  // never farther than the cap. Purely a function of virtual-time state — identical at
+  // every thread width.
+  const SimTime floor = from + options_.quantum;
+  const SimTime cap = from + max_quantum();
+  SimTime horizon = cap;
+  bool any = false;
+  for (Slot& slot : slots_) {
+    const auto next = slot.loop->NextEventTime();
+    if (next.has_value()) {
+      horizon = std::min(horizon, std::max(*next, from));
+      any = true;
+    }
+  }
+  SimTime queued;
+  if (EarliestQueuedDelivery(from, &queued)) {
+    horizon = std::min(horizon, queued);
+    any = true;
+  }
+  SimTime barrier = any ? std::max(horizon, floor) : cap;
+  barrier = std::min(barrier, cap);
+  return std::min(barrier, limit);
 }
 
 void LoopGroup::RunUntil(SimTime until) {
   while (now_ < until) {
-    RunRound(std::min<SimTime>(until, now_ + options_.quantum));
+    RunRound(NextBarrier(now_, until));
   }
 }
 
@@ -247,25 +537,22 @@ void LoopGroup::RunAll() {
     // Earliest pending activity anywhere: loop events, or queued messages (delivered at
     // max(when, now) — never in the past).
     std::optional<SimTime> earliest;
-    for (const Slot& slot : slots_) {
+    for (Slot& slot : slots_) {
       const auto next = slot.loop->NextEventTime();
       if (next.has_value() && (!earliest.has_value() || *next < *earliest)) {
         earliest = *next;
       }
     }
-    for (const auto& stripe : stripes_) {
-      std::lock_guard<std::mutex> lock(stripe->mu);
-      for (const Message& message : stripe->queue) {
-        const SimTime at = std::max(message.when, now_);
-        if (!earliest.has_value() || at < *earliest) {
-          earliest = at;
-        }
-      }
+    SimTime queued;
+    if (EarliestQueuedDelivery(now_, &queued) &&
+        (!earliest.has_value() || queued < *earliest)) {
+      earliest = queued;
     }
     if (!earliest.has_value()) {
       return;
     }
-    RunRound(std::max(*earliest, now_) + options_.quantum);
+    const SimTime from = std::max(*earliest, now_);
+    RunRound(NextBarrier(from, std::numeric_limits<SimTime>::max()));
   }
 }
 

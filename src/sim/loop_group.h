@@ -13,19 +13,33 @@
 // R+1, at virtual time max(when, barrier_R) — in threaded AND sequential mode alike, so
 // the quantum (not thread interleaving) bounds cross-loop latency.
 //
+// Adaptive quanta (opt-in): with `adaptive_quantum` set, each round's width follows the
+// earliest pending activity — the minimum over every loop's next event time and every
+// queued cross-loop message's delivery time — clamped to [quantum, max_quantum]. Dense
+// traffic degenerates to fixed-quantum rounds (late-delivery clamp stays bounded by the
+// base quantum); quiescent stretches collapse into a handful of wide rounds instead of
+// paying a barrier every `quantum`. The schedule is a pure function of virtual-time
+// state (event times + posted-message history), never of thread interleaving, so it is
+// identical at every thread width — the width-sweep oracles enforce this, and
+// `barrier_schedule_hash()` fingerprints the exact barrier sequence.
+//
 // Determinism: bit-for-bit. Each loop's event sequence is a pure function of its own
-// schedule (loops never touch each other mid-round), and drained messages are sorted by
-// (delivery time, sender, per-sender sequence) before scheduling, which pins the
+// schedule (loops never touch each other mid-round), and drained messages are merged in
+// (delivery time, sender, per-sender sequence) order before scheduling, which pins the
 // target's FIFO tie-break order. Running with `threads = 0` (sequential), 2, or N
 // produces identical per-loop histories — the seeded tests and consistency oracles rely
 // on this to validate the threaded modes against the deterministic one.
 //
-// Scheduling model: within a round, loops are claimable units on a shared index —
-// workers steal the next unclaimed loop instead of owning a static stripe, so one hot
-// loop never serializes the whole round behind a fixed owner. Stealing only changes
-// *which thread* drives a loop, never the loop's own event order, so determinism is
-// untouched. Per-round imbalance is visible through metrics(): events/loop high-water,
-// barrier wait time, and channel depth.
+// Scheduling model: within a round, claim units (normally single loops; temporarily
+// fused groups of loops during a migration window — see FuseLanes) are claimable on a
+// shared index — workers steal the next unclaimed unit instead of owning a static
+// stripe, so one hot loop never serializes the whole round behind a fixed owner.
+// Stealing only changes *which thread* drives a unit, never a loop's own event order,
+// so determinism is untouched. Units with no events due this round are advanced inline
+// by the driver (advancing an eventless loop runs no user code); rounds with at most
+// one active unit skip the worker pool entirely, so quiescent rounds cost no wakeup,
+// no barrier wait, and no allocation. Per-round imbalance is visible through
+// metrics(): events/loop high-water, barrier wait time, and channel depth.
 #ifndef ICG_SIM_LOOP_GROUP_H_
 #define ICG_SIM_LOOP_GROUP_H_
 
@@ -49,8 +63,27 @@ class LoopGroup {
     // K > 1: loops are driven by min(K, loops) persistent worker threads per round.
     int threads = 0;
     // Width of one synchronization round in virtual microseconds. Smaller quanta mean
-    // lower cross-loop latency but more barriers per simulated second.
+    // lower cross-loop latency but more barriers per simulated second. With
+    // `adaptive_quantum` this is the *floor*: the late-delivery clamp at a barrier is
+    // never worse than one base quantum.
     SimDuration quantum = 1000;
+    // Let round width follow pending activity (see file comment). Off by default so
+    // fixed-quantum round counts — which existing tests and benches compare across
+    // execution modes — are unchanged unless a caller opts in.
+    bool adaptive_quantum = false;
+    // Hard cap on one adaptive round's width, bounding real-time lane skew and the
+    // channel-drain interval. 0 means 64 * quantum.
+    SimDuration max_quantum = 0;
+    // Pin each worker thread to a distinct core (Linux only; graceful no-op
+    // elsewhere). workers_pinned() reports how many pins actually took.
+    bool pin_workers = false;
+    // Barrier spin budget (iterations) before a waiting thread parks on a futex-style
+    // condvar. Spinning is skipped entirely on single-core hardware, where burning the
+    // only core while the other side needs it is pure loss.
+    int spin_iterations = 4000;
+    // Keep the full per-round barrier-time history in memory (barrier_history()).
+    // barrier_schedule_hash() is always maintained; the history is for tests.
+    bool record_barrier_schedule = false;
   };
 
   LoopGroup() : LoopGroup(Options()) {}
@@ -71,9 +104,9 @@ class LoopGroup {
   int IndexOf(const EventLoop* loop) const;
 
   // Cross-loop message: run `task` on loop `target` at virtual time >= `when`.
-  // Callable from any loop's driving thread mid-round (each target has its own striped
-  // mutex + queue; MPSC per target) and from the driver between rounds. Delivery
-  // happens at the next barrier, at max(when, barrier time).
+  // Callable from any loop's driving thread mid-round (each sender owns a private
+  // outbox run per target — no locking on the hot path) and from the driver between
+  // rounds. Delivery happens at the next barrier, at max(when, barrier time).
   void Post(int target, SimTime when, EventLoop::Task task);
 
   // Messages accepted but not yet scheduled onto their targets. Driver-thread only.
@@ -84,6 +117,19 @@ class LoopGroup {
 
   // Runs rounds until no loop has pending events and the channel is empty.
   void RunAll();
+
+  // Fuses the given slots into one claim unit until virtual time `until`: within each
+  // round the fused loops are driven by a single thread in ascending slot order —
+  // exactly the sequential driver's order, so fusion is invisible to determinism.
+  // Used as the safety window for live shard migration: while a node's old and new
+  // lanes are fused, work one lane schedules onto the other mid-round stays
+  // single-threaded. Driver-thread only, between rounds; `until` must be > Now().
+  // Overlapping fusions merge transitively; the fusion dissolves at the first barrier
+  // at or past `until`.
+  void FuseLanes(const std::vector<int>& lanes, SimTime until);
+
+  // Fusion windows currently in force (observability for tests).
+  int active_fusions() const { return static_cast<int>(fusions_.size()); }
 
   // The group's uniform virtual time (every attached loop's Now() between rounds).
   SimTime Now() const { return now_; }
@@ -97,15 +143,44 @@ class LoopGroup {
   // regression tests assert this, since the sequential driver must never spawn or block.
   int workers_started() const { return worker_count_; }
 
+  // Workers whose core pin actually took (0 unless Options::pin_workers on Linux).
+  int workers_pinned() const { return workers_pinned_.load(std::memory_order_relaxed); }
+
+  // FNV-1a over the sequence of barrier times so far: a fingerprint of the quantum
+  // schedule. Bit-identical across thread widths — the width-sweep tests compare it.
+  uint64_t barrier_schedule_hash() const { return schedule_hash_; }
+
+  // Per-round barrier times; empty unless Options::record_barrier_schedule.
+  const std::vector<SimTime>& barrier_history() const { return barrier_history_; }
+
   // Per-round imbalance and channel observability, updated by the driver at each
   // barrier (driver-thread reads only):
   //   "rounds_threaded"          rounds executed through the worker pool
+  //   "rounds_inline"            threaded-mode rounds with <= 1 active unit, driven by
+  //                              the driver without waking the pool
+  //   "rounds_idle"              rounds where no loop had an event due (clock advance
+  //                              only — the quiescent case adaptive quanta compress)
+  //   "rounds_widened"           adaptive rounds wider than the base quantum
   //   "loop_events_highwater"    most events one loop processed within a single round
   //   "round_events_highwater"   most events all loops processed within a single round
   //   "barrier_wait_ns"          total real time the driver spent blocked at barriers
   //   "channel_messages"         cross-loop messages delivered across all barriers
   //   "channel_depth_highwater"  most messages drained at a single barrier
+  //   "late_deliveries"          drained messages whose delivery time had already
+  //                              passed and was clamped to the barrier (the latency
+  //                              cost of quantum width)
   const MetricRegistry& metrics() const { return metrics_; }
+
+  // Cross-loop messages delivered *to* slot `target` so far (driver-thread only).
+  // Feed for placement decisions alongside per-loop events_processed().
+  int64_t slot_delivered_messages(int target) const {
+    return slots_[static_cast<size_t>(target)].delivered_messages;
+  }
+
+  // Zeroes every metrics() counter (driver-thread only, between rounds). Benches call
+  // this after warmup so per-phase numbers aren't cumulative. rounds()/clock state and
+  // the barrier-schedule fingerprint are untouched.
+  void ResetMetrics() { metrics_.Reset(); }
 
   // Real cores available, for core-count-aware benchmark gates.
   static int HardwareThreads();
@@ -124,48 +199,102 @@ class LoopGroup {
     uint64_t post_seq = 0;  // messages sent *by* this loop (driving thread only)
     int64_t round_events = 0;  // events this loop ran last round (its driver writes,
                                // the group driver reads after the barrier)
+    int64_t delivered_messages = 0;  // cross-loop messages delivered TO this loop
+                                     // (driver writes at drains)
+    // Outbox runs: outbox[target] holds the messages this loop posted to `target`
+    // since the last drain. Written only by the one thread driving this loop within a
+    // round, read by the driver at the barrier — no lock anywhere on the send path.
+    // Runs keep their capacity across drains, so steady-state sends allocate nothing.
+    std::vector<std::vector<Message>> outbox;
   };
 
-  // One stripe per target loop, so posts to different targets never contend.
-  struct alignas(64) Stripe {
-    mutable std::mutex mu;
-    std::vector<Message> queue;
+  struct Fusion {
+    std::vector<int> lanes;  // sorted, >= 2 entries
+    SimTime until = 0;
   };
 
   // Runs every loop to `barrier` (sequentially or via the worker pool), then delivers
   // all queued cross-loop messages and advances the group clock.
   void RunRound(SimTime barrier);
+  // Next round's barrier starting from `from`, capped at `limit`: from + quantum, or
+  // the activity-following adaptive width (see file comment).
+  SimTime NextBarrier(SimTime from, SimTime limit);
   void DriveLoop(int index, SimTime barrier);
+  // Drives a claim unit's loops in ascending slot order (the sequential order).
+  void DriveUnit(int unit_index, SimTime barrier);
   void DrainChannel();
+  // Earliest pending cross-loop delivery, as seen from `from` (deliveries never land
+  // in the past); returns false if the channel is empty. Driver-thread only.
+  bool EarliestQueuedDelivery(SimTime from, SimTime* out) const;
+  // Drops expired fusions and rebuilds units_ if the fusion set changed.
+  void ExpireFusions();
+  void RebuildUnits();
   void StartWorkers();
   void WorkerMain(int worker_index);
   void RecordRoundStats();
   // Counter-as-high-water: bumps `name` up to `candidate` if it is a new maximum.
   void RaiseTo(const char* name, int64_t candidate);
+  SimDuration max_quantum() const {
+    return options_.max_quantum > 0 ? options_.max_quantum : options_.quantum * 64;
+  }
 
   Options options_;
   SimTime now_ = 0;
   int64_t rounds_ = 0;
   std::vector<Slot> slots_;
-  std::vector<std::unique_ptr<Stripe>> stripes_;  // parallel to slots_
   MetricRegistry metrics_;  // driver-thread only (updated between rounds)
 
-  std::mutex external_mu_;  // guards external (non-loop) posters' sequence counter
+  // External (non-loop) posters: one run per target, guarded — external posts are rare
+  // (test setup, bench injection) and never on a loop's hot path.
+  mutable std::mutex external_mu_;
   uint64_t external_seq_ = 0;
+  std::vector<std::vector<Message>> external_outbox_;
+
+  // Claim units. units_ is the stable partition (singletons unless fused);
+  // round_units_ holds the indices of units with work due this round, in unit order.
+  // Both are written by the driver before a round is published and read-only during it.
+  std::vector<std::vector<int>> units_;
+  bool units_dirty_ = true;
+  std::vector<Fusion> fusions_;
+  std::vector<int> round_units_;
+
+  // Drain scratch, reused across barriers (capacity persists; no steady-state allocs).
+  struct RunRef {
+    std::vector<Message>* run;
+    int sender;
+    size_t pos;
+  };
+  std::vector<RunRef> drain_runs_;
+
+  // Quantum schedule fingerprint (FNV-1a over barrier times) + optional history.
+  uint64_t schedule_hash_ = 1469598103934665603ULL;
+  std::vector<SimTime> barrier_history_;
 
   // Worker pool (created lazily on the first threaded round).
   int worker_count_ = 0;  // set before any worker starts; constant afterwards
+  int spin_budget_ = 0;   // per-wait spin iterations before parking
   std::vector<std::thread> workers_;
-  std::mutex round_mu_;
-  std::condition_variable round_cv_;   // driver -> workers: a round is ready
-  std::condition_variable done_cv_;    // workers -> driver: all loops reached the barrier
-  uint64_t round_gen_ = 0;
-  SimTime round_barrier_ = 0;
-  int workers_active_ = 0;
-  bool stopping_ = false;
+  std::atomic<int> workers_pinned_{0};
 
-  // The work-stealing index: workers fetch_add to claim the next undriven loop of the
-  // round. Reset by the driver before it publishes a round.
+  // Spin-then-park barrier. The driver publishes a round by bumping round_gen_
+  // (release) after writing round_barrier_/round_units_/claim_/workers_active_;
+  // workers spin on round_gen_ (acquire) and park on worker_cv_ when the budget runs
+  // out. Completion runs through workers_active_: each worker fetch_subs (acq_rel) so
+  // the RMW release sequence hands every worker's round writes to the driver's final
+  // acquire load; the last worker wakes the driver only if it actually parked.
+  std::atomic<uint64_t> round_gen_{0};
+  std::atomic<int> workers_active_{0};
+  std::atomic<bool> stopping_{false};
+  SimTime round_barrier_ = 0;  // published by the round_gen_ release/acquire pair
+  std::mutex park_mu_;
+  std::condition_variable worker_cv_;  // driver -> parked workers: new round / stop
+  std::condition_variable driver_cv_;  // last worker -> parked driver: round done
+  int parked_workers_ = 0;     // under park_mu_
+  bool driver_parked_ = false;  // under park_mu_
+
+  // The work-stealing index: threads fetch_add to claim the next undriven unit of the
+  // round. Reset by the driver before it publishes a round; the driver joins the claim
+  // loop itself instead of idling at the barrier.
   std::atomic<int> claim_{0};
 };
 

@@ -1,0 +1,164 @@
+#include "src/harness/placement_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+namespace icg {
+namespace {
+
+// Counters fed to the advisor are cumulative (like LoopGroup metrics); these helpers
+// build one observation interval's worth of samples.
+std::vector<LaneSample> Lanes(std::vector<std::pair<int, int64_t>> loads) {
+  std::vector<LaneSample> out;
+  for (const auto& [slot, load] : loads) {
+    out.push_back({slot, load});
+  }
+  return out;
+}
+
+std::vector<EntitySample> Entities(std::vector<std::tuple<int, int, int64_t>> rows) {
+  std::vector<EntitySample> out;
+  for (const auto& [entity, slot, load] : rows) {
+    out.push_back({entity, slot, load});
+  }
+  return out;
+}
+
+TEST(PlacementAdvisor, FirstCallOnlyBaselines) {
+  PlacementAdvisor advisor;
+  const auto moves = advisor.Advise(Lanes({{0, 100000}, {1, 10}}),
+                                    Entities({{0, 0, 100000}, {1, 1, 10}}));
+  EXPECT_TRUE(moves.empty());
+  EXPECT_EQ(advisor.intervals_observed(), 1);
+  EXPECT_EQ(advisor.moves_emitted(), 0);
+}
+
+TEST(PlacementAdvisor, MovesHottestEntityOffTheHotLane) {
+  PlacementAdvisor advisor;
+  advisor.Advise(Lanes({{0, 0}, {1, 0}, {2, 0}}),
+                 Entities({{0, 0, 0}, {1, 0, 0}, {2, 1, 0}, {3, 2, 0}}));
+  // Interval delta: lane 0 carries 900 (entity 0: 600, entity 1: 300), lanes 1 and 2
+  // carry 50 each. Entity 0 should move to the coldest lane (slot 1, lowest-slot tie).
+  const auto moves = advisor.Advise(
+      Lanes({{0, 900}, {1, 50}, {2, 50}}),
+      Entities({{0, 0, 600}, {1, 0, 300}, {2, 1, 50}, {3, 2, 50}}));
+  ASSERT_EQ(moves.size(), 1u);
+  EXPECT_EQ(moves[0].entity, 0);
+  EXPECT_EQ(moves[0].from_slot, 0);
+  EXPECT_EQ(moves[0].to_slot, 1);
+  EXPECT_EQ(advisor.moves_emitted(), 1);
+}
+
+TEST(PlacementAdvisor, DeltasNotCumulativeTotalsDriveTheDecision) {
+  PlacementAdvisor advisor;
+  // Lane 0 was hot historically but the *latest interval* is balanced: cumulative
+  // counters grow equally, so no move should be advised.
+  advisor.Advise(Lanes({{0, 10000}, {1, 100}}),
+                 Entities({{0, 0, 10000}, {1, 1, 100}}));
+  const auto moves = advisor.Advise(Lanes({{0, 10500}, {1, 600}}),
+                                    Entities({{0, 0, 10500}, {1, 1, 600}}));
+  EXPECT_TRUE(moves.empty());
+}
+
+TEST(PlacementAdvisor, CooldownSuppressesBackToBackMoves) {
+  PlacementAdvisorOptions options;
+  options.cooldown_intervals = 2;
+  PlacementAdvisor advisor(options);
+  const auto lanes = [](int64_t scale) {
+    return Lanes({{0, scale * 900}, {1, scale * 50}, {2, scale * 50}});
+  };
+  const auto entities = [](int64_t scale) {
+    return Entities({{0, 0, scale * 600},
+                     {1, 0, scale * 300},
+                     {2, 1, scale * 50},
+                     {3, 2, scale * 50}});
+  };
+  advisor.Advise(lanes(1), entities(1));
+  EXPECT_EQ(advisor.Advise(lanes(2), entities(2)).size(), 1u);
+  // The skew persists in the counters, but the next two intervals are inside the
+  // cooldown window; only the third may move again.
+  EXPECT_TRUE(advisor.Advise(lanes(3), entities(3)).empty());
+  EXPECT_TRUE(advisor.Advise(lanes(4), entities(4)).empty());
+  EXPECT_EQ(advisor.Advise(lanes(5), entities(5)).size(), 1u);
+  EXPECT_EQ(advisor.moves_emitted(), 2);
+}
+
+TEST(PlacementAdvisor, QuietIntervalsAreLeftAlone) {
+  PlacementAdvisorOptions options;
+  options.min_total_load = 256;
+  PlacementAdvisor advisor(options);
+  advisor.Advise(Lanes({{0, 0}, {1, 0}}), Entities({{0, 0, 0}, {1, 1, 0}}));
+  // 100:10 is a 10x skew but only 110 units of load — under min_total_load, moving a
+  // shard would cost more than the imbalance does.
+  const auto moves =
+      advisor.Advise(Lanes({{0, 100}, {1, 10}}), Entities({{0, 0, 100}, {1, 1, 10}}));
+  EXPECT_TRUE(moves.empty());
+}
+
+TEST(PlacementAdvisor, BalancedLanesNeverMove) {
+  PlacementAdvisor advisor;
+  advisor.Advise(Lanes({{0, 0}, {1, 0}, {2, 0}}),
+                 Entities({{0, 0, 0}, {1, 1, 0}, {2, 2, 0}}));
+  const auto moves =
+      advisor.Advise(Lanes({{0, 400}, {1, 380}, {2, 390}}),
+                     Entities({{0, 0, 400}, {1, 1, 380}, {2, 2, 390}}));
+  EXPECT_TRUE(moves.empty());
+}
+
+TEST(PlacementAdvisor, SoleTenantSwapWithEqualLaneIsRejected) {
+  PlacementAdvisor advisor;
+  advisor.Advise(Lanes({{0, 0}, {1, 0}}), Entities({{0, 0, 0}, {1, 1, 0}}));
+  // Lane 0's entire load is one entity; moving it to lane 1 would just relabel the hot
+  // lane (projected max 1000 + 50 > 1000 is even worse). Must not move.
+  const auto moves = advisor.Advise(Lanes({{0, 1000}, {1, 50}}),
+                                    Entities({{0, 0, 1000}, {1, 1, 50}}));
+  EXPECT_TRUE(moves.empty());
+}
+
+TEST(PlacementAdvisor, TiesBreakDeterministicallyRegardlessOfInputOrder) {
+  // Two equally hot lanes and two equally cold ones: the decision must not depend on
+  // sample order — lowest slot wins both the hot and the cold pick, lowest ordinal
+  // wins the entity pick.
+  for (const bool reversed : {false, true}) {
+    PlacementAdvisor advisor;
+    auto lanes = Lanes({{0, 0}, {1, 0}, {2, 0}, {3, 0}});
+    auto entities = Entities(
+        {{0, 0, 0}, {1, 0, 0}, {2, 1, 0}, {3, 1, 0}, {4, 2, 0}, {5, 3, 0}});
+    if (reversed) {
+      std::reverse(lanes.begin(), lanes.end());
+      std::reverse(entities.begin(), entities.end());
+    }
+    advisor.Advise(lanes, entities);
+    auto hot = Lanes({{0, 800}, {1, 800}, {2, 20}, {3, 20}});
+    auto loaded = Entities(
+        {{0, 0, 400}, {1, 0, 400}, {2, 1, 400}, {3, 1, 400}, {4, 2, 20}, {5, 3, 20}});
+    if (reversed) {
+      std::reverse(hot.begin(), hot.end());
+      std::reverse(loaded.begin(), loaded.end());
+    }
+    const auto moves = advisor.Advise(hot, loaded);
+    ASSERT_EQ(moves.size(), 1u) << "reversed=" << reversed;
+    EXPECT_EQ(moves[0].entity, 0) << "reversed=" << reversed;
+    EXPECT_EQ(moves[0].from_slot, 0) << "reversed=" << reversed;
+    EXPECT_EQ(moves[0].to_slot, 2) << "reversed=" << reversed;
+  }
+}
+
+TEST(PlacementAdvisor, HotRatioThresholdGatesTheMove) {
+  PlacementAdvisorOptions options;
+  options.hot_ratio = 2.0;
+  PlacementAdvisor advisor(options);
+  advisor.Advise(Lanes({{0, 0}, {1, 0}}), Entities({{0, 0, 0}, {1, 0, 0}, {2, 1, 0}}));
+  // Mean is 300; lane 0 at 400 is hot-ish but below 2x the mean — no move.
+  EXPECT_TRUE(advisor
+                  .Advise(Lanes({{0, 400}, {1, 200}}),
+                          Entities({{0, 0, 250}, {1, 0, 150}, {2, 1, 200}}))
+                  .empty());
+}
+
+}  // namespace
+}  // namespace icg

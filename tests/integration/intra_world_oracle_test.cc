@@ -129,11 +129,14 @@ std::string Fingerprint(const TrialState& trial) {
   return out.str();
 }
 
-std::string RunTrial(int threads, uint64_t seed) {
-  SCOPED_TRACE("threads=" + std::to_string(threads) + " seed=" + std::to_string(seed));
+std::string RunTrial(int threads, uint64_t seed, bool adaptive = false) {
+  SCOPED_TRACE("threads=" + std::to_string(threads) + " seed=" + std::to_string(seed) +
+               (adaptive ? " adaptive" : ""));
   LoopGroup::Options options;
   options.threads = threads;
   options.quantum = Millis(2);
+  options.adaptive_quantum = adaptive;
+  options.max_quantum = Millis(32);
   LoopGroup group(options);
 
   CassandraBindingConfig binding;
@@ -247,7 +250,11 @@ std::string RunTrial(int threads, uint64_t seed) {
   EXPECT_GE(merged.views_delivered, merged.invocations);
   EXPECT_EQ(merged.errors, 0);
 
-  return Fingerprint(trial);
+  // The barrier schedule itself is part of the contract: under adaptive quanta the
+  // round widths are a function of virtual-time state only, so the exact barrier
+  // sequence — not just the application outcome — must agree across widths.
+  return Fingerprint(trial) + "|rounds" + std::to_string(group.rounds()) + "|sched" +
+         std::to_string(group.barrier_schedule_hash());
 }
 
 // Satellite regression: a stack built with spares (5 replicas, 3 coordinators) must give
@@ -395,6 +402,178 @@ TEST(IntraWorldOracle, WidthsAgreeBitForBit) {
   EXPECT_EQ(RunTrial(/*threads=*/4, seed), sequential);
   if (Width8Enabled()) {
     EXPECT_EQ(RunTrial(/*threads=*/8, seed), sequential);
+  }
+}
+
+// Adaptive quanta under the full deployment: the same trial with round widths chasing
+// the earliest pending activity. The fingerprint includes the exact barrier schedule,
+// so this fails if adaptation ever consults anything but virtual-time state.
+TEST(IntraWorldOracle, AdaptiveQuantaAgreeBitForBit) {
+  const uint64_t seed = OracleSeed();
+  const std::string sequential = RunTrial(/*threads=*/0, seed, /*adaptive=*/true);
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(RunTrial(/*threads=*/2, seed, /*adaptive=*/true), sequential);
+  EXPECT_EQ(RunTrial(/*threads=*/4, seed, /*adaptive=*/true), sequential);
+  if (Width8Enabled()) {
+    EXPECT_EQ(RunTrial(/*threads=*/8, seed, /*adaptive=*/true), sequential);
+  }
+}
+
+// Stats-driven live rebalancing: 4 coordinators packed onto 3 lanes (max_lanes), all
+// client load aimed at keys one co-tenant coordinator owns. The PlacementAdvisor must
+// notice the hot lane from virtual-time counters and RebalanceShardPlacement must
+// migrate the hot coordinator to the cold lane mid-run — between rounds, under a
+// fused-lane drain window — without losing a message or an oracle property. The moves
+// and the full outcome fingerprint must be identical at every width.
+std::string RunRebalanceTrial(int threads, uint64_t seed) {
+  SCOPED_TRACE("rebalance threads=" + std::to_string(threads) +
+               " seed=" + std::to_string(seed));
+  LoopGroup::Options options;
+  options.threads = threads;
+  options.quantum = Millis(2);
+  LoopGroup group(options);
+
+  CassandraBindingConfig binding;
+  binding.strong_read_quorum = 2;
+
+  TrialState trial(seed * 17);
+  trial.stack = std::make_unique<ShardedCassandraStack>(MakeShardedCassandraStack(
+      trial.world, kCoordinators, KvConfig{}, binding, Region::kIreland,
+      {Region::kFrankfurt, Region::kIreland, Region::kVirginia, Region::kCalifornia}));
+  auto& frk = AddShardedCassandraClient(trial.world, *trial.stack, binding,
+                                        Region::kFrankfurt);
+  auto& vrg = AddShardedCassandraClient(trial.world, *trial.stack, binding,
+                                        Region::kVirginia);
+  trial.clients = {trial.stack->client(), frk.client.get(), vrg.client.get()};
+
+  IntraWorldPlacement placement =
+      PlaceShardsAcrossLoops(group, trial.world, *trial.stack, /*max_lanes=*/3);
+  EXPECT_EQ(placement.lane_slots.size(), 3u);
+  EXPECT_EQ(placement.replica_slots.size(), static_cast<size_t>(kCoordinators));
+  // Round-robin packing: replicas 0 and 3 share lane 0 — co-tenancy is what gives the
+  // advisor something to split.
+  EXPECT_EQ(placement.replica_slots[0], placement.replica_slots[3]);
+
+  // Aim every operation at keys PRIMARY-owned by replica 0, the lane-0 co-tenant: its
+  // coordination work (plus replica 3's replication echo) makes lane 0 the hot lane.
+  const auto& replicas = trial.stack->cluster->replicas();
+  const NodeId hot_id = replicas[0]->id();
+  std::vector<std::string> hot_keys;
+  for (int k = 0; k < 400 && hot_keys.size() < 12; ++k) {
+    const std::string key = "rebal" + std::to_string(k);
+    if (trial.stack->shard_map().PrimaryFor(key) == hot_id) {
+      hot_keys.push_back(key);
+    }
+  }
+  EXPECT_GE(hot_keys.size(), 3u);
+  if (hot_keys.size() < 3) return "no-hot-keys";
+  for (const std::string& key : hot_keys) {
+    trial.stack->cluster->Preload(key, "init");
+  }
+
+  // The op schedule leaves a deliberate 300ms breather at [1.4s, 1.7s): a live
+  // migration needs an instant where the hot coordinator has no read in flight, and
+  // under continuous load every sample could catch it mid-quorum. Real rebalancers
+  // have the same constraint — they move shards in lulls, not mid-request.
+  Rng rng(seed * 29);
+  EventLoop* front = &trial.world.loop();
+  int write_counter = 0;
+  for (int i = 0; i < kOps; ++i) {
+    SimDuration at = static_cast<SimDuration>(rng.NextBounded(Seconds(3) - Millis(300)));
+    if (at >= Millis(1400)) at += Millis(300);
+    const size_t client_index = static_cast<size_t>(rng.NextBounded(kClients));
+    const bool is_write = rng.NextBool(0.3);
+    size_t key_index = static_cast<size_t>(rng.NextBounded(hot_keys.size()));
+    if (is_write) {
+      // Key-partitioned writes per client keep per-key program order checkable.
+      key_index = (key_index / kClients) * kClients + client_index;
+      if (key_index >= hot_keys.size()) key_index = client_index % hot_keys.size();
+    }
+    const std::string key = hot_keys[key_index];
+
+    auto obs = std::make_shared<Observation>();
+    obs->is_write = is_write;
+    obs->key = key;
+    trial.observations.push_back(obs);
+    CorrectableClient* client = trial.clients[client_index];
+    if (is_write) {
+      const std::string value =
+          "c" + std::to_string(client_index) + "-" + std::to_string(write_counter++);
+      obs->written_value = value;
+      obs->weakest = obs->strongest = ConsistencyLevel::kStrong;
+      front->Schedule(at, [client, front, key, value, obs, &trial]() {
+        trial.submitted[key].push_back(value);
+        Observe(client->InvokeStrong(Operation::Put(key, value)), obs, front);
+      });
+    } else {
+      obs->weakest = ConsistencyLevel::kWeak;
+      obs->strongest = ConsistencyLevel::kStrong;
+      front->Schedule(at, [client, front, key, obs]() {
+        Observe(client->Invoke(Operation::Get(key)), obs, front);
+      });
+    }
+  }
+
+  // Sample-and-rebalance between rounds; the 1550ms sample lands inside the load
+  // breather, where the hot coordinator is guaranteed migratable and the preceding
+  // interval still carries the full skew. The advisor sees only virtual counters, so
+  // which interval moves what is width-independent by construction. No cooldown: a
+  // move advised while the target is mid-quorum is dropped, and the advisor must be
+  // free to re-advise it at the very next sample.
+  PlacementAdvisorOptions advisor_options;
+  advisor_options.hot_ratio = 1.2;
+  advisor_options.min_total_load = 64;
+  advisor_options.cooldown_intervals = 0;
+  PlacementAdvisor advisor(advisor_options);
+  std::vector<PlacementMove> applied;
+  for (const int tick_ms : {500, 1000, 1550, 2000, 2500, 3000, 3500}) {
+    group.RunUntil(Millis(tick_ms));
+    const auto moves =
+        RebalanceShardPlacement(group, trial.world, *trial.stack, placement, advisor);
+    applied.insert(applied.end(), moves.begin(), moves.end());
+  }
+  group.RunAll();
+  // A move at the final tick leaves its drain fusion pending; run past the window so
+  // it dissolves (fusions expire at the first barrier at or past their deadline).
+  group.RunUntil(Millis(3500) + Millis(400));
+  EXPECT_EQ(group.pending_messages(), 0u);
+  EXPECT_GT(group.metrics().Value("channel_messages"), 0);
+  EXPECT_EQ(group.active_fusions(), 0);
+
+  // The skew must actually have provoked at least one live migration.
+  EXPECT_GE(applied.size(), 1u);
+  for (const auto& obs : trial.observations) {
+    CheckObservation(*obs);
+  }
+  // Program order survives the migration: every replica converged to the last
+  // submitted write per key even though its coordinator changed lanes mid-run.
+  for (const auto& [key, values] : trial.submitted) {
+    for (const auto& replica : replicas) {
+      const auto stored = replica->LocalGet(key);
+      EXPECT_TRUE(stored.has_value()) << key;
+      if (!stored.has_value()) continue;
+      EXPECT_EQ(stored->value, values.back())
+          << "replica diverged from program order for " << key;
+    }
+  }
+
+  std::ostringstream out;
+  out << Fingerprint(trial) << "|moves:";
+  for (const PlacementMove& move : applied) {
+    out << move.entity << ":" << move.from_slot << ">" << move.to_slot << ";";
+  }
+  out << "|rounds" << group.rounds() << "|sched" << group.barrier_schedule_hash();
+  return out.str();
+}
+
+TEST(IntraWorldOracle, RebalanceMigratesHotShardAcrossWidths) {
+  const uint64_t seed = OracleSeed();
+  const std::string sequential = RunRebalanceTrial(/*threads=*/0, seed);
+  EXPECT_FALSE(sequential.empty());
+  EXPECT_EQ(RunRebalanceTrial(/*threads=*/2, seed), sequential);
+  EXPECT_EQ(RunRebalanceTrial(/*threads=*/4, seed), sequential);
+  if (Width8Enabled()) {
+    EXPECT_EQ(RunRebalanceTrial(/*threads=*/8, seed), sequential);
   }
 }
 

@@ -189,16 +189,35 @@ TEST(LoopGroup, SequentialModeNeverStartsWorkers) {
 }
 
 TEST(LoopGroup, ThreadedStartsBoundedWorkers) {
-  // min(K, loops) workers, created lazily on the first threaded round.
+  // min(K, loops) workers, created lazily on the first threaded round. Chains on every
+  // loop keep several claim units active per round, so the pool actually runs rounds.
   LoopGroup::Options options;
   options.threads = 8;
   options.quantum = 500;
   Mesh mesh(3, options);
   EXPECT_EQ(mesh.group.workers_started(), 0);  // lazy: nothing ran yet
-  mesh.StartChain(0, /*hops=*/6, "chain0");
+  for (int i = 0; i < 3; ++i) {
+    mesh.StartChain(i, /*hops=*/6, "chain" + std::to_string(i));
+  }
   mesh.group.RunAll();
   EXPECT_EQ(mesh.group.workers_started(), 3);
   EXPECT_GT(mesh.group.metrics().Value("rounds_threaded"), 0);
+}
+
+TEST(LoopGroup, SingleActiveLaneRoundsSkipThePool) {
+  // With one chain bouncing between loops, every round has exactly one loop with due
+  // events — the driver runs it inline instead of waking workers, so no round pays a
+  // barrier wait. The pool is still constructed (lazily) in case a later round fans out.
+  LoopGroup::Options options;
+  options.threads = 4;
+  options.quantum = 500;
+  Mesh mesh(3, options);
+  mesh.StartChain(0, /*hops=*/6, "chain0");
+  mesh.group.RunAll();
+  EXPECT_EQ(mesh.group.workers_started(), 3);
+  EXPECT_EQ(mesh.group.metrics().Value("rounds_threaded"), 0);
+  EXPECT_GT(mesh.group.metrics().Value("rounds_inline"), 0);
+  EXPECT_EQ(mesh.group.metrics().Value("barrier_wait_ns"), 0);
 }
 
 TEST(LoopGroup, IndexOfFindsAttachedLoops) {
@@ -230,6 +249,156 @@ TEST(LoopGroup, RoundStatsTrackWorkAndChannelTraffic) {
   EXPECT_GT(m.Value("loop_events_highwater"), 0);
   EXPECT_GE(m.Value("round_events_highwater"), m.Value("loop_events_highwater"));
   EXPECT_GT(m.Value("rounds_threaded"), 0);
+}
+
+// Pulsed workload for the adaptive-quantum tests: a hop burst at t=0 and another after
+// a long quiescent gap. Returns {fingerprint, rounds, schedule hash, barrier history}.
+struct AdaptiveRun {
+  std::string fingerprint;
+  int64_t rounds = 0;
+  uint64_t schedule_hash = 0;
+  std::vector<SimTime> barriers;
+};
+
+AdaptiveRun RunPulsedMesh(int threads, bool adaptive) {
+  LoopGroup::Options options;
+  options.threads = threads;
+  options.quantum = 500;
+  options.adaptive_quantum = adaptive;
+  options.max_quantum = 20000;
+  options.record_barrier_schedule = true;
+  Mesh mesh(4, options);
+  for (int i = 0; i < 4; ++i) {
+    mesh.StartChain(i, /*hops=*/12, "burst0-" + std::to_string(i));
+  }
+  // Second burst after ~190k us of silence — the stretch fixed quanta pay 380 barriers
+  // for and adaptive quanta cross in ~10 capped rounds.
+  mesh.loops[0]->Schedule(200000, [&mesh]() { mesh.Hop(0, 12, "burst1"); });
+  mesh.group.RunUntil(250000);
+  AdaptiveRun run;
+  run.fingerprint = mesh.Fingerprint();
+  run.rounds = mesh.group.rounds();
+  run.schedule_hash = mesh.group.barrier_schedule_hash();
+  run.barriers = mesh.group.barrier_history();
+  return run;
+}
+
+TEST(LoopGroup, AdaptiveQuantumScheduleIsIdenticalAcrossWidths) {
+  // The quantum schedule is a pure function of virtual-time state, so the sequence of
+  // barrier times — not just the event histories — must be byte-identical at widths
+  // 0/2/4/8.
+  const AdaptiveRun sequential = RunPulsedMesh(/*threads=*/0, /*adaptive=*/true);
+  EXPECT_GT(sequential.barriers.size(), 0u);
+  EXPECT_EQ(sequential.barriers.size(), static_cast<size_t>(sequential.rounds));
+  for (const int threads : {2, 4, 8}) {
+    const AdaptiveRun threaded = RunPulsedMesh(threads, /*adaptive=*/true);
+    EXPECT_EQ(threaded.fingerprint, sequential.fingerprint) << "threads=" << threads;
+    EXPECT_EQ(threaded.barriers, sequential.barriers) << "threads=" << threads;
+    EXPECT_EQ(threaded.schedule_hash, sequential.schedule_hash)
+        << "threads=" << threads;
+  }
+}
+
+TEST(LoopGroup, AdaptiveQuantumCompressesQuiescentStretches) {
+  // Same workload, same deliveries — the event fingerprint must not change — but the
+  // quiescent gap collapses into capped wide rounds instead of one barrier per quantum.
+  const AdaptiveRun fixed = RunPulsedMesh(/*threads=*/0, /*adaptive=*/false);
+  const AdaptiveRun adaptive = RunPulsedMesh(/*threads=*/0, /*adaptive=*/true);
+  EXPECT_EQ(adaptive.fingerprint, fixed.fingerprint);
+  EXPECT_LT(adaptive.rounds, fixed.rounds / 4);
+}
+
+TEST(LoopGroup, AdaptiveQuantumBoundsLateDeliveryByBaseQuantum) {
+  // Messages posted mid-round are clamped to the barrier; with activity-following
+  // widths the clamp is never worse than one base quantum, so every hop (+100 us) must
+  // run within quantum of its nominal time. The Mesh records loop Now() at each hop —
+  // compare against a fixed-quantum run whose lateness bound is the same base quantum.
+  LoopGroup::Options options;
+  options.quantum = 500;
+  options.adaptive_quantum = true;
+  options.max_quantum = 50000;
+  Mesh mesh(3, options);
+  mesh.StartChain(0, /*hops=*/10, "chain0");
+  // A far-future event forces wide idle rounds to be *available* while the chain is
+  // still hopping at +100 us steps — the horizon must hold widths down to the floor.
+  mesh.loops[2]->Schedule(100000, []() {});
+  mesh.group.RunAll();
+  // Hop k runs at most one base quantum after the previous hop's delivery time.
+  for (const auto& trace : mesh.traces) {
+    for (const std::string& line : trace) {
+      const auto at = line.find('@');
+      ASSERT_NE(at, std::string::npos);
+      const SimTime when = std::stoll(line.substr(at + 1));
+      if (when < 100000) {
+        // 10 hops, 100 us apart, each clamp <= 500: nothing may drift past ~hop budget.
+        EXPECT_LE(when, 10 * 100 + 10 * 500) << line;
+      }
+    }
+  }
+}
+
+TEST(LoopGroup, ResetMetricsZeroesCountersButNotClockOrSchedule) {
+  LoopGroup::Options options;
+  options.quantum = 500;
+  Mesh mesh(2, options);
+  mesh.StartChain(0, /*hops=*/8, "chain0");
+  mesh.group.RunAll();
+  EXPECT_GT(mesh.group.metrics().Value("channel_messages"), 0);
+  const int64_t rounds_before = mesh.group.rounds();
+  const uint64_t hash_before = mesh.group.barrier_schedule_hash();
+  mesh.group.ResetMetrics();
+  EXPECT_EQ(mesh.group.metrics().Value("channel_messages"), 0);
+  EXPECT_EQ(mesh.group.metrics().Value("loop_events_highwater"), 0);
+  EXPECT_EQ(mesh.group.rounds(), rounds_before);
+  EXPECT_EQ(mesh.group.barrier_schedule_hash(), hash_before);
+  // Counters start accumulating again from zero for the next phase.
+  mesh.StartChain(1, /*hops=*/4, "chain1");
+  mesh.group.RunAll();
+  EXPECT_GE(mesh.group.metrics().Value("channel_messages"), 4);
+}
+
+std::string RunFusedMesh(int threads) {
+  LoopGroup::Options options;
+  options.threads = threads;
+  options.quantum = 500;
+  Mesh mesh(4, options);
+  for (int i = 0; i < 4; ++i) {
+    mesh.StartChain(i, /*hops=*/20, "chain" + std::to_string(i));
+  }
+  mesh.group.RunUntil(2000);
+  // Fuse two busy lanes mid-run (the live-migration safety window) and let the window
+  // expire while traffic is still flowing.
+  mesh.group.FuseLanes({1, 3}, mesh.group.Now() + 3000);
+  EXPECT_EQ(mesh.group.active_fusions(), 1);
+  mesh.group.RunUntil(4000);
+  mesh.group.RunAll();
+  EXPECT_EQ(mesh.group.active_fusions(), 0);  // dissolved at the expiry barrier
+  return mesh.Fingerprint();
+}
+
+TEST(LoopGroup, FusedLanesAreInvisibleToDeterminism) {
+  // A fused unit is driven by one thread in ascending slot order — the sequential
+  // order — so fusing lanes must not change any event history at any width.
+  const std::string sequential = RunFusedMesh(/*threads=*/0);
+  EXPECT_EQ(RunFusedMesh(/*threads=*/2), sequential);
+  EXPECT_EQ(RunFusedMesh(/*threads=*/4), sequential);
+  EXPECT_EQ(sequential, RunMesh(4, /*threads=*/0));  // and matches the unfused run
+}
+
+TEST(LoopGroup, PinWorkersIsAGracefulOptIn) {
+  LoopGroup::Options options;
+  options.threads = 2;
+  options.quantum = 500;
+  options.pin_workers = true;
+  Mesh mesh(4, options);
+  for (int i = 0; i < 4; ++i) {
+    mesh.StartChain(i, /*hops=*/20, "chain" + std::to_string(i));
+  }
+  mesh.group.RunAll();
+  // Pinning may be refused (non-Linux, restricted sandbox) but never breaks the run.
+  EXPECT_GE(mesh.group.workers_pinned(), 0);
+  EXPECT_LE(mesh.group.workers_pinned(), mesh.group.workers_started());
+  EXPECT_EQ(mesh.Fingerprint(), RunMesh(4, /*threads=*/0));
 }
 
 TEST(LoopGroup, ChannelMetricsCountInSequentialModeToo) {
