@@ -30,6 +30,39 @@ BatchScheduler::~BatchScheduler() {
   }
 }
 
+void BatchScheduler::SetConfig(const BatchConfig& config) {
+  config_ = config;
+  if (loop_ == nullptr || pending_.empty()) {
+    return;
+  }
+  // Re-arm every pending cohort against the new window, measured from the cohort's
+  // original open time. Timers are cancelled before anything flushes and each cohort
+  // is handled exactly once, so a waiter can neither be stranded (its timer cancelled
+  // with no replacement) nor delivered twice (Flush erases before invoking).
+  std::vector<std::string> flush_now;
+  const SimTime now = loop_->Now();
+  for (auto& [key, open] : pending_) {
+    if (open.timer != 0) {
+      loop_->Cancel(open.timer);
+      open.timer = 0;
+    }
+    const SimTime deadline = open.opened_at + config_.batch_window;
+    if (config_.batch_window == 0 || deadline <= now ||
+        open.cohort.ops.size() >= config_.max_batch_ops) {
+      // Shrink-to-0 (batching disabled: no timer would ever fire again), a deadline
+      // already in the past under the new window, or a cohort the new size cap says is
+      // full — all flush now. Collected first: Flush mutates pending_.
+      flush_now.push_back(key);
+      continue;
+    }
+    const std::string timer_key = key;
+    open.timer = loop_->ScheduleAt(deadline, [this, timer_key]() { Flush(timer_key); });
+  }
+  for (const std::string& key : flush_now) {
+    Flush(key);
+  }
+}
+
 void BatchScheduler::Admit(bool is_read, std::string scope, const LevelVec& levels,
                            Operation op, std::shared_ptr<void> waiter) {
   assert(enabled());
@@ -40,6 +73,7 @@ void BatchScheduler::Admit(bool is_read, std::string scope, const LevelVec& leve
     open.cohort.is_read = is_read;
     open.cohort.scope = std::move(scope);
     open.cohort.levels = levels;
+    open.opened_at = loop_->Now();
     // The window opens with the cohort's first admission; later joiners do not extend
     // it, so no waiter is delayed more than one batch_window.
     open.timer = loop_->Schedule(config_.batch_window,

@@ -69,7 +69,14 @@ class BatchScheduler {
   // would touch freed state.
   ~BatchScheduler();
 
-  void SetConfig(const BatchConfig& config) { config_ = config; }
+  // Installs `config` for all future admissions AND re-arms every pending cohort
+  // against it: each open cohort's deadline is re-derived from its original open time
+  // (opened_at + new window), so no waiter is ever delayed by more than one *new*
+  // batch_window. A cohort whose new deadline has already passed — including any
+  // shrink-to-0 — flushes synchronously, and a cohort at or over the new max_batch_ops
+  // flushes too. Old timers are cancelled before new ones arm and Flush() is
+  // idempotent, so waiters are neither dropped nor double-flushed by reconfiguration.
+  void SetConfig(const BatchConfig& config);
   const BatchConfig& config() const { return config_; }
 
   // Cross-tick batching is active only with a loop to schedule flush timers on and a
@@ -92,6 +99,7 @@ class BatchScheduler {
   struct Open {
     Cohort cohort;
     TimerId timer = 0;
+    SimTime opened_at = 0;  // first admission; deadlines re-derive from this on SetConfig
   };
 
   void Flush(const std::string& key);

@@ -219,6 +219,11 @@ Status BindingRouter::ApplyRing(uint64_t epoch, std::vector<std::shared_ptr<Bind
     if (!survives) {
       old.counters->retired = true;
       old.counters->outstanding = 0;
+      // Fold the departing block's sheds into the cross-epoch aggregate and zero the
+      // block, so snapshot totals stay monotone across ring changes without double
+      // counting if the same block is ever re-admitted.
+      retired_sheds_ += old.counters->sheds;
+      old.counters->sheds = 0;
     }
   }
   shards_ = std::move(next);
@@ -269,6 +274,21 @@ bool BindingRouter::SupportsBatchedWrites() const {
     }
   }
   return true;
+}
+
+RouterLoadSnapshot BindingRouter::LoadSnapshot() const {
+  // Single-threaded with ApplyRing (both run on the client's loop), so reading epoch,
+  // shard rows, and the retired aggregate in one call is consistent by construction:
+  // every row belongs to the epoch reported.
+  RouterLoadSnapshot snapshot;
+  snapshot.epoch = epoch_;
+  snapshot.retired_sheds = retired_sheds_;
+  snapshot.shards.reserve(shards_.size());
+  for (const Shard& shard : shards_) {
+    snapshot.shards.push_back(
+        RouterLoadSnapshot::Shard{shard.counters->outstanding, shard.counters->sheds});
+  }
+  return snapshot;
 }
 
 int64_t BindingRouter::TotalSheds() const {

@@ -47,6 +47,36 @@ namespace icg {
 // [0, num_shards) and be stable between ring installations.
 using ShardFn = std::function<size_t(const std::string& key)>;
 
+// One consistent read of a router's backpressure state: every per-shard row and the
+// epoch come from the same ring generation (LoadSnapshot is a single call on the
+// router's thread, so it can never straddle an ApplyRing), and `retired_sheds` carries
+// the shed totals of every counter block retired by past ring changes. That makes
+// total_sheds() monotone across epochs — the property a controller differencing
+// consecutive snapshots needs, since per-index reads before and after a membership
+// change are incomparable (indices reshuffle and departed blocks vanish).
+struct RouterLoadSnapshot {
+  struct Shard {
+    size_t outstanding = 0;
+    int64_t sheds = 0;
+  };
+
+  uint64_t epoch = 0;
+  std::vector<Shard> shards;        // current ring order
+  int64_t retired_sheds = 0;        // sheds of blocks retired by past ApplyRing calls
+
+  size_t total_outstanding() const {
+    size_t total = 0;
+    for (const Shard& shard : shards) total += shard.outstanding;
+    return total;
+  }
+  // Monotone across ring changes: retired blocks' sheds are folded in at retirement.
+  int64_t total_sheds() const {
+    int64_t total = retired_sheds;
+    for (const Shard& shard : shards) total += shard.sheds;
+    return total;
+  }
+};
+
 class BindingRouter : public Binding {
  public:
   // All shards must support an identical level vector (the router advertises it as its
@@ -96,6 +126,10 @@ class BindingRouter : public Binding {
   int64_t ShardSheds(size_t index) const { return shards_.at(index).counters->sheds; }
   int64_t TotalSheds() const;
 
+  // Consistent snapshot of epoch + every shard's outstanding/sheds + the retired-shed
+  // aggregate, for controllers and tests that must never read torn across an ApplyRing.
+  RouterLoadSnapshot LoadSnapshot() const;
+
  private:
   // Heap-shared so emit-wrappers of in-flight invocations outlive ring changes: a
   // departed shard's decrements land on its retired counter block, never on a stale
@@ -137,6 +171,8 @@ class BindingRouter : public Binding {
   ShardFn shard_of_;
   uint64_t epoch_ = 0;
   size_t queue_limit_ = 0;
+  // Sheds folded in from counter blocks retired by ApplyRing (see RouterLoadSnapshot).
+  int64_t retired_sheds_ = 0;
 };
 
 }  // namespace icg

@@ -154,6 +154,14 @@ void ShardedCassandraStack::SetShardQueueLimit(size_t limit) {
   }
 }
 
+void ShardedCassandraStack::SetBatchWindow(SimDuration window) {
+  for (const auto& endpoint : endpoints_) {
+    BatchConfig config = endpoint->client->batch_config();
+    config.batch_window = window;
+    endpoint->client->SetBatchConfig(config);
+  }
+}
+
 void ShardedCassandraStack::CrashCoordinator(NodeId replica_id) {
   KvReplica* replica = FindReplica(replica_id);
   assert(replica != nullptr && "CrashCoordinator needs a replica of this cluster");

@@ -96,6 +96,40 @@ void LoopGroup::Post(int target, SimTime when, EventLoop::Task task) {
   external_outbox_[static_cast<size_t>(target)].push_back(std::move(message));
 }
 
+void LoopGroup::ScheduleDriverTask(SimTime when, EventLoop::Task task) {
+  assert(task != nullptr);
+  DriverTask pending;
+  pending.when = std::max(when, now_);
+  pending.seq = ++driver_task_seq_;
+  pending.task = std::move(task);
+  driver_tasks_.push_back(std::move(pending));
+}
+
+void LoopGroup::RunDueDriverTasks() {
+  // Selection sort over the (small) pending set: due tasks run in (when, seq) order,
+  // and a task scheduling another already-due task sees it picked up by this drain.
+  while (true) {
+    size_t best = driver_tasks_.size();
+    for (size_t i = 0; i < driver_tasks_.size(); ++i) {
+      if (driver_tasks_[i].when > now_) {
+        continue;
+      }
+      if (best == driver_tasks_.size() ||
+          driver_tasks_[i].when < driver_tasks_[best].when ||
+          (driver_tasks_[i].when == driver_tasks_[best].when &&
+           driver_tasks_[i].seq < driver_tasks_[best].seq)) {
+        best = i;
+      }
+    }
+    if (best == driver_tasks_.size()) {
+      return;
+    }
+    EventLoop::Task task = std::move(driver_tasks_[best].task);
+    driver_tasks_.erase(driver_tasks_.begin() + static_cast<long>(best));
+    task();
+  }
+}
+
 int LoopGroup::IndexOf(const EventLoop* loop) const {
   for (size_t i = 0; i < slots_.size(); ++i) {
     if (slots_[i].loop == loop) {
@@ -494,6 +528,10 @@ void LoopGroup::RunRound(SimTime barrier) {
   if (options_.record_barrier_schedule) {
     barrier_history_.push_back(barrier);
   }
+  // Between rounds, after the clock advance: no loop is executing, so a due driver
+  // task sees the same quiesced state the sequential driver would — the contract that
+  // lets control loops mutate placement and membership safely.
+  RunDueDriverTasks();
 }
 
 SimTime LoopGroup::NextBarrier(SimTime from, SimTime limit) {
@@ -519,6 +557,13 @@ SimTime LoopGroup::NextBarrier(SimTime from, SimTime limit) {
   SimTime queued;
   if (EarliestQueuedDelivery(from, &queued)) {
     horizon = std::min(horizon, queued);
+    any = true;
+  }
+  // Pending driver tasks are activity too: clamping the horizon to the earliest one
+  // makes a control tick fire at its exact virtual time instead of waiting out a
+  // quiescent stretch collapsed into one wide round.
+  for (const DriverTask& pending : driver_tasks_) {
+    horizon = std::min(horizon, std::max(pending.when, from));
     any = true;
   }
   SimTime barrier = any ? std::max(horizon, floor) : cap;

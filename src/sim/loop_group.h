@@ -112,6 +112,24 @@ class LoopGroup {
   // Messages accepted but not yet scheduled onto their targets. Driver-thread only.
   size_t pending_messages() const;
 
+  // Driver-side virtual-time task: runs on the DRIVER thread at the first barrier at
+  // or after max(when, Now()) — i.e. between rounds, never while any loop executes —
+  // so it may safely call the between-rounds APIs (FuseLanes, Post, live membership
+  // changes on hosted stacks) and re-invoke ScheduleDriverTask to repeat, which is how
+  // a periodic control loop rides the substrate. Due tasks run in (when, submission)
+  // order. Under adaptive quanta a pending task clamps the round horizon like any
+  // other activity, so it fires at its exact virtual time; the fire schedule is a pure
+  // function of virtual-time state and therefore bit-identical at every thread width.
+  //
+  // RunAll deliberately does NOT treat pending driver tasks as activity (a
+  // self-rescheduling controller would otherwise keep the group alive forever): stop
+  // the rescheduling source before draining, as with failure detection. Driver-thread
+  // only, between rounds.
+  void ScheduleDriverTask(SimTime when, EventLoop::Task task);
+
+  // Driver tasks accepted but not yet run (observability for tests).
+  size_t pending_driver_tasks() const { return driver_tasks_.size(); }
+
   // Advances every loop to `until` through repeated quantum rounds.
   void RunUntil(SimTime until);
 
@@ -213,6 +231,12 @@ class LoopGroup {
     SimTime until = 0;
   };
 
+  struct DriverTask {
+    SimTime when = 0;
+    uint64_t seq = 0;  // submission order: the deterministic same-time tie-break
+    EventLoop::Task task;
+  };
+
   // Runs every loop to `barrier` (sequentially or via the worker pool), then delivers
   // all queued cross-loop messages and advances the group clock.
   void RunRound(SimTime barrier);
@@ -226,6 +250,10 @@ class LoopGroup {
   // Earliest pending cross-loop delivery, as seen from `from` (deliveries never land
   // in the past); returns false if the channel is empty. Driver-thread only.
   bool EarliestQueuedDelivery(SimTime from, SimTime* out) const;
+  // Runs every driver task whose time has arrived, in (when, seq) order. Called by the
+  // driver after a round's clock advance; a task may schedule further tasks, which run
+  // in this same drain if already due.
+  void RunDueDriverTasks();
   // Drops expired fusions and rebuilds units_ if the fusion set changed.
   void ExpireFusions();
   void RebuildUnits();
@@ -257,6 +285,10 @@ class LoopGroup {
   bool units_dirty_ = true;
   std::vector<Fusion> fusions_;
   std::vector<int> round_units_;
+
+  // Pending driver tasks (driver-thread only; unsorted, drained by RunDueDriverTasks).
+  std::vector<DriverTask> driver_tasks_;
+  uint64_t driver_task_seq_ = 0;
 
   // Drain scratch, reused across barriers (capacity persists; no steady-state allocs).
   struct RunRef {

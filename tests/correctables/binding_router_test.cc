@@ -569,5 +569,74 @@ TEST(BindingRouter, ZeroLimitDisablesShedding) {
   }
 }
 
+// --- RouterLoadSnapshot: one consistent, epoch-safe read of the load surface ----------
+
+TEST(BindingRouter, LoadSnapshotReportsEpochAndPerShardRows) {
+  auto h0 = std::make_shared<HoldingBinding>("h0");
+  auto h1 = std::make_shared<HoldingBinding>("h1");
+  auto router = std::make_shared<BindingRouter>(
+      std::vector<std::shared_ptr<Binding>>{h0, h1}, SuffixShardFn(2));
+  router->SetShardQueueLimit(1);
+  CorrectableClient client(router);
+
+  auto parked = client.InvokeStrong(Operation::Get("k0"));
+  auto shed = client.InvokeStrong(Operation::Get("k2"));
+  EXPECT_EQ(shed.state(), CorrectableState::kError);
+
+  const RouterLoadSnapshot snapshot = router->LoadSnapshot();
+  EXPECT_EQ(snapshot.epoch, 0u);
+  ASSERT_EQ(snapshot.shards.size(), 2u);
+  EXPECT_EQ(snapshot.shards[0].outstanding, 1u);
+  EXPECT_EQ(snapshot.shards[0].sheds, 1);
+  EXPECT_EQ(snapshot.shards[1].outstanding, 0u);
+  EXPECT_EQ(snapshot.shards[1].sheds, 0);
+  EXPECT_EQ(snapshot.retired_sheds, 0);
+  EXPECT_EQ(snapshot.total_outstanding(), 1u);
+  EXPECT_EQ(snapshot.total_sheds(), 1);
+  h0->ReleaseAll();
+  EXPECT_EQ(parked.state(), CorrectableState::kFinal);
+}
+
+TEST(BindingRouter, LoadSnapshotTotalShedsIsMonotoneAcrossRingChanges) {
+  // The torn-read hazard the snapshot exists to close: per-index shed counters vanish
+  // with their block when a shard departs the ring, so a controller differencing raw
+  // reads across an ApplyRing would see sheds go BACKWARD and misread a membership
+  // change as recovery. total_sheds() must never decrease, whatever the ring does.
+  auto h0 = std::make_shared<HoldingBinding>("h0");
+  auto h1 = std::make_shared<HoldingBinding>("h1");
+  auto router = std::make_shared<BindingRouter>(
+      std::vector<std::shared_ptr<Binding>>{h0, h1}, SuffixShardFn(2));
+  router->SetShardQueueLimit(1);
+  CorrectableClient client(router);
+
+  // Shed twice on shard 0 and once on shard 1.
+  auto parked0 = client.InvokeStrong(Operation::Get("k0"));
+  client.InvokeStrong(Operation::Get("k2"));
+  client.InvokeStrong(Operation::Get("k4"));
+  auto parked1 = client.InvokeStrong(Operation::Get("k1"));
+  client.InvokeStrong(Operation::Get("k3"));
+  const int64_t before = router->LoadSnapshot().total_sheds();
+  EXPECT_EQ(before, 3);
+
+  // Shard 0 departs. Its per-index counter block is retired, but the snapshot folds
+  // the retired sheds into the aggregate: nothing is lost, nothing double-counts.
+  ASSERT_TRUE(
+      router->ApplyRing(1, {h1}, [](const std::string&) -> size_t { return 0; }).ok());
+  const RouterLoadSnapshot after = router->LoadSnapshot();
+  EXPECT_EQ(after.epoch, 1u);
+  ASSERT_EQ(after.shards.size(), 1u);
+  EXPECT_EQ(after.shards[0].sheds, 1);     // the survivor keeps its own count
+  EXPECT_EQ(after.retired_sheds, 2);       // the departed shard's sheds, preserved
+  EXPECT_EQ(after.total_sheds(), before);  // monotone: no regression at the swap
+
+  // New sheds on the survivor keep accumulating on top of the retired aggregate.
+  client.InvokeStrong(Operation::Get("k9"));
+  EXPECT_EQ(router->LoadSnapshot().total_sheds(), before + 1);
+  h0->ReleaseAll();
+  h1->ReleaseAll();
+  EXPECT_EQ(parked0.state(), CorrectableState::kFinal);
+  EXPECT_EQ(parked1.state(), CorrectableState::kFinal);
+}
+
 }  // namespace
 }  // namespace icg

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -410,6 +411,116 @@ TEST(LoopGroup, ChannelMetricsCountInSequentialModeToo) {
   mesh.group.RunAll();
   EXPECT_GE(mesh.group.metrics().Value("channel_messages"), 8);
   EXPECT_EQ(mesh.group.metrics().Value("barrier_wait_ns"), 0);  // never blocked
+}
+
+// --- Driver tasks: between-rounds callbacks on the barrier schedule ------------------
+
+TEST(LoopGroup, DriverTaskFiresAtFirstBarrierAtOrAfterItsTime) {
+  LoopGroup::Options options;
+  options.quantum = 500;
+  Mesh mesh(2, options);
+  std::vector<SimTime> fired;
+  // 750 sits mid-round: the task must fire at the 1000 barrier, not at 500 and not
+  // inside a loop's execution.
+  mesh.group.ScheduleDriverTask(750, [&] { fired.push_back(mesh.group.Now()); });
+  EXPECT_EQ(mesh.group.pending_driver_tasks(), 1u);
+  mesh.group.RunUntil(2000);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 1000);
+  EXPECT_EQ(mesh.group.pending_driver_tasks(), 0u);
+}
+
+TEST(LoopGroup, DriverTasksRunInTimeThenSubmissionOrder) {
+  LoopGroup::Options options;
+  options.quantum = 500;
+  Mesh mesh(2, options);
+  std::vector<std::string> order;
+  mesh.group.ScheduleDriverTask(600, [&] { order.push_back("b"); });
+  mesh.group.ScheduleDriverTask(100, [&] { order.push_back("a"); });
+  mesh.group.ScheduleDriverTask(600, [&] { order.push_back("c"); });  // ties: seq order
+  mesh.group.RunUntil(1500);
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "a");
+  EXPECT_EQ(order[1], "b");
+  EXPECT_EQ(order[2], "c");
+}
+
+TEST(LoopGroup, SelfReschedulingDriverTaskTicksPeriodically) {
+  LoopGroup::Options options;
+  options.quantum = 500;
+  Mesh mesh(2, options);
+  std::vector<SimTime> ticks;
+  // The control-loop pattern: each firing re-arms itself one period out.
+  std::function<void()> tick = [&] {
+    ticks.push_back(mesh.group.Now());
+    if (ticks.size() < 4) {
+      mesh.group.ScheduleDriverTask(mesh.group.Now() + 1000, tick);
+    }
+  };
+  mesh.group.ScheduleDriverTask(1000, tick);
+  mesh.group.RunUntil(5000);
+  ASSERT_EQ(ticks.size(), 4u);
+  EXPECT_EQ(ticks[0], 1000);
+  EXPECT_EQ(ticks[1], 2000);
+  EXPECT_EQ(ticks[2], 3000);
+  EXPECT_EQ(ticks[3], 4000);
+}
+
+TEST(LoopGroup, AdaptiveQuantumLandsABarrierExactlyOnDriverTasks) {
+  // With adaptive quanta and a quiescent mesh, rounds would stretch to max_quantum —
+  // but a pending driver task clamps the horizon so a barrier lands exactly at (or,
+  // for already-due times, at the first barrier after) the task's virtual time.
+  LoopGroup::Options options;
+  options.quantum = 500;
+  options.adaptive_quantum = true;
+  options.max_quantum = 100000;
+  Mesh mesh(2, options);
+  std::vector<SimTime> fired;
+  mesh.group.ScheduleDriverTask(7300, [&] { fired.push_back(mesh.group.Now()); });
+  mesh.group.RunUntil(50000);
+  ASSERT_EQ(fired.size(), 1u);
+  EXPECT_EQ(fired[0], 7300);
+}
+
+TEST(LoopGroup, DriverTaskScheduleIsIdenticalSequentialAndThreaded) {
+  auto run = [](int threads) {
+    LoopGroup::Options options;
+    options.threads = threads;
+    options.quantum = 500;
+    Mesh mesh(4, options);
+    for (int i = 0; i < 4; ++i) {
+      mesh.StartChain(i, /*hops=*/12, "chain" + std::to_string(i));
+    }
+    std::ostringstream log;
+    std::function<void()> tick = [&] {
+      log << mesh.group.Now() << ";";
+      if (mesh.group.Now() < 4000) {
+        mesh.group.ScheduleDriverTask(mesh.group.Now() + 1000, tick);
+      }
+    };
+    mesh.group.ScheduleDriverTask(1000, tick);
+    mesh.group.RunUntil(6000);
+    return log.str() + "|" + mesh.Fingerprint();
+  };
+  const std::string sequential = run(0);
+  EXPECT_EQ(run(2), sequential);
+  EXPECT_EQ(run(4), sequential);
+}
+
+TEST(LoopGroup, RunAllIgnoresPendingDriverTasksAsActivity) {
+  // A self-rescheduling controller must not make RunAll spin forever: drain stops when
+  // the *loops* go quiet, leaving the future driver task parked. (Callers stop the
+  // source first — same contract as failure-detection probes.)
+  LoopGroup::Options options;
+  options.quantum = 500;
+  Mesh mesh(2, options);
+  mesh.StartChain(0, /*hops=*/4, "chain0");
+  bool fired = false;
+  mesh.group.ScheduleDriverTask(1000000000, [&] { fired = true; });
+  mesh.group.RunAll();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(mesh.group.pending_driver_tasks(), 1u);
+  EXPECT_EQ(mesh.group.pending_messages(), 0u);
 }
 
 }  // namespace
